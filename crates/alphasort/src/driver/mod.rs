@@ -1,0 +1,109 @@
+//! External-sort drivers: one-pass, two-pass, and the facade that picks.
+//!
+//! §6 frames the choice: "A two-pass sort uses less memory, but uses twice
+//! the disk bandwidth. … In particular, the Datamation sort benchmark should
+//! be done in one pass." [`ExternalSorter`] consults the [`Planner`] and
+//! dispatches to [`one_pass`] or [`two_pass`].
+
+mod onepass;
+mod scratch;
+mod twopass;
+
+pub use onepass::one_pass;
+pub use scratch::{BufferedRunStream, MemScratch, ScratchStore, StripeScratch};
+pub use twopass::two_pass;
+
+use std::io;
+
+use crate::io::{RecordSink, RecordSource};
+use crate::planner::{PassPlan, Planner};
+use crate::runform::Representation;
+use crate::stats::SortStats;
+
+/// Tuning knobs for a sort run.
+#[derive(Clone, Debug)]
+pub struct SortConfig {
+    /// Records per QuickSort run (the paper uses 100,000 for 1 M records:
+    /// "between ten and one hundred runs" in a one-pass sort).
+    pub run_records: usize,
+    /// Sort-array representation for run formation.
+    pub representation: Representation,
+    /// Worker threads for sort and gather chores (0 = uniprocessor).
+    pub workers: usize,
+    /// Records per gather batch / output buffer.
+    pub gather_batch: usize,
+    /// Memory budget in bytes for the planner (one- vs two-pass decision).
+    pub memory_budget: u64,
+    /// Maximum merge fan-in for the two-pass driver. When a sort produces
+    /// more runs than this, intermediate *cascade* merge passes combine
+    /// groups of `max_fanin` runs until one final merge fits (classic
+    /// external sorting; beyond the paper's one/two-pass regime but needed
+    /// once inputs are thousands of times memory).
+    pub max_fanin: usize,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            run_records: 100_000,
+            representation: Representation::KeyPrefix,
+            workers: 0,
+            gather_batch: 10_000,
+            memory_budget: 256 << 20,
+            max_fanin: 128,
+        }
+    }
+}
+
+/// Result of a sort: where the time went plus total bytes written.
+#[derive(Clone, Debug)]
+pub struct SortOutcome {
+    /// Phase breakdown and counters.
+    pub stats: SortStats,
+    /// Logical bytes written to the output sink.
+    pub bytes: u64,
+    /// The plan that was executed.
+    pub plan: PassPlan,
+}
+
+/// Facade: plan (one- vs two-pass) and run the sort.
+pub struct ExternalSorter {
+    cfg: SortConfig,
+}
+
+impl ExternalSorter {
+    /// Sorter with the given configuration.
+    pub fn new(cfg: SortConfig) -> Self {
+        ExternalSorter { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SortConfig {
+        &self.cfg
+    }
+
+    /// Sort `source` into `sink`, spilling to `scratch` if the input does
+    /// not fit the memory budget. Sources without a size hint are assumed
+    /// not to fit (conservative: two-pass always works).
+    pub fn sort<Src, Snk, Scr>(
+        &self,
+        source: &mut Src,
+        sink: &mut Snk,
+        scratch: &mut Scr,
+    ) -> io::Result<SortOutcome>
+    where
+        Src: RecordSource,
+        Snk: RecordSink,
+        Scr: ScratchStore,
+    {
+        let planner = Planner::new(self.cfg.memory_budget);
+        let plan = match source.size_hint() {
+            Some(bytes) => planner.plan(bytes),
+            None => PassPlan::TwoPass,
+        };
+        match plan {
+            PassPlan::OnePass => one_pass(source, sink, &self.cfg),
+            PassPlan::TwoPass => two_pass(source, sink, scratch, &self.cfg),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The one-pass sort: AlphaSort's benchmark configuration.
+//!
+//! §7's walk-through is the template: read the input through the striped
+//! source, cutting it into runs of `run_records`; QuickSort each run's
+//! entries *while the next run is still arriving* (sort chores overlap
+//! input); then run the tournament merge, handing gather chores to workers
+//! buffer-by-buffer while completed buffers stream to the striped sink.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use alphasort_dmgen::RECORD_LEN;
+
+use crate::driver::{SortConfig, SortOutcome};
+use crate::gather::take_ptrs;
+use crate::io::{RecordSink, RecordSource};
+use crate::merge::RunMerger;
+use crate::parallel::{GatherPool, SortPool};
+use crate::planner::PassPlan;
+use crate::stats::{timed, SortStats};
+
+/// How many gather batches may be in flight before the root drains one —
+/// the output-side analogue of triple buffering.
+const GATHER_PIPELINE: u64 = 3;
+
+/// Sort `source` into `sink` entirely in memory (one pass over the data).
+pub fn one_pass<Src, Snk>(
+    source: &mut Src,
+    sink: &mut Snk,
+    cfg: &SortConfig,
+) -> io::Result<SortOutcome>
+where
+    Src: RecordSource,
+    Snk: RecordSink,
+{
+    assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
+    let t_start = Instant::now();
+    let mut stats = SortStats {
+        one_pass: true,
+        ..Default::default()
+    };
+    let run_bytes = cfg.run_records * RECORD_LEN;
+
+    // ---- input + run formation, overlapped --------------------------------
+    let mut pool = SortPool::new(cfg.workers, cfg.representation);
+    let mut cur: Vec<u8> = Vec::with_capacity(run_bytes);
+    loop {
+        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
+        let Some(chunk) = chunk else { break };
+        let mut off = 0;
+        while off < chunk.len() {
+            let take = (run_bytes - cur.len()).min(chunk.len() - off);
+            cur.extend_from_slice(&chunk[off..off + take]);
+            off += take;
+            if cur.len() == run_bytes {
+                pool.submit(std::mem::replace(&mut cur, Vec::with_capacity(run_bytes)));
+            }
+        }
+    }
+    if !cur.is_empty() {
+        if !cur.len().is_multiple_of(RECORD_LEN) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "input ends mid-record ({} trailing bytes)",
+                    cur.len() % RECORD_LEN
+                ),
+            ));
+        }
+        pool.submit(cur);
+    }
+    let (runs, sort_cpu) = pool.finish();
+    stats.sort_time = sort_cpu;
+    stats.runs = runs.len() as u64;
+    stats.run_lengths = runs.iter().map(|r| r.len() as u64).collect();
+    stats.records = runs.iter().map(|r| r.len() as u64).sum();
+
+    if stats.records == 0 {
+        let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+        stats.elapsed = t_start.elapsed();
+        return Ok(SortOutcome {
+            stats,
+            bytes,
+            plan: PassPlan::OnePass,
+        });
+    }
+
+    // ---- merge + gather + output, overlapped ------------------------------
+    let runs = Arc::new(runs);
+    let mut merger = RunMerger::new(&runs);
+    let mut gather = GatherPool::new(cfg.workers, Arc::clone(&runs));
+    loop {
+        let ptrs = timed(&mut stats.merge_time, || {
+            take_ptrs(&mut merger, cfg.gather_batch)
+        });
+        if ptrs.is_empty() {
+            break;
+        }
+        gather.submit(ptrs);
+        while gather.in_flight() > GATHER_PIPELINE {
+            let buf = gather.next_buffer().expect("in-flight batch vanished");
+            timed(&mut stats.write_wait, || sink.push(&buf))?;
+        }
+    }
+    while let Some(buf) = gather.next_buffer() {
+        timed(&mut stats.write_wait, || sink.push(&buf))?;
+    }
+    let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+    stats.gather_time = gather.gather_cpu;
+    stats.elapsed = t_start.elapsed();
+    Ok(SortOutcome {
+        stats,
+        bytes,
+        plan: PassPlan::OnePass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{MemSink, MemSource};
+    use crate::runform::Representation;
+    use alphasort_dmgen::{generate, validate_records, GenConfig, KeyDistribution};
+
+    fn sort_mem(n: u64, dist: KeyDistribution, cfg: &SortConfig) {
+        let (data, cs) = generate(GenConfig {
+            records: n,
+            seed: 0xBEEF,
+            dist,
+        });
+        let mut source = MemSource::new(data, 64 * 1024); // ragged chunks on purpose
+        let mut sink = MemSink::new();
+        let outcome = one_pass(&mut source, &mut sink, cfg).unwrap();
+        assert_eq!(outcome.bytes, n * RECORD_LEN as u64);
+        assert_eq!(outcome.stats.records, n);
+        let report = validate_records(sink.data(), cs).unwrap();
+        assert_eq!(report.records, n);
+    }
+
+    #[test]
+    fn sorts_uniprocessor_key_prefix() {
+        let cfg = SortConfig {
+            run_records: 1_000,
+            gather_batch: 500,
+            workers: 0,
+            ..Default::default()
+        };
+        sort_mem(10_000, KeyDistribution::Random, &cfg);
+    }
+
+    #[test]
+    fn sorts_with_workers() {
+        let cfg = SortConfig {
+            run_records: 777,
+            gather_batch: 333,
+            workers: 3,
+            ..Default::default()
+        };
+        sort_mem(10_000, KeyDistribution::Random, &cfg);
+    }
+
+    #[test]
+    fn sorts_every_representation() {
+        for rep in Representation::ALL {
+            let cfg = SortConfig {
+                run_records: 500,
+                gather_batch: 250,
+                representation: rep,
+                ..Default::default()
+            };
+            sort_mem(3_000, KeyDistribution::Random, &cfg);
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_distributions() {
+        let cfg = SortConfig {
+            run_records: 400,
+            gather_batch: 100,
+            workers: 2,
+            ..Default::default()
+        };
+        for dist in [
+            KeyDistribution::Sorted,
+            KeyDistribution::Reverse,
+            KeyDistribution::DupHeavy { cardinality: 3 },
+            KeyDistribution::CommonPrefix { shared: 9 },
+            KeyDistribution::NearlySorted { permille: 100 },
+        ] {
+            sort_mem(4_000, dist, &cfg);
+        }
+    }
+
+    #[test]
+    fn single_run_input() {
+        let cfg = SortConfig {
+            run_records: 100_000,
+            gather_batch: 1_000,
+            ..Default::default()
+        };
+        sort_mem(2_000, KeyDistribution::Random, &cfg);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut source = MemSource::new(Vec::new(), 1024);
+        let mut sink = MemSink::new();
+        let outcome = one_pass(&mut source, &mut sink, &SortConfig::default()).unwrap();
+        assert_eq!(outcome.bytes, 0);
+        assert_eq!(outcome.stats.records, 0);
+    }
+
+    #[test]
+    fn run_boundaries_land_where_configured() {
+        let (data, _) = generate(GenConfig::datamation(1_050, 3));
+        let mut source = MemSource::new(data, 10_000);
+        let mut sink = MemSink::new();
+        let cfg = SortConfig {
+            run_records: 100,
+            gather_batch: 100,
+            ..Default::default()
+        };
+        let outcome = one_pass(&mut source, &mut sink, &cfg).unwrap();
+        assert_eq!(outcome.stats.runs, 11);
+        assert_eq!(outcome.stats.run_lengths[10], 50);
+    }
+
+    #[test]
+    fn ragged_input_is_an_error() {
+        let (mut data, _) = generate(GenConfig::datamation(10, 3));
+        data.pop();
+        let mut source = MemSource::new(data, 128);
+        let mut sink = MemSink::new();
+        let err = one_pass(&mut source, &mut sink, &SortConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

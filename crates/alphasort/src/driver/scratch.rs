@@ -1,0 +1,303 @@
+//! Scratch storage for two-pass sorts.
+//!
+//! §6: "A two-pass sort requires twice the disk bandwidth to carry the runs
+//! being stored on disk and being read back in during merge phase." The
+//! [`ScratchStore`] abstraction supplies per-run writers during run
+//! formation and per-run sources during the merge; [`StripeScratch`] puts
+//! runs on striped simulated disks, [`MemScratch`] keeps them in memory for
+//! tests.
+
+use std::io;
+use std::sync::Arc;
+
+use alphasort_dmgen::{Record, RECORD_LEN};
+use alphasort_stripefs::Volume;
+
+use crate::io::{MemSink, MemSource, RecordSink, RecordSource, StripeSink, StripeSource};
+use crate::merge::RunStream;
+
+/// Where a two-pass sort parks its runs between the passes.
+pub trait ScratchStore: Send {
+    /// Sink type runs are written through.
+    type Writer: RecordSink;
+    /// Source type runs are read back through.
+    type Source: RecordSource;
+
+    /// Start a new scratch run of roughly `size_hint` bytes.
+    fn create_run(&mut self, size_hint: u64) -> io::Result<Self::Writer>;
+
+    /// Finish a run's writer, recording it for the merge pass.
+    fn seal_run(&mut self, writer: Self::Writer) -> io::Result<()>;
+
+    /// Open every sealed run for reading, in creation order.
+    fn open_runs(&mut self) -> io::Result<Vec<Self::Source>>;
+}
+
+/// In-memory scratch (tests, small sorts).
+#[derive(Default)]
+pub struct MemScratch {
+    runs: Vec<Vec<u8>>,
+    /// Chunk size handed back by the sources.
+    chunk: usize,
+}
+
+impl MemScratch {
+    /// Scratch whose read-back sources deliver `chunk`-byte pieces.
+    pub fn new(chunk: usize) -> Self {
+        MemScratch {
+            runs: Vec::new(),
+            chunk,
+        }
+    }
+
+    /// Number of sealed runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+impl ScratchStore for MemScratch {
+    type Writer = MemSink;
+    type Source = MemSource;
+
+    fn create_run(&mut self, _size_hint: u64) -> io::Result<MemSink> {
+        Ok(MemSink::new())
+    }
+
+    fn seal_run(&mut self, mut writer: MemSink) -> io::Result<()> {
+        writer.complete()?;
+        self.runs.push(writer.into_inner());
+        Ok(())
+    }
+
+    fn open_runs(&mut self) -> io::Result<Vec<MemSource>> {
+        let chunk = if self.chunk > 0 {
+            self.chunk
+        } else {
+            64 * 1024
+        };
+        Ok(self
+            .runs
+            .drain(..)
+            .map(|r| MemSource::new(r, chunk))
+            .collect())
+    }
+}
+
+/// Scratch on striped simulated disks: each run is its own striped file
+/// across the scratch volume's disks.
+pub struct StripeScratch {
+    volume: Arc<Volume>,
+    chunk: u64,
+    runs: Vec<Arc<alphasort_stripefs::StripedFile>>,
+    next_id: usize,
+    open_writers: Vec<(usize, Arc<alphasort_stripefs::StripedFile>)>,
+    /// Runs handed out by `open_runs`, freed when the next level creates.
+    pending_free: Vec<Arc<alphasort_stripefs::StripedFile>>,
+}
+
+impl StripeScratch {
+    /// Scratch over `volume`, striping each run across all its disks with
+    /// the given chunk size.
+    pub fn new(volume: Arc<Volume>, chunk: u64) -> Self {
+        StripeScratch {
+            volume,
+            chunk,
+            runs: Vec::new(),
+            next_id: 0,
+            open_writers: Vec::new(),
+            pending_free: Vec::new(),
+        }
+    }
+}
+
+impl ScratchStore for StripeScratch {
+    type Writer = StripeSink;
+    type Source = StripeSource;
+
+    fn create_run(&mut self, size_hint: u64) -> io::Result<StripeSink> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let file = Arc::new(self.volume.create_across_all(
+            format!("scratch-run-{id}"),
+            self.chunk,
+            size_hint,
+        ));
+        self.open_writers.push((id, Arc::clone(&file)));
+        Ok(StripeSink::new(file))
+    }
+
+    fn seal_run(&mut self, mut writer: StripeSink) -> io::Result<()> {
+        writer.complete()?;
+        // Writers seal in creation order in the two-pass driver.
+        let (_, file) = self.open_writers.remove(0);
+        self.runs.push(file);
+        Ok(())
+    }
+
+    fn open_runs(&mut self) -> io::Result<Vec<StripeSource>> {
+        // The *previous* batch handed out by open_runs has been fully
+        // consumed by now (the driver merges an entire cascade level before
+        // asking for the next), so its extents can be recycled for the
+        // runs the coming level will create. Freeing any earlier — while a
+        // level is still reading them — would let create_run() hand live
+        // extents to a new writer.
+        for f in self.pending_free.drain(..) {
+            self.volume.delete(&f);
+        }
+        let sources: Vec<StripeSource> = self
+            .runs
+            .iter()
+            .map(|f| StripeSource::new(Arc::clone(f)))
+            .collect();
+        self.pending_free.append(&mut self.runs);
+        Ok(sources)
+    }
+}
+
+/// Adapts a [`RecordSource`] into a [`RunStream`] of records for the merge.
+///
+/// Source chunk boundaries need not align with records (a striped source's
+/// strides generally do not); partial records are carried across chunks. A
+/// source that ends mid-record yields `InvalidData`.
+pub struct BufferedRunStream<S: RecordSource> {
+    source: S,
+    buf: Vec<u8>,
+    /// Byte offset of the head record within `buf`.
+    off: usize,
+    head: Option<Record>,
+    exhausted: bool,
+}
+
+impl<S: RecordSource> BufferedRunStream<S> {
+    /// Wrap `source`; the first record is fetched eagerly.
+    pub fn new(source: S) -> io::Result<Self> {
+        let mut s = BufferedRunStream {
+            source,
+            buf: Vec::new(),
+            off: 0,
+            head: None,
+            exhausted: false,
+        };
+        s.refill()?;
+        Ok(s)
+    }
+
+    fn refill(&mut self) -> io::Result<()> {
+        while self.buf.len() - self.off < RECORD_LEN && !self.exhausted {
+            // Compact, then append the next chunk.
+            if self.off > 0 {
+                self.buf.drain(..self.off);
+                self.off = 0;
+            }
+            match self.source.next_chunk()? {
+                Some(chunk) => self.buf.extend_from_slice(&chunk),
+                None => self.exhausted = true,
+            }
+        }
+        let avail = self.buf.len() - self.off;
+        if avail == 0 {
+            self.head = None;
+            return Ok(());
+        }
+        if avail < RECORD_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("scratch run ends mid-record ({avail} trailing bytes)"),
+            ));
+        }
+        self.head = Some(Record::from_bytes(
+            &self.buf[self.off..self.off + RECORD_LEN],
+        ));
+        Ok(())
+    }
+}
+
+impl<S: RecordSource> RunStream for BufferedRunStream<S> {
+    fn head(&self) -> Option<&Record> {
+        self.head.as_ref()
+    }
+
+    fn advance(&mut self) -> io::Result<()> {
+        self.off += RECORD_LEN;
+        self.refill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasort_dmgen::{generate, records_of_mut, GenConfig};
+    use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
+
+    #[test]
+    fn mem_scratch_roundtrip() {
+        let mut s = MemScratch::new(250);
+        let mut w = s.create_run(0).unwrap();
+        w.push(b"abcde").unwrap();
+        s.seal_run(w).unwrap();
+        let mut w2 = s.create_run(0).unwrap();
+        w2.push(b"XY").unwrap();
+        s.seal_run(w2).unwrap();
+        assert_eq!(s.run_count(), 2);
+        let mut sources = s.open_runs().unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0].next_chunk().unwrap().unwrap(), b"abcde");
+        assert_eq!(sources[1].next_chunk().unwrap().unwrap(), b"XY");
+    }
+
+    #[test]
+    fn stripe_scratch_roundtrip() {
+        let disks = (0..4)
+            .map(|i| {
+                SimDisk::new(
+                    format!("s{i}"),
+                    catalog::uncapped(),
+                    Arc::new(MemStorage::new()),
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        let volume = Arc::new(Volume::new(Arc::new(IoEngine::new(disks))));
+        let mut s = StripeScratch::new(volume, 512);
+
+        let payload: Vec<u8> = (0..3_000).map(|i| (i % 7) as u8).collect();
+        let mut w = s.create_run(3_000).unwrap();
+        w.push(&payload).unwrap();
+        s.seal_run(w).unwrap();
+
+        let mut sources = s.open_runs().unwrap();
+        let mut got = Vec::new();
+        while let Some(c) = sources[0].next_chunk().unwrap() {
+            got.extend_from_slice(&c);
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn buffered_stream_yields_records_in_order() {
+        let (mut data, _) = generate(GenConfig::datamation(500, 8));
+        records_of_mut(&mut data).sort_by_key(|a| a.key);
+        let src = MemSource::new(data.clone(), 7 * RECORD_LEN);
+        let mut stream = BufferedRunStream::new(src).unwrap();
+        let mut n = 0;
+        let mut prev: Option<[u8; 10]> = None;
+        while let Some(r) = stream.head().copied() {
+            if let Some(p) = prev {
+                assert!(p <= r.key);
+            }
+            prev = Some(r.key);
+            stream.advance().unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn buffered_stream_empty_source() {
+        let src = MemSource::new(Vec::new(), 100);
+        let stream = BufferedRunStream::new(src).unwrap();
+        assert!(stream.head().is_none());
+    }
+}

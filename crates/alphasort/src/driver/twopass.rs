@@ -1,0 +1,329 @@
+//! The two-pass sort: spill runs to scratch, merge them back.
+//!
+//! §6: "When should the QuickSorted intermediate runs be stored on disk? A
+//! two-pass sort uses less memory, but uses twice the disk bandwidth."
+//! Pass 1 reads the input in memory-sized chunks, QuickSorts each, and
+//! streams the sorted run to a scratch file. Pass 2 opens every run and
+//! merges the record streams through a tournament into the output sink.
+//! Memory use is one run buffer in pass 1 and one read-ahead buffer per run
+//! in pass 2, regardless of input size.
+
+use std::io;
+use std::time::Instant;
+
+use alphasort_dmgen::RECORD_LEN;
+
+use crate::driver::scratch::{BufferedRunStream, ScratchStore};
+use crate::driver::{SortConfig, SortOutcome};
+use crate::io::{RecordSink, RecordSource};
+use crate::merge::StreamMerger;
+use crate::parallel::SortPool;
+use crate::planner::PassPlan;
+use crate::runform::SortedRun;
+use crate::stats::{timed, SortStats};
+
+/// Sort `source` into `sink`, staging runs in `scratch`.
+pub fn two_pass<Src, Snk, Scr>(
+    source: &mut Src,
+    sink: &mut Snk,
+    scratch: &mut Scr,
+    cfg: &SortConfig,
+) -> io::Result<SortOutcome>
+where
+    Src: RecordSource,
+    Snk: RecordSink,
+    Scr: ScratchStore,
+{
+    assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
+    let t_start = Instant::now();
+    let mut stats = SortStats {
+        one_pass: false,
+        ..Default::default()
+    };
+    let run_bytes = cfg.run_records * RECORD_LEN;
+
+    // ---- pass 1: run formation + spill, overlapped ------------------------
+    // Workers QuickSort run buffers while the root keeps reading and spills
+    // completed runs — the §5 chore decomposition applied to the spill pass
+    // (runs must reach scratch in submission order, so the pool hands them
+    // back in order).
+    let mut cur: Vec<u8> = Vec::with_capacity(run_bytes);
+    let mut pool = SortPool::new(cfg.workers, cfg.representation);
+    let spill = |run: &SortedRun, stats: &mut SortStats, scratch: &mut Scr| -> io::Result<()> {
+        stats.runs += 1;
+        stats.run_lengths.push(run.len() as u64);
+        stats.records += run.len() as u64;
+        timed(&mut stats.spill_time, || -> io::Result<()> {
+            let mut writer = scratch.create_run((run.len() * RECORD_LEN) as u64)?;
+            // Stream the run out in gather-batch sized pieces so the spill
+            // writer's pipeline stays busy without a whole-run staging copy.
+            let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+            for rec in run.iter_sorted() {
+                staging.extend_from_slice(rec.as_bytes());
+                if staging.len() >= cfg.gather_batch * RECORD_LEN {
+                    writer.push(&staging)?;
+                    staging.clear();
+                }
+            }
+            if !staging.is_empty() {
+                writer.push(&staging)?;
+            }
+            scratch.seal_run(writer)
+        })
+    };
+
+    loop {
+        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
+        let Some(chunk) = chunk else { break };
+        let mut off = 0;
+        while off < chunk.len() {
+            let take = (run_bytes - cur.len()).min(chunk.len() - off);
+            cur.extend_from_slice(&chunk[off..off + take]);
+            off += take;
+            if cur.len() == run_bytes {
+                let full = std::mem::replace(&mut cur, Vec::with_capacity(run_bytes));
+                pool.submit(full);
+            }
+        }
+        // Spill whatever the workers have finished, without stalling input.
+        while let Some((run, d)) = pool.try_next_in_order() {
+            stats.sort_time += d;
+            spill(&run, &mut stats, scratch)?;
+        }
+    }
+    if !cur.is_empty() {
+        if !cur.len().is_multiple_of(RECORD_LEN) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "input ends mid-record ({} trailing bytes)",
+                    cur.len() % RECORD_LEN
+                ),
+            ));
+        }
+        pool.submit(std::mem::take(&mut cur));
+    }
+    while let Some((run, d)) = pool.next_in_order() {
+        stats.sort_time += d;
+        spill(&run, &mut stats, scratch)?;
+    }
+    drop(pool.finish()); // joins worker threads (no runs remain)
+
+    if stats.records == 0 {
+        let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+        stats.elapsed = t_start.elapsed();
+        return Ok(SortOutcome {
+            stats,
+            bytes,
+            plan: PassPlan::TwoPass,
+        });
+    }
+
+    // ---- intermediate cascade passes (runs > fan-in) -----------------------
+    // Beyond the paper's regime: when inputs are thousands of times memory,
+    // the run count exceeds a practical merge width, so groups of `fanin`
+    // runs merge into longer scratch runs until one final merge remains
+    // (Knuth's cascade merge). Each extra level costs one more full
+    // read+write of the data — the same bandwidth arithmetic as §6.
+    let fanin = cfg.max_fanin.max(2);
+    let mut sources = timed(&mut stats.spill_time, || scratch.open_runs())?;
+    while sources.len() > fanin {
+        stats.merge_passes += 1;
+        let level = std::mem::take(&mut sources);
+        let mut level_iter = level.into_iter().peekable();
+        while level_iter.peek().is_some() {
+            let group: Vec<Scr::Source> = level_iter.by_ref().take(fanin).collect();
+            // The merged run is as big as its inputs together; scratch
+            // stores allocate extents from this hint.
+            let group_bytes: u64 = group.iter().filter_map(|s| s.size_hint()).sum();
+            let mut streams = Vec::with_capacity(group.len());
+            for s in group {
+                streams.push(BufferedRunStream::new(s)?);
+            }
+            let mut merger = StreamMerger::new(streams);
+            timed(&mut stats.spill_time, || -> io::Result<()> {
+                let mut writer = scratch.create_run(group_bytes)?;
+                let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+                while let Some(r) = merger.next_record()? {
+                    staging.extend_from_slice(r.as_bytes());
+                    if staging.len() >= cfg.gather_batch * RECORD_LEN {
+                        writer.push(&staging)?;
+                        staging.clear();
+                    }
+                }
+                if !staging.is_empty() {
+                    writer.push(&staging)?;
+                }
+                scratch.seal_run(writer)
+            })?;
+        }
+        sources = timed(&mut stats.spill_time, || scratch.open_runs())?;
+    }
+
+    // ---- final merge into the sink -----------------------------------------
+    let mut streams = Vec::with_capacity(sources.len());
+    for s in sources {
+        streams.push(BufferedRunStream::new(s)?);
+    }
+    let mut merger = StreamMerger::new(streams);
+    let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+    loop {
+        let rec = timed(&mut stats.merge_time, || merger.next_record())?;
+        match rec {
+            Some(r) => {
+                staging.extend_from_slice(r.as_bytes());
+                if staging.len() >= cfg.gather_batch * RECORD_LEN {
+                    timed(&mut stats.write_wait, || sink.push(&staging))?;
+                    staging.clear();
+                }
+            }
+            None => break,
+        }
+    }
+    if !staging.is_empty() {
+        timed(&mut stats.write_wait, || sink.push(&staging))?;
+    }
+    let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+    stats.elapsed = t_start.elapsed();
+    Ok(SortOutcome {
+        stats,
+        bytes,
+        plan: PassPlan::TwoPass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::scratch::MemScratch;
+    use crate::io::{MemSink, MemSource};
+    use alphasort_dmgen::{generate, validate_records, GenConfig, KeyDistribution};
+
+    fn sort_two_pass(n: u64, dist: KeyDistribution, cfg: &SortConfig) {
+        let (data, cs) = generate(GenConfig {
+            records: n,
+            seed: 0xF00D,
+            dist,
+        });
+        let mut source = MemSource::new(data, 12_345); // deliberately ragged
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(40 * RECORD_LEN);
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, cfg).unwrap();
+        assert_eq!(outcome.stats.records, n);
+        assert!(!outcome.stats.one_pass);
+        let report = validate_records(sink.data(), cs).unwrap();
+        assert_eq!(report.records, n);
+    }
+
+    #[test]
+    fn sorts_with_many_runs() {
+        let cfg = SortConfig {
+            run_records: 250,
+            gather_batch: 100,
+            ..Default::default()
+        };
+        sort_two_pass(5_000, KeyDistribution::Random, &cfg); // 20 runs
+    }
+
+    #[test]
+    fn sorts_with_workers_overlapping_spill() {
+        let cfg = SortConfig {
+            run_records: 200,
+            gather_batch: 64,
+            workers: 3,
+            ..Default::default()
+        };
+        sort_two_pass(6_000, KeyDistribution::Random, &cfg); // 30 runs
+    }
+
+    #[test]
+    fn sorts_with_single_run() {
+        let cfg = SortConfig {
+            run_records: 100_000,
+            gather_batch: 100,
+            ..Default::default()
+        };
+        sort_two_pass(1_000, KeyDistribution::Random, &cfg);
+    }
+
+    #[test]
+    fn sorts_adversarial_distributions() {
+        let cfg = SortConfig {
+            run_records: 300,
+            gather_batch: 64,
+            ..Default::default()
+        };
+        for dist in [
+            KeyDistribution::Sorted,
+            KeyDistribution::Reverse,
+            KeyDistribution::DupHeavy { cardinality: 2 },
+            KeyDistribution::CommonPrefix { shared: 10 },
+        ] {
+            sort_two_pass(2_000, dist, &cfg);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut source = MemSource::new(Vec::new(), 100);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(100 * RECORD_LEN);
+        let outcome =
+            two_pass(&mut source, &mut sink, &mut scratch, &SortConfig::default()).unwrap();
+        assert_eq!(outcome.bytes, 0);
+    }
+
+    #[test]
+    fn cascade_merge_handles_many_runs() {
+        // 40 runs with fan-in 4: two intermediate levels (40 → 10 → 3),
+        // then the final merge.
+        let (data, cs) = generate(GenConfig::datamation(2_000, 21));
+        let mut source = MemSource::new(data, 10_000);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(25 * RECORD_LEN);
+        let cfg = SortConfig {
+            run_records: 50, // 40 runs
+            gather_batch: 32,
+            max_fanin: 4,
+            ..Default::default()
+        };
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        assert_eq!(outcome.stats.runs, 40);
+        assert_eq!(outcome.stats.merge_passes, 2);
+        let report = validate_records(sink.data(), cs).unwrap();
+        assert_eq!(report.records, 2_000);
+    }
+
+    #[test]
+    fn cascade_fanin_exactly_at_boundary_needs_no_extra_pass() {
+        let (data, cs) = generate(GenConfig::datamation(1_000, 22));
+        let mut source = MemSource::new(data, 10_000);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(25 * RECORD_LEN);
+        let cfg = SortConfig {
+            run_records: 125, // exactly 8 runs
+            gather_batch: 32,
+            max_fanin: 8,
+            ..Default::default()
+        };
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        assert_eq!(outcome.stats.merge_passes, 0);
+        validate_records(sink.data(), cs).unwrap();
+    }
+
+    #[test]
+    fn run_count_matches_input_over_memory() {
+        let (data, _) = generate(GenConfig::datamation(1_000, 2));
+        let mut source = MemSource::new(data, 64 * 1024);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(50 * RECORD_LEN);
+        let cfg = SortConfig {
+            run_records: 128,
+            gather_batch: 64,
+            ..Default::default()
+        };
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        assert_eq!(outcome.stats.runs, 8); // ceil(1000 / 128)
+        assert_eq!(*outcome.stats.run_lengths.last().unwrap(), 1_000 % 128);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sort-array entry types: what the QuickSort actually moves.
+//!
+//! §4 of the paper analyses three QuickSorts by what their arrays hold —
+//! whole records (R = 100 bytes), bare pointers (P = 4), or key-pointer
+//! pairs (K + P = 14) — and lands on a fourth: *(key-prefix, pointer)*
+//! pairs, where the prefix is "normalized to an integer type, allowing most
+//! comparisons to be resolved with an integer comparison".
+
+use alphasort_dmgen::{Record, KEY_LEN};
+
+/// A *(key-prefix, pointer)* pair — AlphaSort's choice.
+///
+/// 8 prefix bytes as a big-endian `u64` plus a 4-byte record index: 12 bytes
+/// more than 8× denser than records, and comparable with one integer
+/// compare except on prefix ties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixEntry {
+    /// First 8 key bytes, big-endian, so integer order = byte-string order.
+    pub prefix: u64,
+    /// Record index within the run's buffer.
+    pub idx: u32,
+}
+
+impl PrefixEntry {
+    /// Build the entry for record `idx` of `records`.
+    #[inline]
+    pub fn of(records: &[Record], idx: u32) -> Self {
+        PrefixEntry {
+            prefix: records[idx as usize].prefix(),
+            idx,
+        }
+    }
+
+    /// Extract the entry array for a whole record buffer — the paper's
+    /// "streamed into an array" step that runs while input arrives.
+    pub fn extract(records: &[Record]) -> Vec<PrefixEntry> {
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PrefixEntry {
+                prefix: r.prefix(),
+                idx: i as u32,
+            })
+            .collect()
+    }
+
+    /// Compare two entries, falling through to the full keys (via the
+    /// record buffer) only on a prefix tie — §4's degenerate-case handling.
+    #[inline]
+    pub fn cmp_via(&self, other: &Self, records: &[Record]) -> core::cmp::Ordering {
+        match self.prefix.cmp(&other.prefix) {
+            core::cmp::Ordering::Equal => records[self.idx as usize]
+                .key
+                .cmp(&records[other.idx as usize].key),
+            ord => ord,
+        }
+    }
+}
+
+/// A *(codeword, pointer)* pair — the Baer & Lin (1989) representation §4
+/// discusses: "They recommended keys be prefix compressed into codewords so
+/// that the (pointer, codeword) QuickSort would fit in cache. We did not
+/// use their version of codewords since they cannot be used to later merge
+/// the record pointers."
+///
+/// The codeword here is the first 4 key bytes as a big-endian `u32`: the
+/// entry shrinks to 8 bytes (twice the cache density of [`PrefixEntry`]),
+/// at the price of 2³² times more ties than the 64-bit prefix — the merge
+/// handicap the authors rejected it for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodewordEntry {
+    /// First 4 key bytes, big-endian.
+    pub code: u32,
+    /// Record index within the run's buffer.
+    pub idx: u32,
+}
+
+impl CodewordEntry {
+    /// Build the entry for record `idx` of `records`.
+    #[inline]
+    pub fn of(records: &[Record], idx: u32) -> Self {
+        let k = &records[idx as usize].key;
+        CodewordEntry {
+            code: u32::from_be_bytes([k[0], k[1], k[2], k[3]]),
+            idx,
+        }
+    }
+
+    /// Extract the entry array for a whole record buffer.
+    pub fn extract(records: &[Record]) -> Vec<CodewordEntry> {
+        (0..records.len() as u32)
+            .map(|i| CodewordEntry::of(records, i))
+            .collect()
+    }
+}
+
+/// A *(full key, pointer)* pair — §4's "key sort" (detached key sort).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyEntry {
+    /// The complete 10-byte key.
+    pub key: [u8; KEY_LEN],
+    /// Record index within the run's buffer.
+    pub idx: u32,
+}
+
+impl KeyEntry {
+    /// Build the entry for record `idx` of `records`.
+    #[inline]
+    pub fn of(records: &[Record], idx: u32) -> Self {
+        KeyEntry {
+            key: records[idx as usize].key,
+            idx,
+        }
+    }
+
+    /// Extract the entry array for a whole record buffer.
+    pub fn extract(records: &[Record]) -> Vec<KeyEntry> {
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| KeyEntry {
+                key: r.key,
+                idx: i as u32,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasort_dmgen::{generate, records_of, GenConfig};
+
+    #[test]
+    fn prefix_entry_is_12_bytes_padded_to_16() {
+        // The array stride is what matters for cache behaviour.
+        assert!(core::mem::size_of::<PrefixEntry>() <= 16);
+        assert_eq!(core::mem::size_of::<KeyEntry>(), 16);
+    }
+
+    #[test]
+    fn extract_preserves_indices() {
+        let (data, _) = generate(GenConfig::datamation(50, 1));
+        let records = records_of(&data);
+        let entries = PrefixEntry::extract(records);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.idx as usize, i);
+            assert_eq!(e.prefix, records[i].prefix());
+        }
+    }
+
+    #[test]
+    fn cmp_via_falls_through_on_ties() {
+        let mut a = Record::with_key([1, 2, 3, 4, 5, 6, 7, 8, 0, 1], 0);
+        let b = Record::with_key([1, 2, 3, 4, 5, 6, 7, 8, 0, 2], 1);
+        a.payload[0] = 0xFF;
+        let records = vec![a, b];
+        let ea = PrefixEntry::of(&records, 0);
+        let eb = PrefixEntry::of(&records, 1);
+        assert_eq!(ea.prefix, eb.prefix);
+        assert_eq!(ea.cmp_via(&eb, &records), core::cmp::Ordering::Less);
+        assert_eq!(eb.cmp_via(&ea, &records), core::cmp::Ordering::Greater);
+        assert_eq!(ea.cmp_via(&ea, &records), core::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,213 @@
+//! The QuickSort kernel.
+//!
+//! A classic three-sample-median QuickSort with an insertion-sort finish,
+//! as used by AlphaSort for run formation: "QuickSort is faster because it
+//! is simpler, makes fewer exchanges on average, and has superior address
+//! locality" (§4). Recursing into the smaller side and looping on the
+//! larger bounds stack depth at O(log n) even on adversarial input, so the
+//! N² worst case costs time but never the stack.
+//!
+//! The comparator is a `less` predicate passed by value, letting callers
+//! count comparisons (the experiments do) without any cost when they don't.
+
+/// Below this length insertion sort takes over — cheaper than partitioning
+/// and the paper's point: the tail of the sort runs in the on-chip cache.
+pub const INSERTION_CUTOFF: usize = 24;
+
+/// Sort `v` with the given strict-order predicate (`less(a, b)` ⇔ `a < b`).
+///
+/// Not stable. Run formation does not need stability: record order within
+/// equal keys is free under the benchmark's permutation rule, and the merge
+/// phase restores determinism by breaking ties on run number.
+///
+/// ```
+/// use alphasort_core::kernel::quicksort_by;
+///
+/// let mut v = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+/// let mut compares = 0;
+/// quicksort_by(&mut v, |a, b| { compares += 1; a < b });
+/// assert_eq!(v, [1, 1, 2, 3, 4, 5, 6, 9]);
+/// assert!(compares > 0);
+/// ```
+pub fn quicksort_by<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], mut less: F) {
+    quicksort_rec(v, &mut less);
+}
+
+fn quicksort_rec<T: Copy, F: FnMut(&T, &T) -> bool>(mut v: &mut [T], less: &mut F) {
+    loop {
+        let n = v.len();
+        if n <= INSERTION_CUTOFF {
+            insertion_sort_by(v, less);
+            return;
+        }
+        let p = partition(v, less);
+        // Recurse on the smaller side; loop on the larger.
+        let (lo, hi) = v.split_at_mut(p);
+        let hi = &mut hi[1..]; // pivot already placed
+        if lo.len() < hi.len() {
+            quicksort_rec(lo, less);
+            v = hi;
+        } else {
+            quicksort_rec(hi, less);
+            v = lo;
+        }
+    }
+}
+
+/// Median-of-three pivot selection + Hoare-style partition.
+/// Returns the pivot's final index; everything left is `!less(pivot, x)`.
+fn partition<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) -> usize {
+    let n = v.len();
+    let mid = n / 2;
+    // Sort v[0], v[mid], v[n-1] so the median lands at mid.
+    if less(&v[mid], &v[0]) {
+        v.swap(mid, 0);
+    }
+    if less(&v[n - 1], &v[mid]) {
+        v.swap(n - 1, mid);
+        if less(&v[mid], &v[0]) {
+            v.swap(mid, 0);
+        }
+    }
+    // Move pivot to n-2 (v[n-1] is already ≥ pivot, acting as sentinel).
+    v.swap(mid, n - 2);
+    let pivot = v[n - 2];
+    let mut i = 0;
+    let mut j = n - 2;
+    loop {
+        loop {
+            i += 1;
+            if !less(&v[i], &pivot) {
+                break;
+            }
+        }
+        loop {
+            j -= 1;
+            if !less(&pivot, &v[j]) {
+                break;
+            }
+        }
+        if i >= j {
+            break;
+        }
+        v.swap(i, j);
+    }
+    v.swap(i, n - 2);
+    i
+}
+
+/// Insertion sort (used below [`INSERTION_CUTOFF`] and directly by tests).
+pub fn insertion_sort_by<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && less(&x, &v[j - 1]) {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorts(mut v: Vec<u64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort_by(&mut v, |a, b| a < b);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        check_sorts(vec![]);
+        check_sorts(vec![42]);
+    }
+
+    #[test]
+    fn sorts_small_arrays() {
+        check_sorts(vec![3, 1, 2]);
+        check_sorts(vec![2, 2, 2, 1]);
+        check_sorts((0..INSERTION_CUTOFF as u64).rev().collect());
+    }
+
+    #[test]
+    fn sorts_random_large() {
+        let mut state = 0x12345u64;
+        let v: Vec<u64> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        check_sorts(v);
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse() {
+        check_sorts((0..10_000).collect());
+        check_sorts((0..10_000).rev().collect());
+    }
+
+    #[test]
+    fn sorts_all_equal() {
+        check_sorts(vec![7; 10_000]);
+    }
+
+    #[test]
+    fn sorts_organ_pipe() {
+        let mut v: Vec<u64> = (0..5_000).collect();
+        v.extend((0..5_000).rev());
+        check_sorts(v);
+    }
+
+    #[test]
+    fn sorts_few_distinct_values() {
+        let mut state = 1u64;
+        let v: Vec<u64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state % 3
+            })
+            .collect();
+        check_sorts(v);
+    }
+
+    #[test]
+    fn custom_comparator_reverses() {
+        let mut v = vec![1u64, 5, 3, 2];
+        quicksort_by(&mut v, |a, b| a > b);
+        assert_eq!(v, vec![5, 3, 2, 1]);
+    }
+
+    #[test]
+    fn comparison_count_is_n_log_n_ish() {
+        let mut state = 9u64;
+        let mut v: Vec<u64> = (0..100_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        let mut compares = 0u64;
+        quicksort_by(&mut v, |a, b| {
+            compares += 1;
+            a < b
+        });
+        // n log2 n ≈ 1.66 M for n = 100 k; QuickSort's constant is ~1.4.
+        // Anything under 4 M rules out accidental quadratic behaviour.
+        assert!(compares < 4_000_000, "compares: {compares}");
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deep_adversarial_input_does_not_overflow_stack() {
+        // Sorted input with median-of-3 is fine; a crafted bad case would
+        // recurse deeply if we recursed on both sides. The smaller-side
+        // recursion bounds depth regardless — exercise with sawtooth.
+        let v: Vec<u64> = (0..200_000).map(|i| (i % 2) * 1_000_000 + i).collect();
+        check_sorts(v);
+    }
+}

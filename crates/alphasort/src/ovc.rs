@@ -1,0 +1,296 @@
+//! Offset-value coding (OVC) — the merge technique the paper was evaluating.
+//!
+//! §4: "IBM's DFsort and (apparently) SyncSort use replacement selection in
+//! conjunction with a technique called offset-value coding (OVC). We are
+//! evaluating OVC. … For binary data, like the keys of the Datamation
+//! benchmark, offset value coding will not beat AlphaSort's simpler
+//! key-prefix sort." This module lets that claim be tested.
+//!
+//! The variant implemented codes every run head relative to the **last
+//! emitted record** (the global base): `offset(h)` = length of the common
+//! prefix of `h.key` and the base key. Because every head is ≥ the base,
+//!
+//! * `offset(x) > offset(y)`  ⇒  `x.key < y.key` (no byte compares at all),
+//! * equal offsets compare bytes only from the offset onward.
+//!
+//! When a new base is emitted, other heads' offsets update for free when
+//! they differ from the winner's old offset (`min` rule); only equal-offset
+//! heads need byte inspection, done lazily. [`OvcMerger`] counts the key
+//! bytes it actually examines so experiments can compare against
+//! [`plain_merge_bytes`] — the same merge with whole-key comparisons.
+
+use alphasort_dmgen::{Record, KEY_LEN};
+
+/// Counters for comparison effort during a merge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeEffort {
+    /// Head-to-head comparisons performed.
+    pub compares: u64,
+    /// Individual key bytes examined while comparing.
+    pub key_bytes: u64,
+}
+
+/// K-way merge of sorted record slices using offset-value coding.
+pub struct OvcMerger<'a> {
+    runs: Vec<&'a [Record]>,
+    pos: Vec<usize>,
+    /// Common-prefix length of each head with the current base key.
+    offset: Vec<usize>,
+    base: Option<[u8; KEY_LEN]>,
+    /// Effort counters.
+    pub effort: MergeEffort,
+}
+
+impl<'a> OvcMerger<'a> {
+    /// Start merging `runs` (each key-ascending).
+    ///
+    /// # Panics
+    /// If `runs` is empty.
+    pub fn new(runs: Vec<&'a [Record]>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let pos = vec![0usize; runs.len()];
+        let offset = vec![0usize; runs.len()];
+        OvcMerger {
+            runs,
+            pos,
+            offset,
+            base: None,
+            effort: MergeEffort::default(),
+        }
+    }
+
+    #[inline]
+    fn head(&self, r: usize) -> Option<&'a Record> {
+        self.runs[r].get(self.pos[r])
+    }
+
+    /// Compare live heads `a` and `b` using their codes; returns true if
+    /// `a`'s head is strictly smaller (ties break toward the lower run).
+    fn head_less(&mut self, a: usize, b: usize) -> bool {
+        self.effort.compares += 1;
+        let (oa, ob) = (self.offset[a], self.offset[b]);
+        if oa != ob {
+            // Deeper agreement with the base means a smaller key.
+            return oa > ob;
+        }
+        let ka = self.head(a).expect("live head").key;
+        let kb = self.head(b).expect("live head").key;
+        let mut i = oa;
+        while i < KEY_LEN {
+            self.effort.key_bytes += 2;
+            if ka[i] != kb[i] {
+                // The loser learns nothing reusable here (its code stays
+                // relative to the base, which is unchanged), but the byte
+                // scan was confined to the uncoded suffix.
+                return ka[i] < kb[i];
+            }
+            i += 1;
+        }
+        a < b
+    }
+
+    /// Pop the next record in global key order, `None` when done.
+    pub fn next_record(&mut self) -> Option<Record> {
+        let k = self.runs.len();
+        let mut winner: Option<usize> = None;
+        for r in 0..k {
+            if self.head(r).is_none() {
+                continue;
+            }
+            winner = Some(match winner {
+                None => r,
+                Some(w) => {
+                    if self.head_less(r, w) {
+                        r
+                    } else {
+                        w
+                    }
+                }
+            });
+        }
+        let w = winner?;
+        let out = *self.head(w).expect("winner head");
+        let w_off = self.offset[w];
+        self.pos[w] += 1;
+
+        // Re-code every other live head against the new base.
+        for r in 0..k {
+            if r == w || self.head(r).is_none() {
+                continue;
+            }
+            let o = self.offset[r];
+            if o != w_off {
+                // lcp(h, new_base) = min(lcp(h, old_base), lcp(w, old_base)).
+                self.offset[r] = o.min(w_off);
+            } else {
+                // Equal offsets: extend by scanning (lazy, but done here for
+                // simplicity; bytes counted honestly).
+                let hk = self.head(r).expect("live head").key;
+                let mut i = o;
+                while i < KEY_LEN {
+                    self.effort.key_bytes += 1;
+                    if hk[i] != out.key[i] {
+                        break;
+                    }
+                    i += 1;
+                }
+                self.offset[r] = i;
+            }
+        }
+        // The winner's successor codes against the record just emitted.
+        if let Some(next) = self.head(w) {
+            let mut i = 0;
+            while i < KEY_LEN {
+                self.effort.key_bytes += 1;
+                if next.key[i] != out.key[i] {
+                    break;
+                }
+                i += 1;
+            }
+            self.offset[w] = i;
+        }
+        self.base = Some(out.key);
+        out.into()
+    }
+}
+
+/// The same scan-based K-way merge with plain whole-key comparisons,
+/// returning the output and the effort — the baseline OVC is judged against.
+pub fn plain_merge_bytes(runs: Vec<&[Record]>) -> (Vec<Record>, MergeEffort) {
+    assert!(!runs.is_empty());
+    let mut pos = vec![0usize; runs.len()];
+    let mut effort = MergeEffort::default();
+    let mut out = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+    loop {
+        let mut winner: Option<usize> = None;
+        for r in 0..runs.len() {
+            if pos[r] >= runs[r].len() {
+                continue;
+            }
+            winner = Some(match winner {
+                None => r,
+                Some(w) => {
+                    effort.compares += 1;
+                    let ka = &runs[r][pos[r]].key;
+                    let kb = &runs[w][pos[w]].key;
+                    let mut less = r < w; // tie → lower run
+                    for i in 0..KEY_LEN {
+                        effort.key_bytes += 2;
+                        if ka[i] != kb[i] {
+                            less = ka[i] < kb[i];
+                            break;
+                        }
+                    }
+                    if less {
+                        r
+                    } else {
+                        w
+                    }
+                }
+            });
+        }
+        match winner {
+            None => break,
+            Some(w) => {
+                out.push(runs[w][pos[w]]);
+                pos[w] += 1;
+            }
+        }
+    }
+    (out, effort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution};
+
+    fn sorted_runs(n: u64, per: usize, dist: KeyDistribution) -> Vec<Vec<Record>> {
+        let (data, _) = generate(GenConfig {
+            records: n,
+            seed: 0x0FC,
+            dist,
+        });
+        records_of(&data)
+            .chunks(per)
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_by_key(|a| a.key);
+                v
+            })
+            .collect()
+    }
+
+    fn collect_ovc(runs: &[Vec<Record>]) -> (Vec<Record>, MergeEffort) {
+        let mut m = OvcMerger::new(runs.iter().map(|r| r.as_slice()).collect());
+        let mut out = Vec::new();
+        while let Some(r) = m.next_record() {
+            out.push(r);
+        }
+        (out, m.effort)
+    }
+
+    #[test]
+    fn ovc_merge_is_correct() {
+        let runs = sorted_runs(3_000, 400, KeyDistribution::Random);
+        let (out, _) = collect_ovc(&runs);
+        assert_eq!(out.len(), 3_000);
+        assert!(out.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn ovc_matches_plain_merge_output() {
+        for dist in [
+            KeyDistribution::Random,
+            KeyDistribution::DupHeavy { cardinality: 4 },
+            KeyDistribution::CommonPrefix { shared: 6 },
+            KeyDistribution::Sorted,
+        ] {
+            let runs = sorted_runs(1_200, 150, dist);
+            let (ovc_out, _) = collect_ovc(&runs);
+            let (plain_out, _) = plain_merge_bytes(runs.iter().map(|r| r.as_slice()).collect());
+            let ka: Vec<_> = ovc_out.iter().map(|r| r.key).collect();
+            let kb: Vec<_> = plain_out.iter().map(|r| r.key).collect();
+            assert_eq!(ka, kb, "dist {dist:?}");
+        }
+    }
+
+    #[test]
+    fn ovc_saves_bytes_on_common_prefix_keys() {
+        // Keys share 6 leading bytes: plain compares burn through them every
+        // time; OVC codes them away.
+        let runs = sorted_runs(4_000, 250, KeyDistribution::CommonPrefix { shared: 6 });
+        let (_, ovc) = collect_ovc(&runs);
+        let (_, plain) = plain_merge_bytes(runs.iter().map(|r| r.as_slice()).collect());
+        assert!(
+            ovc.key_bytes * 2 < plain.key_bytes,
+            "ovc {} vs plain {}",
+            ovc.key_bytes,
+            plain.key_bytes
+        );
+    }
+
+    #[test]
+    fn paper_claim_random_binary_keys_gain_little() {
+        // §4: "For binary data … offset value coding will not beat
+        // AlphaSort's simpler key-prefix sort." With uniform random keys the
+        // first byte usually differs, so savings should be modest per
+        // compare (most compares already stop after ~1 byte).
+        let runs = sorted_runs(4_000, 250, KeyDistribution::Random);
+        let (_, ovc) = collect_ovc(&runs);
+        let (_, plain) = plain_merge_bytes(runs.iter().map(|r| r.as_slice()).collect());
+        let plain_per = plain.key_bytes as f64 / plain.compares as f64;
+        // Random bytes: expected ~2.016 bytes per plain compare (pairs).
+        assert!(plain_per < 3.0, "plain per-compare bytes {plain_per}");
+        // OVC's *relative* advantage is therefore bounded on this data.
+        assert!(ovc.key_bytes as f64 > plain.key_bytes as f64 * 0.1);
+    }
+
+    #[test]
+    fn single_run_passthrough() {
+        let runs = sorted_runs(100, 100, KeyDistribution::Random);
+        let (out, effort) = collect_ovc(&runs);
+        assert_eq!(out.len(), 100);
+        assert_eq!(effort.compares, 0); // one live head, never compared
+    }
+}

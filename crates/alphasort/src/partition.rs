@@ -1,0 +1,134 @@
+//! The distributive partition sort the paper speculates about (§4 fn. 1):
+//!
+//! "A distributive sort that partitions the key-pairs into 256 buckets
+//! based on the first byte of the key would eliminate 8 of the 20 compares
+//! needed for a 100 MB sort. Such a partition sort might beat AlphaSort's
+//! simple QuickSort."
+//!
+//! [`partition_order`] implements it: one counting pass over the first key
+//! byte, a scatter of the (prefix, pointer) entries into their buckets, and
+//! a QuickSort per bucket. The `exp_variants` ablation measures it against
+//! plain key-prefix QuickSort.
+
+use alphasort_dmgen::records_of;
+
+use crate::entry::PrefixEntry;
+use crate::kernel::quicksort_by;
+
+/// Number of buckets (one per possible first key byte).
+pub const BUCKETS: usize = 256;
+
+/// Sort a record buffer by 256-way first-byte partitioning + per-bucket
+/// key-prefix QuickSort. Returns the sorted index permutation.
+///
+/// # Panics
+/// If `buf.len()` is not a multiple of the record length.
+pub fn partition_order(buf: &[u8]) -> Vec<u32> {
+    let records = records_of(buf);
+    let n = records.len();
+
+    // Counting pass: histogram of first key bytes.
+    let mut counts = [0usize; BUCKETS];
+    for r in records {
+        counts[r.key[0] as usize] += 1;
+    }
+    let mut starts = [0usize; BUCKETS];
+    let mut acc = 0;
+    for b in 0..BUCKETS {
+        starts[b] = acc;
+        acc += counts[b];
+    }
+
+    // Scatter entries into bucket order.
+    let mut entries = vec![PrefixEntry { prefix: 0, idx: 0 }; n];
+    let mut cursors = starts;
+    for (i, r) in records.iter().enumerate() {
+        let b = r.key[0] as usize;
+        entries[cursors[b]] = PrefixEntry {
+            prefix: r.prefix(),
+            idx: i as u32,
+        };
+        cursors[b] += 1;
+    }
+
+    // Per-bucket QuickSort. Every entry in a bucket shares its first byte,
+    // so prefix comparisons resolve on the remaining seven prefix bytes.
+    for b in 0..BUCKETS {
+        let lo = starts[b];
+        let hi = lo + counts[b];
+        quicksort_by(&mut entries[lo..hi], |a, e| {
+            if a.prefix != e.prefix {
+                a.prefix < e.prefix
+            } else {
+                records[a.idx as usize].key < records[e.idx as usize].key
+            }
+        });
+    }
+    entries.into_iter().map(|e| e.idx).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runform::key_prefix_order;
+    use alphasort_dmgen::{generate, GenConfig, KeyDistribution};
+
+    fn data(n: u64, dist: KeyDistribution) -> Vec<u8> {
+        generate(GenConfig {
+            records: n,
+            seed: 0xBCCB,
+            dist,
+        })
+        .0
+    }
+
+    #[test]
+    fn produces_sorted_order() {
+        let buf = data(5_000, KeyDistribution::Random);
+        let order = partition_order(&buf);
+        let records = records_of(&buf);
+        assert_eq!(order.len(), 5_000);
+        for w in order.windows(2) {
+            assert!(records[w[0] as usize].key <= records[w[1] as usize].key);
+        }
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let buf = data(1_000, KeyDistribution::Random);
+        let mut order = partition_order(&buf);
+        order.sort_unstable();
+        assert!(order.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn agrees_with_key_prefix_sort_on_keys() {
+        let buf = data(2_000, KeyDistribution::Random);
+        let records = records_of(&buf);
+        let a: Vec<[u8; 10]> = partition_order(&buf)
+            .iter()
+            .map(|&i| records[i as usize].key)
+            .collect();
+        let b: Vec<[u8; 10]> = key_prefix_order(&buf)
+            .iter()
+            .map(|&i| records[i as usize].key)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_first_byte_all_in_one_bucket() {
+        // Common first byte defeats the partition but must stay correct.
+        let buf = data(1_500, KeyDistribution::CommonPrefix { shared: 3 });
+        let order = partition_order(&buf);
+        let records = records_of(&buf);
+        for w in order.windows(2) {
+            assert!(records[w[0] as usize].key <= records[w[1] as usize].key);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(partition_order(&[]).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Phase timing and counters for a sort run.
+//!
+//! The paper reports a phase-by-phase walk-through (§7) and a "where the
+//! time goes" breakdown (Figure 7); [`SortStats`] captures the same
+//! decomposition so experiments can print it.
+
+use std::time::{Duration, Instant};
+
+/// Timings and counters accumulated over one external sort.
+#[derive(Clone, Debug, Default)]
+pub struct SortStats {
+    /// Records sorted.
+    pub records: u64,
+    /// Number of runs formed.
+    pub runs: u64,
+    /// Lengths of the formed runs, in records.
+    pub run_lengths: Vec<u64>,
+    /// Wall time spent reading input (blocked on the source).
+    pub read_wait: Duration,
+    /// Wall time spent in run formation (QuickSort / entry extraction).
+    pub sort_time: Duration,
+    /// Wall time spent merging pointers.
+    pub merge_time: Duration,
+    /// Wall time spent gathering records into output buffers.
+    pub gather_time: Duration,
+    /// Wall time spent writing output (blocked on the sink).
+    pub write_wait: Duration,
+    /// Wall time for the whole sort, launch to completion.
+    pub elapsed: Duration,
+    /// For two-pass sorts: time writing and reading back scratch runs.
+    pub spill_time: Duration,
+    /// Whether the sort ran in one pass.
+    pub one_pass: bool,
+    /// Intermediate cascade merge passes performed (0 unless the run count
+    /// exceeded the configured merge fan-in).
+    pub merge_passes: u32,
+}
+
+impl SortStats {
+    /// Average run length in records (0 when no runs).
+    pub fn avg_run_len(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.runs as f64
+        }
+    }
+
+    /// Sort throughput in MB/s over total elapsed time.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.records as f64 * alphasort_dmgen::RECORD_LEN as f64 / 1e6 / secs
+    }
+}
+
+/// Tiny helper: time a closure, adding its duration to `slot`.
+pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    *slot += t0.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut d = Duration::ZERO;
+        let x = timed(&mut d, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(x, 42);
+        assert!(d >= Duration::from_millis(4));
+        timed(&mut d, || ());
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let st = SortStats {
+            records: 1000,
+            runs: 10,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert_eq!(st.avg_run_len(), 100.0);
+        assert!((st.throughput_mbps() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let st = SortStats::default();
+        assert_eq!(st.avg_run_len(), 0.0);
+        assert_eq!(st.throughput_mbps(), 0.0);
+    }
+}

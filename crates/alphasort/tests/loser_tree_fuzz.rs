@@ -1,0 +1,103 @@
+//! The loser tree fuzzed against `BinaryHeap`: for arbitrary leaf counts
+//! and value streams, a tournament-driven merge must produce exactly what a
+//! heap-driven merge produces. This is the structure both the merge phase
+//! and replacement-selection stand on, so it gets its own adversarial file.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use alphasort_core::rs::LoserTree;
+use proptest::prelude::*;
+
+/// Merge `lists` (each ascending) with the loser tree.
+fn merge_with_tree(lists: &[Vec<u32>]) -> Vec<u32> {
+    let k = lists.len();
+    let mut pos = vec![0usize; k];
+    let less = |pos: &Vec<usize>, a: usize, b: usize| -> bool {
+        match (lists[a].get(pos[a]), lists[b].get(pos[b])) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(x), Some(y)) => (x, a) < (y, b),
+        }
+    };
+    let mut tree = LoserTree::new(k, |a, b| less(&pos, a, b));
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let w = tree.winner();
+        out.push(lists[w][pos[w]]);
+        pos[w] += 1;
+        tree.replay(|a, b| less(&pos, a, b));
+    }
+    out
+}
+
+/// Merge `lists` with a binary heap (the reference).
+fn merge_with_heap(lists: &[Vec<u32>]) -> Vec<u32> {
+    let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.first().map(|&v| Reverse((v, i, 0))))
+        .collect();
+    let mut out = Vec::new();
+    while let Some(Reverse((v, list, idx))) = heap.pop() {
+        out.push(v);
+        if let Some(&next) = lists[list].get(idx + 1) {
+            heap.push(Reverse((next, list, idx + 1)));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Tree merge ≡ heap merge for arbitrary sorted inputs, including empty
+    /// lists, duplicate values, and non-power-of-two fan-ins.
+    #[test]
+    fn loser_tree_merge_equals_heap_merge(
+        mut lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 0..50),
+            1..17,
+        ),
+    ) {
+        for l in &mut lists {
+            l.sort_unstable();
+        }
+        prop_assert_eq!(merge_with_tree(&lists), merge_with_heap(&lists));
+    }
+
+    /// The winner is always a minimal live leaf, at every step.
+    #[test]
+    fn winner_is_always_minimal(
+        mut lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..100, 1..20),
+            2..9,
+        ),
+    ) {
+        for l in &mut lists {
+            l.sort_unstable();
+        }
+        let k = lists.len();
+        let mut pos = vec![0usize; k];
+        let less = |pos: &Vec<usize>, a: usize, b: usize| -> bool {
+            match (lists[a].get(pos[a]), lists[b].get(pos[b])) {
+                (None, _) => false,
+                (Some(_), None) => true,
+                (Some(x), Some(y)) => (x, a) < (y, b),
+            }
+        };
+        let mut tree = LoserTree::new(k, |a, b| less(&pos, a, b));
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        for _ in 0..total {
+            let w = tree.winner();
+            let wv = lists[w][pos[w]];
+            let min_live = (0..k)
+                .filter_map(|i| lists[i].get(pos[i]))
+                .min()
+                .copied()
+                .expect("some leaf is live");
+            prop_assert_eq!(wv, min_live);
+            pos[w] += 1;
+            tree.replay(|a, b| less(&pos, a, b));
+        }
+    }
+}

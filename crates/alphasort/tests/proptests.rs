@@ -1,0 +1,166 @@
+//! Property tests for the sort core: every driver and representation must
+//! produce a sorted permutation for arbitrary inputs and configurations.
+
+use alphasort_core::driver::{one_pass, two_pass, MemScratch};
+use alphasort_core::io::{MemSink, MemSource};
+use alphasort_core::rs::generate_runs;
+use alphasort_core::runform::{form_run, Representation};
+use alphasort_core::{SortConfig, SortStats};
+use alphasort_dmgen::{
+    generate, records_of, validate_records, GenConfig, KeyDistribution, Record, RECORD_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_dist() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Random),
+        Just(KeyDistribution::RandomPrintable),
+        Just(KeyDistribution::Sorted),
+        Just(KeyDistribution::Reverse),
+        (1u32..32).prop_map(|c| KeyDistribution::DupHeavy { cardinality: c }),
+        (0u8..=10).prop_map(|s| KeyDistribution::CommonPrefix { shared: s }),
+        (0u16..=1000).prop_map(|p| KeyDistribution::NearlySorted { permille: p }),
+    ]
+}
+
+fn arb_rep() -> impl Strategy<Value = Representation> {
+    prop_oneof![
+        Just(Representation::Record),
+        Just(Representation::Pointer),
+        Just(Representation::Key),
+        Just(Representation::KeyPrefix),
+        Just(Representation::Codeword),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One-pass sort: sorted permutation for arbitrary everything.
+    #[test]
+    fn one_pass_sorts_anything(
+        n in 0u64..1_200,
+        seed in any::<u64>(),
+        dist in arb_dist(),
+        rep in arb_rep(),
+        run_records in 1usize..400,
+        gather_batch in 1usize..200,
+        workers in 0usize..4,
+        chunk in 1usize..5_000,
+    ) {
+        let (data, cs) = generate(GenConfig { records: n, seed, dist });
+        let mut source = MemSource::new(data, chunk);
+        let mut sink = MemSink::new();
+        let cfg = SortConfig {
+            run_records,
+            representation: rep,
+            workers,
+            gather_batch,
+            ..Default::default()
+        };
+        let outcome = one_pass(&mut source, &mut sink, &cfg).unwrap();
+        prop_assert_eq!(outcome.stats.records, n);
+        let report = validate_records(sink.data(), cs).unwrap();
+        prop_assert_eq!(report.records, n);
+    }
+
+    /// Two-pass sort: same contract, through scratch.
+    #[test]
+    fn two_pass_sorts_anything(
+        n in 0u64..800,
+        seed in any::<u64>(),
+        dist in arb_dist(),
+        rep in arb_rep(),
+        run_records in 1usize..200,
+        gather_batch in 1usize..100,
+        chunk in 1usize..3_000,
+        workers in 0usize..3,
+        max_fanin in 2usize..12,
+    ) {
+        let (data, cs) = generate(GenConfig { records: n, seed, dist });
+        let mut source = MemSource::new(data, chunk);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(16 * RECORD_LEN);
+        let cfg = SortConfig {
+            run_records,
+            representation: rep,
+            gather_batch,
+            workers,
+            max_fanin,
+            ..Default::default()
+        };
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        prop_assert_eq!(outcome.stats.records, n);
+        let report = validate_records(sink.data(), cs).unwrap();
+        prop_assert_eq!(report.records, n);
+    }
+
+    /// Replacement-selection runs concatenate to the input multiset and
+    /// each run is sorted, for any capacity.
+    #[test]
+    fn replacement_selection_invariants(
+        n in 0u64..600,
+        seed in any::<u64>(),
+        dist in arb_dist(),
+        capacity in 1usize..100,
+    ) {
+        let (data, _) = generate(GenConfig { records: n, seed, dist });
+        let input = records_of(&data);
+        let runs = generate_runs(input, capacity);
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total as u64, n);
+        for run in &runs {
+            prop_assert!(run.windows(2).all(|w| w[0].key <= w[1].key));
+        }
+        // Multiset equality via sorted key+seq list.
+        let mut a: Vec<(Vec<u8>, u64)> =
+            input.iter().map(|r| (r.key.to_vec(), r.seq())).collect();
+        let mut b: Vec<(Vec<u8>, u64)> = runs
+            .iter()
+            .flatten()
+            .map(|r| (r.key.to_vec(), r.seq()))
+            .collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// form_run agrees with the standard-library sort for every
+    /// representation.
+    #[test]
+    fn run_formation_matches_std_sort(
+        n in 0u64..500,
+        seed in any::<u64>(),
+        dist in arb_dist(),
+        rep in arb_rep(),
+    ) {
+        let (data, _) = generate(GenConfig { records: n, seed, dist });
+        let mut expect: Vec<Record> = records_of(&data).to_vec();
+        expect.sort_by_key(|a| a.key);
+        let run = form_run(data, rep);
+        let got: Vec<[u8; 10]> = run.iter_sorted().map(|r| r.key).collect();
+        let want: Vec<[u8; 10]> = expect.iter().map(|r| r.key).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Sanity: stats plumbed through a real run.
+#[test]
+fn stats_are_populated() {
+    let (data, _) = generate(GenConfig::datamation(5_000, 1));
+    let mut source = MemSource::new(data, 100 * RECORD_LEN);
+    let mut sink = MemSink::new();
+    let cfg = SortConfig {
+        run_records: 1_000,
+        gather_batch: 500,
+        workers: 2,
+        ..Default::default()
+    };
+    let outcome = one_pass(&mut source, &mut sink, &cfg).unwrap();
+    let st: &SortStats = &outcome.stats;
+    assert_eq!(st.runs, 5);
+    assert_eq!(st.avg_run_len(), 1_000.0);
+    assert!(st.elapsed.as_nanos() > 0);
+    assert!(st.sort_time.as_nanos() > 0);
+    assert!(st.one_pass);
+}

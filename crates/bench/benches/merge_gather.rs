@@ -1,0 +1,107 @@
+//! Criterion bench: the merge phase — tournament merge of (key-prefix,
+//! pointer) runs, the record gather, and the OVC-vs-plain merge ablation.
+//! The paper: "More time is spent gathering the records than is consumed in
+//! creating, sorting and merging the key-prefix/pointer pairs."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use alphasort_core::gather::merge_gather_all;
+use alphasort_core::merge::{MergedPtr, RunMerger};
+use alphasort_core::ovc::{plain_merge_bytes, OvcMerger};
+use alphasort_core::runform::{form_run, Representation, SortedRun};
+use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution, Record, RECORD_LEN};
+
+fn make_runs(n: u64, per_run: usize) -> Vec<SortedRun> {
+    let (data, _) = generate(GenConfig::datamation(n, 3));
+    data.chunks(per_run * RECORD_LEN)
+        .map(|c| form_run(c.to_vec(), Representation::KeyPrefix))
+        .collect()
+}
+
+fn bench_merge_and_gather(c: &mut Criterion) {
+    let n = 100_000u64;
+    let runs = make_runs(n, 10_000); // 10 runs, the paper's "typically ten"
+    let mut g = c.benchmark_group("merge_phase");
+    g.throughput(Throughput::Bytes(n * RECORD_LEN as u64));
+    g.sample_size(10);
+
+    g.bench_function("merge_only", |b| {
+        b.iter(|| {
+            let ptrs: Vec<MergedPtr> = RunMerger::new(&runs).collect();
+            black_box(ptrs)
+        });
+    });
+    g.bench_function("merge_plus_gather", |b| {
+        b.iter(|| black_box(merge_gather_all(&runs)));
+    });
+    g.finish();
+}
+
+fn bench_merge_fanin(c: &mut Criterion) {
+    // Fan-in sweep: "in a one-pass sort there are typically between ten and
+    // one hundred runs".
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("merge_fanin");
+    g.sample_size(10);
+    for fanin in [2usize, 10, 100] {
+        let runs = make_runs(n, (n as usize).div_ceil(fanin));
+        g.bench_with_input(BenchmarkId::from_parameter(fanin), &runs, |b, runs| {
+            b.iter(|| {
+                let ptrs: Vec<MergedPtr> = RunMerger::new(runs).collect();
+                black_box(ptrs)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ovc(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("ovc_vs_plain_merge");
+    g.sample_size(10);
+    for (label, dist) in [
+        ("random", KeyDistribution::Random),
+        ("common-prefix", KeyDistribution::CommonPrefix { shared: 6 }),
+    ] {
+        let (data, _) = generate(GenConfig {
+            records: n,
+            seed: 5,
+            dist,
+        });
+        let runs: Vec<Vec<Record>> = records_of(&data)
+            .chunks(10_000)
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_by_key(|a| a.key);
+                v
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("plain", label), &runs, |b, runs| {
+            b.iter(|| {
+                let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
+                black_box(plain_merge_bytes(refs))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ovc", label), &runs, |b, runs| {
+            b.iter(|| {
+                let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
+                let mut m = OvcMerger::new(refs);
+                let mut count = 0u64;
+                while m.next_record().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_and_gather,
+    bench_merge_fanin,
+    bench_ovc
+);
+criterion_main!(benches);

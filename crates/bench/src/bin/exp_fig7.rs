@@ -1,0 +1,101 @@
+//! Figure 7: where the time goes in the 9-second uniprocessor sort.
+//!
+//! Two views: the paper's hardware-monitor pie (reference constants), and
+//! a reconstruction from this reproduction — the analytic phase model for
+//! elapsed-time components plus the trace-driven cache simulator for the
+//! processor-stall split.
+
+use alphasort_cachesim::{
+    traced_gather, traced_quicksort, CycleModel, Hierarchy, QuickSortVariant,
+};
+use alphasort_perfmodel::machines::table8;
+use alphasort_perfmodel::phase::{datamation_model, figure7_paper};
+use alphasort_perfmodel::table::Table;
+
+fn main() {
+    println!("== Figure 7 (paper's hardware monitor, DEC 10000/7000 AXP) ==\n");
+    let mut t = Table::new(["component", "fraction"]);
+    for s in figure7_paper() {
+        t.row([
+            s.component.to_string(),
+            format!("{:.0}%", s.fraction * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n== reconstruction: elapsed-time phases (analytic model) ==\n");
+    let m = &table8()[2]; // the 1-cpu DEC 7000 of the §7 walk-through
+    let b = datamation_model(m, 100.0);
+    let mut t2 = Table::new(["phase", "seconds", "share"]);
+    let total = b.total();
+    for (label, secs) in [
+        ("startup (load, opens, creates)", b.startup),
+        ("read ∥ quicksort", b.read_phase),
+        ("last-run sort", b.last_run_sort),
+        ("write ∥ merge+gather", b.write_phase),
+        ("shutdown (closes, return)", b.shutdown),
+    ] {
+        t2.row([
+            label.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.0}%", secs / total * 100.0),
+        ]);
+    }
+    t2.row([
+        "total".to_string(),
+        format!("{total:.2}"),
+        "100%".to_string(),
+    ]);
+    print!("{}", t2.render());
+
+    println!("\n== reconstruction: processor stall split (cache simulator) ==\n");
+    // Trace the two CPU-heavy kernels of the sort at 1/10 scale and apply
+    // the cycle model to split issue vs stall.
+    let n = 100_000;
+    let mut mem = Hierarchy::alpha_axp();
+    traced_quicksort(n, 7, QuickSortVariant::KeyPrefix, &mut mem);
+    traced_gather(n, 7, &mut mem);
+    let stats = mem.stats();
+    // Issue weight per data access from the paper's instruction mix: loads
+    // + stores are 27% of instructions, so each access carries ~2.7
+    // companions; at the measured dual-issue rate (>40% of instructions
+    // dual-issued) that is ~2.6 issue cycles per access.
+    let cm = CycleModel {
+        issue: 2.6,
+        ..CycleModel::default()
+    };
+    let cycles = cm.cycles(&stats);
+    let issue = stats.accesses as f64 * cm.issue / cycles;
+    let d_to_b = stats.d_misses.saturating_sub(stats.b_misses) as f64 * cm.d_miss / cycles;
+    let b_to_mem = stats.b_misses as f64 * cm.b_miss / cycles;
+    let tlb = stats.tlb_misses as f64 * cm.tlb_miss / cycles;
+
+    let mut t3 = Table::new(["component", "modeled", "paper"]);
+    t3.row([
+        "issuing".to_string(),
+        format!("{:.0}%", issue * 100.0),
+        "29%".to_string(),
+    ]);
+    t3.row([
+        "D-stream stall, D-to-B".to_string(),
+        format!("{:.0}%", d_to_b * 100.0),
+        "12%".to_string(),
+    ]);
+    t3.row([
+        "D-stream stall, B-to-memory".to_string(),
+        format!("{:.0}%", b_to_mem * 100.0),
+        "44%".to_string(),
+    ]);
+    t3.row([
+        "TLB fill (PAL)".to_string(),
+        format!("{:.0}%", tlb * 100.0),
+        "~9% PAL".to_string(),
+    ]);
+    print!("{}", t3.render());
+    println!(
+        "\nShape check: \"Even though AlphaSort spends GREAT effort on efficient\n\
+         use of cache, the processor spends most of its time waiting for\n\
+         memory\" — the modeled stall fraction is {:.0}%.",
+        (1.0 - issue) * 100.0
+    );
+}

@@ -1,0 +1,84 @@
+//! §8 MinuteSort: how much can you sort in a minute?
+//!
+//! Three readings: the paper's 1993 result, the analytic model of the same
+//! 3-cpu 36-disk DEC 7000, and a host-measured point (in-memory sorts grown
+//! until a scaled budget is exceeded, then extrapolated to a minute).
+
+use std::time::Instant;
+
+use alphasort_bench::host_sort;
+use alphasort_core::SortConfig;
+use alphasort_dmgen::RECORD_LEN;
+use alphasort_perfmodel::machines::minutesort_machine;
+use alphasort_perfmodel::metrics::minutesort;
+use alphasort_perfmodel::phase::datamation_model;
+use alphasort_perfmodel::table::Table;
+
+fn main() {
+    let budget: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6.0);
+    let m = minutesort_machine();
+
+    println!("== MinuteSort (§8) ==\n");
+
+    // Model: how many MB fit in 60 s on the paper's machine?
+    let mut mb = 100.0f64;
+    while datamation_model(&m, mb).total() < 60.0 {
+        mb += 10.0;
+    }
+    let modeled = minutesort(m.system_price, (mb * 1e6) as u64);
+
+    // Host: grow until the (scaled) budget busts, extrapolate to a minute.
+    let workers = std::thread::available_parallelism()
+        .map(|n| (n.get() - 1).min(4))
+        .unwrap_or(0);
+    let cfg = SortConfig {
+        run_records: 250_000,
+        workers,
+        gather_batch: 20_000,
+        ..Default::default()
+    };
+    let mut records = 250_000u64;
+    let mut best_rate = 0.0f64; // bytes per second
+    loop {
+        let t0 = Instant::now();
+        let st = host_sort(records, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(st.records, records);
+        best_rate = best_rate.max(records as f64 * RECORD_LEN as f64 / dt);
+        if dt > budget || records > 64_000_000 {
+            break;
+        }
+        records *= 2;
+    }
+    let host_minute_bytes = best_rate * 60.0;
+    let host = minutesort(m.system_price, host_minute_bytes as u64);
+    let paper = minutesort(m.system_price, 1_080_000_000);
+
+    let mut t = Table::new(["entry", "GB/minute", "minute cost", "$/GB"]);
+    t.row([
+        "paper (DEC 7000, 3 cpu, 36 disks, 1993)".to_string(),
+        format!("{:.2}", paper.sorted_gb),
+        format!("{:.2}$", paper.minute_cost),
+        format!("{:.2}$", paper.dollars_per_gb),
+    ]);
+    t.row([
+        "analytic model of the same machine".to_string(),
+        format!("{:.2}", modeled.sorted_gb),
+        format!("{:.2}$", modeled.minute_cost),
+        format!("{:.2}$", modeled.dollars_per_gb),
+    ]);
+    t.row([
+        format!("host, extrapolated from a {budget:.0}-s budget"),
+        format!("{:.2}", host.sorted_gb),
+        format!("{:.2}$ (at 1993 price)", host.minute_cost),
+        format!("{:.2}$", host.dollars_per_gb),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\npaper: \"A three-processor DEC 7000 AXP sorted 1.08 GB in a minute …\n\
+         the 1.1 GB MinuteSort would cost 51 cents … 0.47$/GB.\""
+    );
+}

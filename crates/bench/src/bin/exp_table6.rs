@@ -1,0 +1,75 @@
+//! Table 6: the two disk arrays — many-slow (36 RZ26, 9 SCSI) vs few-fast
+//! (12 RZ28 on fast SCSI + 6 IPI on Genroco). Stripe rates come from the
+//! simulated arrays; prices and capacities from the catalog.
+
+use alphasort_bench::{few_fast_array, many_slow_array, modeled_stripe_rates};
+use alphasort_perfmodel::table::Table;
+
+fn main() {
+    println!("== Table 6: two different disk arrays ==\n");
+    let slow = many_slow_array();
+    let fast = few_fast_array();
+    let (slow_r, slow_w) = modeled_stripe_rates(&slow, 100);
+    let (fast_r, fast_w) = modeled_stripe_rates(&fast, 100);
+
+    let mut t = Table::new([
+        "",
+        "many-slow RAID",
+        "few-fast RAID",
+        "paper (slow)",
+        "paper (fast)",
+    ]);
+    t.row([
+        "drives".to_string(),
+        format!("{} RZ26", slow.width()),
+        "12 RZ28 + 6 Velocitor".to_string(),
+        "36 RZ26".to_string(),
+        "12 RZ28 + 6 Velocitor".to_string(),
+    ]);
+    t.row([
+        "controllers".to_string(),
+        format!("{} SCSI", slow.controllers().len()),
+        "4 SCSI + 3 IPI-Genroco".to_string(),
+        "9 SCSI (kzmsa)".to_string(),
+        "4 SCSI + 3 IPI-Genroco".to_string(),
+    ]);
+    t.row([
+        "capacity".to_string(),
+        format!("{:.0} GB", slow.capacity_gb()),
+        format!("{:.0} GB", fast.capacity_gb()),
+        "36 GB".to_string(),
+        "36 GB".to_string(),
+    ]);
+    t.row([
+        "stripe read rate".to_string(),
+        format!("{slow_r:.0} MB/s"),
+        format!("{fast_r:.0} MB/s"),
+        "64 MB/s".to_string(),
+        "52 MB/s".to_string(),
+    ]);
+    t.row([
+        "stripe write rate".to_string(),
+        format!("{slow_w:.0} MB/s"),
+        format!("{fast_w:.0} MB/s"),
+        "49 MB/s".to_string(),
+        "39 MB/s".to_string(),
+    ]);
+    t.row([
+        "list price".to_string(),
+        format!("{:.0} k$", slow.price_dollars() / 1e3),
+        format!("{:.0} k$", fast.price_dollars() / 1e3),
+        "85 k$".to_string(),
+        "122 k$".to_string(),
+    ]);
+    print!("{}", t.render());
+
+    println!(
+        "\nShape check: \"The many-slow array has slightly better performance\n\
+         and price performance for the same storage capacity\" — modeled\n\
+         {:.0} > {:.0} MB/s read at {:.0} < {:.0} k$.",
+        slow_r,
+        fast_r,
+        slow.price_dollars() / 1e3,
+        fast.price_dollars() / 1e3
+    );
+}

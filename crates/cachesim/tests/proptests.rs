@@ -1,0 +1,191 @@
+//! Property tests for the cache model: the set-associative simulator must
+//! agree with a naive reference implementation, and the hierarchy's
+//! counters must obey their structural invariants.
+
+use alphasort_cachesim::{
+    traced_gather, traced_merge, traced_quicksort, traced_tournament_sort, Cache, CacheConfig,
+    Hierarchy, QuickSortVariant, TournamentLayout,
+};
+use proptest::prelude::*;
+
+/// A deliberately naive LRU cache to check the real one against.
+struct ReferenceCache {
+    line: u64,
+    sets: usize,
+    ways: usize,
+    /// Per set: (tag, last-use tick).
+    contents: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+}
+
+impl ReferenceCache {
+    fn new(cfg: CacheConfig) -> Self {
+        ReferenceCache {
+            line: cfg.line as u64,
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            contents: vec![Vec::new(); cfg.sets()],
+            tick: 0,
+        }
+    }
+
+    fn access_line(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let tag = addr / self.line;
+        let set = &mut self.contents[(tag % self.sets as u64) as usize];
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.tick;
+            return true;
+        }
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            set.remove(lru);
+        }
+        set.push((tag, self.tick));
+        false
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (1usize..=4, 0usize..=3, 1usize..=4).prop_map(|(line_pow, sets_pow, ways)| {
+        let line = 1usize << (line_pow + 2); // 8..64
+        let sets = 1usize << sets_pow; // 1..8
+        CacheConfig {
+            size: line * sets * ways,
+            line,
+            ways,
+        }
+    })
+}
+
+proptest! {
+    /// Hit/miss sequence matches the reference exactly, access by access.
+    #[test]
+    fn cache_matches_reference_lru(
+        cfg in arb_config(),
+        addrs in proptest::collection::vec(0u64..1_024, 1..300),
+    ) {
+        let mut real = Cache::new(cfg);
+        let mut reference = ReferenceCache::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = real.access_line(a);
+            let e = reference.access_line(a);
+            prop_assert_eq!(r, e, "access #{} (addr {}) diverged", i, a);
+        }
+    }
+
+    /// Accesses to a working set no larger than the cache never miss after
+    /// the first touch of each line.
+    #[test]
+    fn small_working_set_has_cold_misses_only(
+        cfg in arb_config(),
+        seq in proptest::collection::vec(0usize..64, 1..400),
+    ) {
+        let mut cache = Cache::new(cfg);
+        let lines = cfg.size / cfg.line; // exactly fills the cache
+        let distinct: Vec<u64> = (0..lines as u64).map(|i| i * cfg.line as u64).collect();
+        for &s in &seq {
+            cache.access_line(distinct[s % distinct.len()]);
+        }
+        let touched: std::collections::HashSet<usize> =
+            seq.iter().map(|s| s % distinct.len()).collect();
+        prop_assert!(cache.misses() as usize <= touched.len());
+    }
+
+    /// Hierarchy counter invariants: line probes ≥ accesses, misses can't
+    /// exceed probes, and B-misses can't exceed D-misses.
+    #[test]
+    fn hierarchy_counters_are_consistent(
+        ops in proptest::collection::vec((0u64..1_000_000, 1u64..256), 1..200),
+    ) {
+        let mut h = Hierarchy::alpha_axp();
+        for &(addr, size) in &ops {
+            h.read(addr, size);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+        prop_assert!(s.line_probes >= s.accesses);
+        prop_assert!(s.d_misses <= s.line_probes);
+        prop_assert!(s.b_misses <= s.d_misses);
+    }
+
+    /// Replaying the same trace twice gives identical counters (the model
+    /// is deterministic), and reset really clears.
+    #[test]
+    fn hierarchy_is_deterministic(
+        ops in proptest::collection::vec((0u64..100_000, 1u64..64), 1..100),
+    ) {
+        let run = |h: &mut Hierarchy| {
+            for &(addr, size) in &ops {
+                h.read(addr, size);
+            }
+            h.stats()
+        };
+        let mut h = Hierarchy::alpha_axp();
+        let first = run(&mut h);
+        h.reset();
+        let second = run(&mut h);
+        prop_assert_eq!(first, second);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every traced kernel is deterministic: same seed, same counters.
+    #[test]
+    fn traced_kernels_are_deterministic(
+        n in 256usize..3_000,
+        seed in any::<u64>(),
+        variant in prop_oneof![
+            Just(QuickSortVariant::Record),
+            Just(QuickSortVariant::Pointer),
+            Just(QuickSortVariant::Key),
+            Just(QuickSortVariant::KeyPrefix),
+            Just(QuickSortVariant::Codeword),
+        ],
+    ) {
+        let run = |f: &dyn Fn(&mut Hierarchy)| {
+            let mut h = Hierarchy::alpha_axp();
+            f(&mut h);
+            h.stats()
+        };
+        let q = |h: &mut Hierarchy| {
+            traced_quicksort(n, seed, variant, h);
+        };
+        prop_assert_eq!(run(&q), run(&q));
+        let g = |h: &mut Hierarchy| {
+            traced_gather(n, seed, h);
+        };
+        prop_assert_eq!(run(&g), run(&g));
+    }
+
+    /// Tournament and merge kernels count every record exactly once and
+    /// issue a sane number of accesses for arbitrary sizes/layouts.
+    #[test]
+    fn traced_tournament_and_merge_account_all_records(
+        n in 64usize..2_000,
+        cap_pow in 1u32..6,
+        runs in 1usize..12,
+        seed in any::<u64>(),
+        layout in prop_oneof![Just(TournamentLayout::Naive), Just(TournamentLayout::Clustered)],
+    ) {
+        let capacity = (1usize << cap_pow).min(n / 2).max(2);
+        prop_assume!(n >= capacity);
+        let mut h = Hierarchy::alpha_axp();
+        let t = traced_tournament_sort(n, capacity, seed, layout, true, &mut h);
+        prop_assert_eq!(t.elements, n as u64);
+        // Each emitted record reads+writes 100 B plus tree traffic.
+        prop_assert!(t.stats.accesses >= 2 * n as u64);
+
+        prop_assume!(n >= runs);
+        let mut h2 = Hierarchy::alpha_axp();
+        let m = traced_merge(n, runs, seed, &mut h2);
+        prop_assert_eq!(m.elements, (n / runs * runs) as u64);
+    }
+}

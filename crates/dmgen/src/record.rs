@@ -1,0 +1,253 @@
+//! The 100-byte Datamation record.
+//!
+//! Layout (matching the benchmark definition in the AlphaSort paper, §2):
+//!
+//! ```text
+//! +--------------+-------------------------------------------+
+//! | key: 10 B    | payload: 90 B                             |
+//! +--------------+-------------------------------------------+
+//! ```
+//!
+//! Keys compare as unsigned byte strings. The first [`PREFIX_LEN`] key bytes,
+//! read big-endian, form the *key prefix*: a `u64` whose integer ordering
+//! agrees with the byte-string ordering of those bytes — the core trick of
+//! AlphaSort's key-prefix sort (§4).
+
+/// Length of the sort key, in bytes.
+pub const KEY_LEN: usize = 10;
+/// Length of the non-key payload, in bytes.
+pub const PAYLOAD_LEN: usize = 90;
+/// Total record length, in bytes.
+pub const RECORD_LEN: usize = 100;
+/// Number of leading key bytes folded into the `u64` key prefix.
+pub const PREFIX_LEN: usize = 8;
+
+/// A single 100-byte Datamation record.
+///
+/// `#[repr(C)]` with alignment 1 so that a byte buffer whose length is a
+/// multiple of [`RECORD_LEN`] can be reinterpreted as `&[Record]` with
+/// [`records_of`] — the sort never copies records except in the final gather.
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The 10-byte sort key.
+    pub key: [u8; KEY_LEN],
+    /// The 90-byte payload. The generator stores the record's original
+    /// sequence number in the first 8 payload bytes (little-endian), which
+    /// lets tests confirm outputs are true permutations.
+    pub payload: [u8; PAYLOAD_LEN],
+}
+
+// The whole point of the layout: records are plain bytes.
+const _: () = assert!(core::mem::size_of::<Record>() == RECORD_LEN);
+const _: () = assert!(core::mem::align_of::<Record>() == 1);
+
+impl Record {
+    /// A record whose key and payload are all zero bytes.
+    pub const ZERO: Record = Record {
+        key: [0; KEY_LEN],
+        payload: [0; PAYLOAD_LEN],
+    };
+
+    /// Build a record from a key and a sequence number; remaining payload
+    /// bytes are zero. Mostly useful in tests.
+    pub fn with_key(key: [u8; KEY_LEN], seq: u64) -> Self {
+        let mut r = Record {
+            key,
+            payload: [0; PAYLOAD_LEN],
+        };
+        r.payload[..8].copy_from_slice(&seq.to_le_bytes());
+        r
+    }
+
+    /// The record's key as a byte slice.
+    #[inline]
+    pub fn key(&self) -> &[u8; KEY_LEN] {
+        &self.key
+    }
+
+    /// The `u64` key prefix: first [`PREFIX_LEN`] key bytes, big-endian.
+    ///
+    /// For any two records `a`, `b`: `a.prefix() < b.prefix()` implies
+    /// `a.key < b.key`, and `a.prefix() != b.prefix()` implies the prefix
+    /// comparison equals the full-key comparison. Only on prefix *ties* must
+    /// a comparison fall through to the full key.
+    #[inline]
+    pub fn prefix(&self) -> u64 {
+        u64::from_be_bytes(self.key[..PREFIX_LEN].try_into().unwrap())
+    }
+
+    /// The sequence number the generator stamped into the payload.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        u64::from_le_bytes(self.payload[..8].try_into().unwrap())
+    }
+
+    /// View the record as its raw 100 bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; RECORD_LEN] {
+        // SAFETY: Record is repr(C), size 100, align 1, no padding.
+        unsafe { &*(self as *const Record as *const [u8; RECORD_LEN]) }
+    }
+
+    /// Read a record out of a byte slice (copies 100 bytes).
+    ///
+    /// # Panics
+    /// If `bytes.len() < RECORD_LEN`.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8]) -> Record {
+        let mut r = Record::ZERO;
+        let dst = unsafe {
+            core::slice::from_raw_parts_mut(&mut r as *mut Record as *mut u8, RECORD_LEN)
+        };
+        dst.copy_from_slice(&bytes[..RECORD_LEN]);
+        r
+    }
+}
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Record {
+    /// Records order by key only; payload is not part of the sort order.
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl core::fmt::Debug for Record {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Record {{ key: {:02x?}, seq: {} }}",
+            self.key,
+            self.seq()
+        )
+    }
+}
+
+/// Reinterpret a byte buffer as a slice of records, zero-copy.
+///
+/// # Panics
+/// If `bytes.len()` is not a multiple of [`RECORD_LEN`].
+#[inline]
+pub fn records_of(bytes: &[u8]) -> &[Record] {
+    assert!(
+        bytes.len().is_multiple_of(RECORD_LEN),
+        "buffer length {} is not a multiple of the record length {}",
+        bytes.len(),
+        RECORD_LEN
+    );
+    // SAFETY: Record has size 100, align 1, and is valid for any bit pattern.
+    unsafe {
+        core::slice::from_raw_parts(bytes.as_ptr() as *const Record, bytes.len() / RECORD_LEN)
+    }
+}
+
+/// Reinterpret a mutable byte buffer as a mutable slice of records, zero-copy.
+///
+/// # Panics
+/// If `bytes.len()` is not a multiple of [`RECORD_LEN`].
+#[inline]
+pub fn records_of_mut(bytes: &mut [u8]) -> &mut [Record] {
+    assert!(
+        bytes.len().is_multiple_of(RECORD_LEN),
+        "buffer length {} is not a multiple of the record length {}",
+        bytes.len(),
+        RECORD_LEN
+    );
+    // SAFETY: as in `records_of`; exclusive borrow is carried over.
+    unsafe {
+        core::slice::from_raw_parts_mut(bytes.as_mut_ptr() as *mut Record, bytes.len() / RECORD_LEN)
+    }
+}
+
+/// View a record slice as raw bytes, zero-copy.
+#[inline]
+pub fn bytes_of(records: &[Record]) -> &[u8] {
+    // SAFETY: Record is plain bytes (size 100, align 1, no padding).
+    unsafe {
+        core::slice::from_raw_parts(records.as_ptr() as *const u8, records.len() * RECORD_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_100_plain_bytes() {
+        assert_eq!(core::mem::size_of::<Record>(), 100);
+        assert_eq!(core::mem::align_of::<Record>(), 1);
+    }
+
+    #[test]
+    fn prefix_orders_like_key_bytes() {
+        let a = Record::with_key([0, 0, 0, 0, 0, 0, 0, 1, 0, 0], 0);
+        let b = Record::with_key([0, 0, 0, 0, 0, 0, 0, 2, 0, 0], 1);
+        assert!(a.prefix() < b.prefix());
+        assert!(a.key < b.key);
+
+        // High byte dominates, as in byte-string comparison.
+        let c = Record::with_key([1, 0, 0, 0, 0, 0, 0, 0, 0, 0], 2);
+        assert!(b.prefix() < c.prefix());
+    }
+
+    #[test]
+    fn prefix_tie_needs_full_key() {
+        let a = Record::with_key([7, 7, 7, 7, 7, 7, 7, 7, 0, 1], 0);
+        let b = Record::with_key([7, 7, 7, 7, 7, 7, 7, 7, 0, 2], 1);
+        assert_eq!(a.prefix(), b.prefix());
+        assert!(a.key < b.key);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(b"ABCDEFGHIJ");
+        let r = Record::with_key(key, 42);
+        let r2 = Record::from_bytes(r.as_bytes());
+        assert_eq!(r, r2);
+        assert_eq!(r2.seq(), 42);
+    }
+
+    #[test]
+    fn records_of_views_buffer() {
+        let mut buf = vec![0u8; 3 * RECORD_LEN];
+        buf[0] = 9; // first key byte of record 0
+        buf[RECORD_LEN] = 5; // first key byte of record 1
+        let recs = records_of(&buf);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].key[0], 9);
+        assert_eq!(recs[1].key[0], 5);
+        assert!(recs[1] < recs[0]);
+    }
+
+    #[test]
+    fn records_of_mut_writes_through() {
+        let mut buf = vec![0u8; 2 * RECORD_LEN];
+        {
+            let recs = records_of_mut(&mut buf);
+            recs[1].key[0] = 0xAB;
+        }
+        assert_eq!(buf[RECORD_LEN], 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn records_of_rejects_ragged_buffer() {
+        let buf = vec![0u8; 150];
+        let _ = records_of(&buf);
+    }
+
+    #[test]
+    fn ord_ignores_payload() {
+        let mut a = Record::with_key([1; KEY_LEN], 0);
+        let b = Record::with_key([1; KEY_LEN], 999);
+        a.payload[50] = 77;
+        assert_eq!(a.cmp(&b), core::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,122 @@
+//! A tiny, deterministic, version-stable PRNG.
+//!
+//! Workload bytes must be reproducible bit-for-bit across library versions so
+//! that experiment outputs are comparable over time; external RNG crates make
+//! no such stability promise across major versions. SplitMix64 (Steele,
+//! Lea & Flood, 2014) is a well-studied 64-bit mixer that is more than good
+//! enough for generating "random order, incompressible" benchmark keys.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value uniform in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply method (Lemire); bias is negligible for the
+    /// bounds used here and determinism is what matters.
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Fill a byte slice with random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+
+    /// Derive an independent child generator (e.g. one per parallel worker).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(1234);
+        let mut b = SplitMix64::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the public-domain SplitMix64 C implementation
+        // seeded with 0: guards against accidental algorithm changes.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut r = SplitMix64::new(99);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_len() {
+        let mut r = SplitMix64::new(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Statistically certain to be non-zero somewhere.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = SplitMix64::new(42);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the workload generator and validator.
+
+use alphasort_dmgen::{
+    generate, records_of, records_of_mut, validate_records, GenConfig, KeyDistribution, Record,
+    RunningChecksum, SplitMix64, ValidationError, KEY_LEN, RECORD_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_dist() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Random),
+        Just(KeyDistribution::RandomPrintable),
+        Just(KeyDistribution::Sorted),
+        Just(KeyDistribution::Reverse),
+        (0u16..=1000).prop_map(|permille| KeyDistribution::NearlySorted { permille }),
+        (1u32..64).prop_map(|cardinality| KeyDistribution::DupHeavy { cardinality }),
+        (0u8..=10).prop_map(|shared| KeyDistribution::CommonPrefix { shared }),
+    ]
+}
+
+proptest! {
+    /// Sorting the generated input always validates, for every distribution.
+    #[test]
+    fn sorted_output_validates(
+        n in 1u64..400,
+        seed in any::<u64>(),
+        dist in arb_dist(),
+    ) {
+        let (input, cs) = generate(GenConfig { records: n, seed, dist });
+        let mut output = input.clone();
+        records_of_mut(&mut output).sort_by_key(|a| a.key);
+        let report = validate_records(&output, cs).unwrap();
+        prop_assert_eq!(report.records, n);
+    }
+
+    /// Any reordering of the records preserves the checksum.
+    #[test]
+    fn checksum_is_order_independent(
+        n in 1u64..200,
+        seed in any::<u64>(),
+        rot in 0usize..200,
+    ) {
+        let (input, cs) = generate(GenConfig::datamation(n, seed));
+        let mut rotated = input.clone();
+        let recs = records_of_mut(&mut rotated);
+        let k = rot % recs.len();
+        recs.rotate_left(k);
+        let mut rc = RunningChecksum::new();
+        rc.update_bytes(&rotated);
+        prop_assert_eq!(rc.finish(), cs);
+    }
+
+    /// Corrupting any single byte of a sorted output makes validation fail.
+    #[test]
+    fn any_byte_corruption_is_caught(
+        n in 2u64..100,
+        seed in any::<u64>(),
+        victim in any::<proptest::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let (input, cs) = generate(GenConfig::datamation(n, seed));
+        let mut output = input.clone();
+        records_of_mut(&mut output).sort_by_key(|a| a.key);
+        let idx = victim.index(output.len());
+        output[idx] ^= flip;
+        prop_assert!(validate_records(&output, cs).is_err());
+    }
+
+    /// Prefix comparisons agree with key comparisons whenever prefixes differ.
+    #[test]
+    fn prefix_comparison_sound(a in any::<[u8; KEY_LEN]>(), b in any::<[u8; KEY_LEN]>()) {
+        let ra = Record::with_key(a, 0);
+        let rb = Record::with_key(b, 1);
+        if ra.prefix() != rb.prefix() {
+            prop_assert_eq!(ra.prefix() < rb.prefix(), ra.key < rb.key);
+        } else {
+            prop_assert_eq!(&a[..8], &b[..8]);
+        }
+    }
+
+    /// fill_bytes is deterministic and length-faithful.
+    #[test]
+    fn rng_fill_deterministic(seed in any::<u64>(), len in 0usize..64) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let mut xs = vec![0u8; len];
+        let mut ys = vec![0u8; len];
+        a.fill_bytes(&mut xs);
+        b.fill_bytes(&mut ys);
+        prop_assert_eq!(xs, ys);
+    }
+
+    /// Swapping two adjacent out-of-order records is flagged as OutOfOrder,
+    /// not as a checksum problem (the permutation is intact).
+    #[test]
+    fn adjacent_swap_reported_as_order_error(
+        n in 3u64..100,
+        seed in any::<u64>(),
+        at in any::<proptest::sample::Index>(),
+    ) {
+        let (input, cs) = generate(GenConfig::datamation(n, seed));
+        let mut output = input.clone();
+        records_of_mut(&mut output).sort_by_key(|a| a.key);
+        let recs = records_of_mut(&mut output);
+        let i = at.index(recs.len() - 1);
+        if recs[i].key == recs[i + 1].key {
+            return Ok(()); // swap of equal keys stays sorted
+        }
+        recs.swap(i, i + 1);
+        match validate_records(&output, cs) {
+            Err(ValidationError::OutOfOrder { .. }) => {}
+            other => prop_assert!(false, "expected OutOfOrder, got {other:?}"),
+        }
+    }
+}
+
+/// Non-proptest sanity: a big generated buffer views cleanly as records.
+#[test]
+fn large_buffer_roundtrip() {
+    let (input, cs) = generate(GenConfig::datamation(20_000, 99));
+    assert_eq!(input.len(), 20_000 * RECORD_LEN);
+    let mut rc = RunningChecksum::new();
+    for r in records_of(&input) {
+        rc.update(r);
+    }
+    assert_eq!(rc.finish(), cs);
+}

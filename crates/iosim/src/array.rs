@@ -1,0 +1,293 @@
+//! Disk arrays: groups of disks hanging off controllers.
+//!
+//! Table 6 of the paper compares a *many-slow* array (36 RZ26 drives on 9
+//! SCSI controllers) against a *few-fast* array (12 RZ28 on 4 SCSI plus 6
+//! IPI drives on 3 Genroco controllers). [`DiskArrayBuilder`] assembles such
+//! configurations; [`DiskArray`] exposes the member disks (for striping) and
+//! array-level accounting: aggregate modeled bandwidth, prices, busy times.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::backend::{FileStorage, MemStorage, Storage};
+use crate::disk::{ControllerShare, Pacing, SimDisk};
+use crate::spec::{ControllerSpec, DiskSpec};
+
+/// Where member disks keep their bytes.
+#[derive(Clone, Debug)]
+pub enum BackendKind {
+    /// Each disk is an in-memory image.
+    Memory,
+    /// Each disk is a file `<dir>/<disk-name>.img`.
+    Dir(PathBuf),
+}
+
+/// Builder for a [`DiskArray`].
+pub struct DiskArrayBuilder {
+    pacing: Pacing,
+    backend: BackendKind,
+    groups: Vec<(ControllerSpec, DiskSpec, usize)>,
+}
+
+impl DiskArrayBuilder {
+    /// Start building an array with the given pacing and backend.
+    pub fn new(pacing: Pacing, backend: BackendKind) -> Self {
+        DiskArrayBuilder {
+            pacing,
+            backend,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add one controller with `count` disks of the given spec behind it.
+    pub fn controller(mut self, ctrl: ControllerSpec, disk: DiskSpec, count: usize) -> Self {
+        self.groups.push((ctrl, disk, count));
+        self
+    }
+
+    /// Materialize the array.
+    pub fn build(self) -> io::Result<DiskArray> {
+        let mut disks = Vec::new();
+        let mut controllers = Vec::new();
+        if let BackendKind::Dir(dir) = &self.backend {
+            std::fs::create_dir_all(dir)?;
+        }
+        for (gi, (ctrl_spec, disk_spec, count)) in self.groups.into_iter().enumerate() {
+            let share = ControllerShare::new(ctrl_spec, self.pacing);
+            for di in 0..count {
+                let name = format!("c{gi}-{}{di}", disk_spec.name.to_lowercase());
+                let storage: Arc<dyn Storage> = match &self.backend {
+                    BackendKind::Memory => Arc::new(MemStorage::new()),
+                    BackendKind::Dir(dir) => {
+                        Arc::new(FileStorage::create(dir.join(format!("{name}.img")))?)
+                    }
+                };
+                disks.push(SimDisk::new(
+                    name,
+                    disk_spec.clone(),
+                    storage,
+                    self.pacing,
+                    Some(Arc::clone(&share)),
+                ));
+            }
+            controllers.push(share);
+        }
+        Ok(DiskArray { disks, controllers })
+    }
+}
+
+/// A built disk array.
+pub struct DiskArray {
+    disks: Vec<Arc<SimDisk>>,
+    controllers: Vec<Arc<ControllerShare>>,
+}
+
+/// Aggregated array accounting.
+#[derive(Clone, Debug, Default)]
+pub struct ArrayStats {
+    /// Bytes read across all disks.
+    pub bytes_read: u64,
+    /// Bytes written across all disks.
+    pub bytes_written: u64,
+    /// The largest modeled busy time of any single disk.
+    pub max_disk_busy: Duration,
+    /// The largest modeled busy time of any single controller.
+    pub max_controller_busy: Duration,
+}
+
+impl ArrayStats {
+    /// Modeled elapsed time for the work the array has absorbed, assuming
+    /// perfectly parallel member operation: the slowest disk or controller
+    /// sets the pace.
+    pub fn modeled_elapsed(&self) -> Duration {
+        self.max_disk_busy.max(self.max_controller_busy)
+    }
+
+    /// Modeled aggregate bandwidth in MB/s for the absorbed work.
+    pub fn modeled_bandwidth_mbps(&self) -> f64 {
+        let secs = self.modeled_elapsed().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.bytes_read + self.bytes_written) as f64 / 1e6 / secs
+    }
+}
+
+impl DiskArray {
+    /// Member disks, in controller-then-disk order (stripe across this).
+    pub fn disks(&self) -> &[Arc<SimDisk>] {
+        &self.disks
+    }
+
+    /// Number of member disks.
+    pub fn width(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Member controllers.
+    pub fn controllers(&self) -> &[Arc<ControllerShare>] {
+        &self.controllers
+    }
+
+    /// Total 1993 list price: disks plus controllers.
+    pub fn price_dollars(&self) -> f64 {
+        let d: f64 = self.disks.iter().map(|d| d.spec().price_dollars).sum();
+        let c: f64 = self
+            .controllers
+            .iter()
+            .map(|c| c.spec().price_dollars)
+            .sum();
+        d + c
+    }
+
+    /// Total capacity in gigabytes.
+    pub fn capacity_gb(&self) -> f64 {
+        self.disks.iter().map(|d| d.spec().capacity_gb).sum()
+    }
+
+    /// Aggregate the nominal (spec-sheet) read bandwidth: the sum of member
+    /// disk rates, each group clipped by its controller's cap.
+    pub fn nominal_read_mbps(&self) -> f64 {
+        self.per_controller_rate(|d| d.read_mbps)
+    }
+
+    /// Aggregate nominal write bandwidth.
+    pub fn nominal_write_mbps(&self) -> f64 {
+        self.per_controller_rate(|d| d.write_mbps)
+    }
+
+    fn per_controller_rate(&self, rate: impl Fn(&DiskSpec) -> f64) -> f64 {
+        self.controllers
+            .iter()
+            .map(|ctrl| {
+                let disk_sum: f64 = self
+                    .disks
+                    .iter()
+                    .filter(|d| {
+                        d.controller()
+                            .map(|c| Arc::ptr_eq(c, ctrl))
+                            .unwrap_or(false)
+                    })
+                    .map(|d| rate(d.spec()))
+                    .sum();
+                let cap = ctrl.spec().bandwidth_mbps;
+                if cap > 0.0 {
+                    disk_sum.min(cap)
+                } else {
+                    disk_sum
+                }
+            })
+            .sum()
+    }
+
+    /// Snapshot aggregated stats.
+    pub fn stats(&self) -> ArrayStats {
+        let mut s = ArrayStats::default();
+        for d in &self.disks {
+            let st = d.stats();
+            s.bytes_read += st.bytes_read;
+            s.bytes_written += st.bytes_written;
+            s.max_disk_busy = s.max_disk_busy.max(st.busy());
+        }
+        for c in &self.controllers {
+            s.max_controller_busy = s.max_controller_busy.max(c.busy());
+        }
+        s
+    }
+
+    /// Reset every member disk's and controller's counters.
+    pub fn reset_stats(&self) {
+        for d in &self.disks {
+            d.reset_stats();
+        }
+        for c in &self.controllers {
+            c.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    /// The many-slow array of Table 6: 36 RZ26 on 9 SCSI controllers.
+    fn many_slow() -> DiskArray {
+        DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Memory)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_requested_topology() {
+        let a = many_slow();
+        assert_eq!(a.width(), 36);
+        assert_eq!(a.controllers().len(), 9);
+        assert!((a.capacity_gb() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_bandwidth_sums_under_controller_caps() {
+        let a = many_slow();
+        // 36 × 1.8 = 64.8 MB/s; 4 × 1.8 = 7.2 < 8 cap, so no clipping.
+        assert!((a.nominal_read_mbps() - 64.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_cap_clips_group_rate() {
+        // 8 RZ28 (4 MB/s each = 32) behind one 8 MB/s controller → 8.
+        let a = DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Memory)
+            .controller(catalog::scsi_controller(), catalog::rz28(), 8)
+            .build()
+            .unwrap();
+        assert!((a.nominal_read_mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_aggregate_and_modeled_elapsed() {
+        let a = DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Memory)
+            .controller(catalog::uncapped_controller(), catalog::rz26(), 2)
+            .build()
+            .unwrap();
+        // Write 1.8 MB to one disk only: modeled elapsed = that disk's ~1 s
+        // (write rate 1.4 MB/s → ~1.29 s) + seek.
+        a.disks()[0].write(0, &vec![0u8; 1_800_000]).unwrap();
+        let st = a.stats();
+        assert_eq!(st.bytes_written, 1_800_000);
+        let secs = st.modeled_elapsed().as_secs_f64();
+        assert!((secs - 1.297).abs() < 0.05, "elapsed {secs}");
+    }
+
+    #[test]
+    fn price_includes_disks_and_controllers() {
+        let a = DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Memory)
+            .controller(catalog::scsi_controller(), catalog::rz26(), 4)
+            .build()
+            .unwrap();
+        assert!((a.price_dollars() - (4.0 * 2000.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn file_backend_creates_images() {
+        let dir = std::env::temp_dir().join(format!("iosim-array-{}", std::process::id()));
+        let a = DiskArrayBuilder::new(Pacing::Modeled, BackendKind::Dir(dir.clone()))
+            .controller(catalog::uncapped_controller(), catalog::uncapped(), 2)
+            .build()
+            .unwrap();
+        a.disks()[1].write(0, b"persist").unwrap();
+        assert_eq!(a.disks()[1].read(0, 7).unwrap(), b"persist");
+        assert!(std::fs::read_dir(&dir).unwrap().count() >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

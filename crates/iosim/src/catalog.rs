@@ -1,0 +1,139 @@
+//! The paper's 1993 device catalog, plus a modern uncapped device.
+//!
+//! Numbers come straight from the paper: §6 ("commodity SCSI disks that cost
+//! about 2000$, hold about 2 GB, read at about 5 MB/s, and write at about
+//! 3 MB/s"), Table 6 (RZ26 at 1.8 MB/s in the 36-disk array, RZ28 at 4 MB/s
+//! measured, IPI at 7 MB/s; 9 SCSI controllers for 36 drives; list prices),
+//! and the Genroco IPI controller ("two fast IPI drives offer a sequential
+//! read rate of 15 MB/s (measured)").
+
+use crate::spec::{ControllerSpec, DiskSpec};
+
+/// DEC RZ26 commodity SCSI drive as configured in the many-slow array of
+/// Table 6: 1.05 GB, ~1.8 MB/s per drive when 4 share a KZMSA controller.
+pub fn rz26() -> DiskSpec {
+    DiskSpec {
+        name: "RZ26".into(),
+        read_mbps: 1.8,
+        write_mbps: 1.4,
+        seek_ms: 12.0,
+        capacity_gb: 1.0,
+        price_dollars: 2000.0,
+    }
+}
+
+/// DEC RZ28 fast-SCSI drive: 4 MB/s measured (Table 6), 2 GB.
+pub fn rz28() -> DiskSpec {
+    DiskSpec {
+        name: "RZ28".into(),
+        read_mbps: 4.0,
+        write_mbps: 3.0,
+        seek_ms: 10.0,
+        capacity_gb: 2.0,
+        price_dollars: 2400.0,
+    }
+}
+
+/// Generic 1993 commodity SCSI disk from §6's price discussion:
+/// reads ~4.5 MB/s, writes ~3.5 MB/s — the "one-minute barrier" drive.
+pub fn scsi_1993() -> DiskSpec {
+    DiskSpec {
+        name: "SCSI-1993".into(),
+        read_mbps: 4.5,
+        write_mbps: 3.5,
+        seek_ms: 10.0,
+        capacity_gb: 2.0,
+        price_dollars: 2000.0,
+    }
+}
+
+/// Fast IPI drive on a Genroco controller: 7 MB/s per drive (Table 6).
+pub fn ipi_velocitor() -> DiskSpec {
+    DiskSpec {
+        name: "IPI-Velocitor".into(),
+        read_mbps: 7.0,
+        write_mbps: 5.5,
+        seek_ms: 9.0,
+        capacity_gb: 2.0,
+        price_dollars: 9000.0,
+    }
+}
+
+/// An effectively unconstrained modern device (no modeled transfer cost);
+/// use when an experiment should run at host speed.
+pub fn uncapped() -> DiskSpec {
+    DiskSpec {
+        name: "uncapped".into(),
+        read_mbps: 0.0,
+        write_mbps: 0.0,
+        seek_ms: 0.0,
+        capacity_gb: 1000.0,
+        price_dollars: 0.0,
+    }
+}
+
+/// KZMSA-class plain SCSI controller: ~10 MB/s bus, shared by ~4 drives.
+pub fn scsi_controller() -> ControllerSpec {
+    ControllerSpec {
+        name: "SCSI".into(),
+        bandwidth_mbps: 8.0,
+        price_dollars: 1000.0,
+    }
+}
+
+/// Fast (wide) SCSI controller as in the DEC 7000 configs of Table 8.
+pub fn fast_scsi_controller() -> ControllerSpec {
+    ControllerSpec {
+        name: "fast-SCSI".into(),
+        bandwidth_mbps: 18.0,
+        price_dollars: 1500.0,
+    }
+}
+
+/// Genroco IPI array controller: 15 MB/s measured with two drives (§6).
+pub fn genroco_ipi_controller() -> ControllerSpec {
+    ControllerSpec {
+        name: "IPI-Genroco".into(),
+        bandwidth_mbps: 15.0,
+        price_dollars: 6000.0,
+    }
+}
+
+/// Unconstrained controller for host-speed experiments.
+pub fn uncapped_controller() -> ControllerSpec {
+    ControllerSpec {
+        name: "uncapped".into(),
+        bandwidth_mbps: 0.0,
+        price_dollars: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates_preserved() {
+        assert_eq!(rz26().read_mbps, 1.8);
+        assert_eq!(rz28().read_mbps, 4.0);
+        assert_eq!(ipi_velocitor().read_mbps, 7.0);
+        assert_eq!(genroco_ipi_controller().bandwidth_mbps, 15.0);
+    }
+
+    #[test]
+    fn one_minute_barrier_disk() {
+        // §6: ~25 s to read 100 MB, ~30 s to write it back.
+        let d = scsi_1993();
+        let read_s = d.read_ns(100_000_000) as f64 / 1e9;
+        let write_s = d.write_ns(100_000_000) as f64 / 1e9;
+        assert!((read_s - 22.2).abs() < 1.0, "read {read_s}");
+        assert!((write_s - 28.6).abs() < 1.0, "write {write_s}");
+        assert!(read_s + write_s > 45.0 && read_s + write_s < 60.0);
+    }
+
+    #[test]
+    fn uncapped_is_free() {
+        assert_eq!(uncapped().read_ns(1 << 30), 0);
+        assert_eq!(uncapped_controller().transfer_ns(1 << 30), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Programmable fault injection for robustness testing.
+//!
+//! [`FaultyStorage`] wraps any [`Storage`] and applies a [`FaultPlan`]:
+//! error out or corrupt the N-th read or write. Integration tests use this
+//! to prove that the sort surfaces IO failures as errors and that the
+//! validator catches silent corruption.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::Storage;
+
+/// One injected failure.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// The matching read fails with this error kind.
+    ReadError(io::ErrorKind),
+    /// The matching write fails with this error kind.
+    WriteError(io::ErrorKind),
+    /// The matching read succeeds but one byte is flipped (silent corruption).
+    CorruptRead {
+        /// Index of the byte within the read buffer to flip.
+        byte: usize,
+    },
+    /// The matching write succeeds but one byte is flipped on media.
+    CorruptWrite {
+        /// Index of the byte within the written data to flip.
+        byte: usize,
+    },
+}
+
+/// When faults fire: on the `op`-th read or write (0-based, counted
+/// separately for reads and writes).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    read_faults: Vec<(u64, Fault)>,
+    write_faults: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail the `n`-th read with `kind`.
+    pub fn fail_read(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        self.read_faults.push((n, Fault::ReadError(kind)));
+        self
+    }
+
+    /// Fail the `n`-th write with `kind`.
+    pub fn fail_write(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        self.write_faults.push((n, Fault::WriteError(kind)));
+        self
+    }
+
+    /// Silently corrupt byte `byte` of the `n`-th read.
+    pub fn corrupt_read(mut self, n: u64, byte: usize) -> Self {
+        self.read_faults.push((n, Fault::CorruptRead { byte }));
+        self
+    }
+
+    /// Silently corrupt byte `byte` of the `n`-th write.
+    pub fn corrupt_write(mut self, n: u64, byte: usize) -> Self {
+        self.write_faults.push((n, Fault::CorruptWrite { byte }));
+        self
+    }
+}
+
+/// Storage wrapper that injects the planned faults.
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    plan: Mutex<FaultPlan>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FaultyStorage {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: Arc<dyn Storage>, plan: FaultPlan) -> Self {
+        FaultyStorage {
+            inner,
+            plan: Mutex::new(plan),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    fn take_read_fault(&self, op: u64) -> Option<Fault> {
+        let mut plan = self.plan.lock();
+        let idx = plan.read_faults.iter().position(|(n, _)| *n == op)?;
+        Some(plan.read_faults.remove(idx).1)
+    }
+
+    fn take_write_fault(&self, op: u64) -> Option<Fault> {
+        let mut plan = self.plan.lock();
+        let idx = plan.write_faults.iter().position(|(n, _)| *n == op)?;
+        Some(plan.write_faults.remove(idx).1)
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let op = self.reads.fetch_add(1, Ordering::Relaxed);
+        match self.take_read_fault(op) {
+            Some(Fault::ReadError(kind)) => {
+                return Err(io::Error::new(
+                    kind,
+                    format!("injected read fault at op {op}"),
+                ));
+            }
+            Some(Fault::CorruptRead { byte }) => {
+                self.inner.read_at(offset, buf)?;
+                if let Some(b) = buf.get_mut(byte) {
+                    *b ^= 0xFF;
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let op = self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.take_write_fault(op) {
+            Some(Fault::WriteError(kind)) => {
+                return Err(io::Error::new(
+                    kind,
+                    format!("injected write fault at op {op}"),
+                ));
+            }
+            Some(Fault::CorruptWrite { byte }) => {
+                let mut copy = data.to_vec();
+                if let Some(b) = copy.get_mut(byte) {
+                    *b ^= 0xFF;
+                }
+                return self.inner.write_at(offset, &copy);
+            }
+            _ => {}
+        }
+        self.inner.write_at(offset, data)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStorage;
+
+    fn faulty(plan: FaultPlan) -> FaultyStorage {
+        FaultyStorage::new(Arc::new(MemStorage::new()), plan)
+    }
+
+    #[test]
+    fn clean_plan_passes_through() {
+        let s = faulty(FaultPlan::new());
+        s.write_at(0, b"ok").unwrap();
+        let mut buf = [0u8; 2];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+    }
+
+    #[test]
+    fn nth_read_fails_once() {
+        let s = faulty(FaultPlan::new().fail_read(1, io::ErrorKind::TimedOut));
+        s.write_at(0, b"abcd").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_at(0, &mut buf).unwrap(); // read 0: fine
+        let err = s.read_at(0, &mut buf).unwrap_err(); // read 1: injected
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        s.read_at(0, &mut buf).unwrap(); // read 2: fault consumed
+    }
+
+    #[test]
+    fn nth_write_fails() {
+        let s = faulty(FaultPlan::new().fail_write(0, io::ErrorKind::WriteZero));
+        assert_eq!(
+            s.write_at(0, b"x").unwrap_err().kind(),
+            io::ErrorKind::WriteZero
+        );
+        s.write_at(0, b"x").unwrap();
+    }
+
+    #[test]
+    fn corrupt_read_flips_one_byte() {
+        let s = faulty(FaultPlan::new().corrupt_read(0, 2));
+        s.write_at(0, b"abcd").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf[0], b'a');
+        assert_eq!(buf[2], b'c' ^ 0xFF);
+    }
+
+    #[test]
+    fn corrupt_write_lands_on_media() {
+        let s = faulty(FaultPlan::new().corrupt_write(0, 0));
+        s.write_at(0, b"zz").unwrap();
+        let mut buf = [0u8; 2];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf[0], b'z' ^ 0xFF);
+        assert_eq!(buf[1], b'z');
+    }
+
+    #[test]
+    fn works_behind_a_sim_disk() {
+        use crate::catalog;
+        use crate::disk::{Pacing, SimDisk};
+        let storage = Arc::new(faulty(
+            FaultPlan::new().fail_read(0, io::ErrorKind::Interrupted),
+        ));
+        let d = SimDisk::new("f0", catalog::uncapped(), storage, Pacing::Modeled, None);
+        d.write(0, b"data").unwrap();
+        assert!(d.read(0, 4).is_err());
+        assert_eq!(d.read(0, 4).unwrap(), b"data");
+    }
+}

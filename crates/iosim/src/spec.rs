@@ -1,0 +1,141 @@
+//! Device specifications: bandwidth, seek, capacity, 1993 price.
+
+use serde::{Deserialize, Serialize};
+
+/// Characteristics of one disk drive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Marketing name, e.g. `"RZ26"`.
+    pub name: String,
+    /// Sequential read bandwidth, MB/s (decimal megabytes).
+    pub read_mbps: f64,
+    /// Sequential write bandwidth, MB/s.
+    pub write_mbps: f64,
+    /// Average seek + rotational delay charged when an operation is not
+    /// sequential with the previous one, milliseconds.
+    pub seek_ms: f64,
+    /// Formatted capacity in gigabytes.
+    pub capacity_gb: f64,
+    /// 1993 list price in dollars, drive only.
+    pub price_dollars: f64,
+}
+
+impl DiskSpec {
+    /// Nanoseconds to transfer `bytes` at this disk's read rate.
+    pub fn read_ns(&self, bytes: u64) -> u64 {
+        transfer_ns(bytes, self.read_mbps)
+    }
+
+    /// Nanoseconds to transfer `bytes` at this disk's write rate.
+    pub fn write_ns(&self, bytes: u64) -> u64 {
+        transfer_ns(bytes, self.write_mbps)
+    }
+
+    /// Seek penalty in nanoseconds.
+    pub fn seek_ns(&self) -> u64 {
+        (self.seek_ms * 1e6) as u64
+    }
+
+    /// The same drive with write cache enabled (WCE): the controller
+    /// acknowledges writes at streaming (read) speed. The paper's §6
+    /// footnote: "We did not enable WCE because commercial systems demand
+    /// disk integrity. If WCE were used, 20% fewer discs would be needed."
+    pub fn with_wce(mut self) -> DiskSpec {
+        self.name = format!("{}+WCE", self.name);
+        self.write_mbps = self.read_mbps;
+        self
+    }
+}
+
+/// Characteristics of one controller (host adapter / bus).
+///
+/// Disks attach to a controller; the controller's bandwidth caps the sum of
+/// its disks' transfer rates. "Bottlenecks appear when a controller
+/// saturates" (§6) is exactly this cap binding before the per-disk rates do.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSpec {
+    /// Marketing name, e.g. `"fast-SCSI"`.
+    pub name: String,
+    /// Aggregate bandwidth across all attached disks, MB/s.
+    pub bandwidth_mbps: f64,
+    /// 1993 list price in dollars.
+    pub price_dollars: f64,
+}
+
+impl ControllerSpec {
+    /// Nanoseconds for `bytes` to cross this controller.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        transfer_ns(bytes, self.bandwidth_mbps)
+    }
+}
+
+/// Nanoseconds to move `bytes` at `mbps` decimal megabytes per second.
+pub(crate) fn transfer_ns(bytes: u64, mbps: f64) -> u64 {
+    if mbps <= 0.0 {
+        return 0;
+    }
+    (bytes as f64 / (mbps * 1e6) * 1e9) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskSpec {
+        DiskSpec {
+            name: "test".into(),
+            read_mbps: 4.0,
+            write_mbps: 2.0,
+            seek_ms: 10.0,
+            capacity_gb: 1.0,
+            price_dollars: 2000.0,
+        }
+    }
+
+    #[test]
+    fn transfer_times_scale_with_bandwidth() {
+        let d = disk();
+        // 4 MB at 4 MB/s = 1 s.
+        assert_eq!(d.read_ns(4_000_000), 1_000_000_000);
+        // Same bytes at half the write rate take twice as long.
+        assert_eq!(d.write_ns(4_000_000), 2_000_000_000);
+    }
+
+    #[test]
+    fn seek_converts_ms_to_ns() {
+        assert_eq!(disk().seek_ns(), 10_000_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_free_transfer() {
+        // Uncapped devices are expressed as bandwidth 0 = "no modeled cost".
+        assert_eq!(transfer_ns(1_000_000, 0.0), 0);
+    }
+
+    #[test]
+    fn wce_writes_at_read_speed() {
+        let d = disk().with_wce();
+        assert_eq!(d.write_mbps, d.read_mbps);
+        assert!(d.name.ends_with("+WCE"));
+        // Same bytes now cost read-rate time.
+        assert_eq!(d.write_ns(4_000_000), d.read_ns(4_000_000));
+    }
+
+    #[test]
+    fn controller_transfer() {
+        let c = ControllerSpec {
+            name: "c".into(),
+            bandwidth_mbps: 10.0,
+            price_dollars: 1000.0,
+        };
+        assert_eq!(c.transfer_ns(10_000_000), 1_000_000_000);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let d = disk();
+        let json = serde_json::to_string(&d).unwrap();
+        let d2: DiskSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Token-bucket pacing for real-time bandwidth emulation.
+//!
+//! One bucket per disk and one per controller; an operation acquires its
+//! byte count from both, so whichever is slower gates throughput — exactly
+//! how a saturated SCSI bus caps the drives behind it.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A token bucket metering bytes per second.
+///
+/// `acquire(n)` blocks (sleeps) until `n` byte-tokens are available. The
+/// bucket allows a burst of up to one refill quantum so small requests are
+/// not serialized by timer resolution.
+pub struct TokenBucket {
+    inner: Mutex<BucketState>,
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+}
+
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Bucket delivering `mbps` decimal megabytes per second. A rate of 0
+    /// means unlimited (acquire never blocks).
+    pub fn new(mbps: f64) -> Self {
+        let rate = mbps * 1e6;
+        TokenBucket {
+            inner: Mutex::new(BucketState {
+                tokens: 0.0,
+                last_refill: Instant::now(),
+            }),
+            rate_bytes_per_sec: rate,
+            // Quarter-second burst keeps sleeps coarse enough to be accurate.
+            burst_bytes: rate * 0.25,
+        }
+    }
+
+    /// Whether this bucket meters at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate_bytes_per_sec <= 0.0
+    }
+
+    /// Block until `bytes` tokens are available, then consume them.
+    pub fn acquire(&self, bytes: u64) {
+        if self.is_unlimited() || bytes == 0 {
+            return;
+        }
+        let bytes = bytes as f64;
+        loop {
+            let wait = {
+                let mut st = self.inner.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(st.last_refill).as_secs_f64();
+                st.tokens = (st.tokens + elapsed * self.rate_bytes_per_sec).min(self.burst_bytes);
+                st.last_refill = now;
+                if st.tokens >= bytes {
+                    st.tokens -= bytes;
+                    return;
+                }
+                // Tokens may go arbitrarily negative-deficit: sleep for the
+                // remaining deficit's duration, then retry.
+                (bytes - st.tokens) / self.rate_bytes_per_sec
+            };
+            std::thread::sleep(Duration::from_secs_f64(wait.min(0.5)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_blocks() {
+        let b = TokenBucket::new(0.0);
+        let t0 = Instant::now();
+        b.acquire(u64::MAX / 2);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn rate_is_enforced() {
+        // 10 MB/s bucket; moving 2.5 MB must take ~0.25 s (minus burst credit).
+        let b = TokenBucket::new(10.0);
+        // Drain initial burst credit.
+        b.acquire(2_500_000);
+        let t0 = Instant::now();
+        b.acquire(2_500_000);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.15, "too fast: {dt}");
+        assert!(dt < 0.6, "too slow: {dt}");
+    }
+
+    #[test]
+    fn concurrent_acquires_share_rate() {
+        use std::sync::Arc;
+        let b = Arc::new(TokenBucket::new(20.0)); // 20 MB/s
+        b.acquire(5_000_000); // drain burst
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.acquire(1_000_000))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 MB total at 20 MB/s shared = ~0.2 s.
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.1, "too fast: {dt}");
+        assert!(dt < 0.8, "too slow: {dt}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the disk simulator: storage semantics, accounting
+//! invariants, and fault-plan behaviour under arbitrary operation mixes.
+
+use std::sync::Arc;
+
+use alphasort_iosim::{
+    catalog, FaultPlan, FaultyStorage, IoEngine, MemStorage, Pacing, SimDisk, Storage,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4_096, proptest::collection::vec(any::<u8>(), 1..128))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        (0u64..4_096, 1usize..128).prop_map(|(offset, len)| Op::Read { offset, len }),
+    ]
+}
+
+proptest! {
+    /// MemStorage behaves like a sparse byte array with zero fill.
+    #[test]
+    fn mem_storage_matches_shadow_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let storage = MemStorage::new();
+        let mut shadow = vec![0u8; 8_192];
+        let mut high_water = 0usize;
+        for op in &ops {
+            match op {
+                Op::Write { offset, data } => {
+                    storage.write_at(*offset, data).unwrap();
+                    let off = *offset as usize;
+                    shadow[off..off + data.len()].copy_from_slice(data);
+                    high_water = high_water.max(off + data.len());
+                }
+                Op::Read { offset, len } => {
+                    let mut buf = vec![0xFFu8; *len];
+                    storage.read_at(*offset, &mut buf).unwrap();
+                    let off = *offset as usize;
+                    prop_assert_eq!(&buf[..], &shadow[off..off + len]);
+                }
+            }
+            prop_assert_eq!(storage.len() as usize, high_water);
+        }
+    }
+
+    /// Disk stats account every operation and byte exactly.
+    #[test]
+    fn disk_stats_account_everything(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let disk = SimDisk::new(
+            "p0",
+            catalog::rz28(),
+            Arc::new(MemStorage::new()),
+            Pacing::Modeled,
+            None,
+        );
+        let (mut reads, mut writes, mut br, mut bw) = (0u64, 0u64, 0u64, 0u64);
+        for op in &ops {
+            match op {
+                Op::Write { offset, data } => {
+                    disk.write(*offset, data).unwrap();
+                    writes += 1;
+                    bw += data.len() as u64;
+                }
+                Op::Read { offset, len } => {
+                    disk.read(*offset, *len).unwrap();
+                    reads += 1;
+                    br += *len as u64;
+                }
+            }
+        }
+        let st = disk.stats();
+        prop_assert_eq!(st.reads, reads);
+        prop_assert_eq!(st.writes, writes);
+        prop_assert_eq!(st.bytes_read, br);
+        prop_assert_eq!(st.bytes_written, bw);
+        prop_assert!(st.seeks <= reads + writes);
+        // Modeled busy time is monotone in work done.
+        prop_assert!(st.busy_ns > 0 || (br + bw == 0));
+    }
+
+    /// Async engine results equal synchronous execution of the same ops,
+    /// per disk (FIFO order per disk is guaranteed).
+    #[test]
+    fn engine_matches_sync_disk(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        // Sync reference.
+        let sync_disk = SimDisk::new(
+            "s",
+            catalog::uncapped(),
+            Arc::new(MemStorage::new()),
+            Pacing::Modeled,
+            None,
+        );
+        let mut expected = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Write { offset, data } => {
+                    sync_disk.write(*offset, data).unwrap();
+                }
+                Op::Read { offset, len } => {
+                    expected.push(sync_disk.read(*offset, *len).unwrap());
+                }
+            }
+        }
+        // Async run.
+        let async_disk = SimDisk::new(
+            "a",
+            catalog::uncapped(),
+            Arc::new(MemStorage::new()),
+            Pacing::Modeled,
+            None,
+        );
+        let engine = IoEngine::new(vec![async_disk]);
+        let mut handles = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Write { offset, data } => {
+                    engine.write(0, *offset, data.clone()).wait().unwrap();
+                }
+                Op::Read { offset, len } => {
+                    handles.push(engine.read(0, *offset, *len));
+                }
+            }
+        }
+        let got: Vec<Vec<u8>> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A fault plan fires each injected fault exactly once, at the right
+    /// operation index, and everything else passes through untouched.
+    #[test]
+    fn fault_plan_fires_exactly_once(
+        fail_at in 0u64..20,
+        total_reads in 21u64..40,
+    ) {
+        let storage = FaultyStorage::new(
+            Arc::new(MemStorage::new()),
+            FaultPlan::new().fail_read(fail_at, std::io::ErrorKind::TimedOut),
+        );
+        storage.write_at(0, &[7u8; 64]).unwrap();
+        let mut failures = Vec::new();
+        for i in 0..total_reads {
+            let mut buf = [0u8; 8];
+            if storage.read_at(0, &mut buf).is_err() {
+                failures.push(i);
+            } else {
+                prop_assert_eq!(buf, [7u8; 8]);
+            }
+        }
+        prop_assert_eq!(failures, vec![fail_at]);
+    }
+}

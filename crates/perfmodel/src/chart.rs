@@ -1,0 +1,167 @@
+//! Minimal ASCII charting for Graph 2-style log-scale scatter plots.
+//!
+//! Graph 2 of the paper plots sort time and $/sort on log scales against
+//! chronology. [`LogChart`] renders the same thing in a terminal: one row
+//! per decade of the value axis, points labelled by a caller-chosen glyph.
+
+/// One point: x position (column bucket), y value (log-scaled), glyph.
+#[derive(Clone, Debug)]
+pub struct ChartPoint {
+    /// Column label (e.g. the year); points bucket by equal labels.
+    pub x_label: String,
+    /// Value; must be positive (log scale).
+    pub value: f64,
+    /// Single-character marker.
+    pub glyph: char,
+}
+
+/// A log-scale scatter chart rendered to text.
+pub struct LogChart {
+    title: String,
+    points: Vec<ChartPoint>,
+    rows: usize,
+}
+
+impl LogChart {
+    /// New chart with a title and a vertical resolution (rows per chart,
+    /// spread across the data's log range).
+    pub fn new(title: impl Into<String>, rows: usize) -> Self {
+        LogChart {
+            title: title.into(),
+            points: Vec::new(),
+            rows: rows.max(4),
+        }
+    }
+
+    /// Add a point.
+    ///
+    /// # Panics
+    /// If `value` is not positive (log scale).
+    pub fn point(&mut self, x_label: impl Into<String>, value: f64, glyph: char) -> &mut Self {
+        assert!(value > 0.0, "log chart values must be positive");
+        self.points.push(ChartPoint {
+            x_label: x_label.into(),
+            value,
+            glyph,
+        });
+        self
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        if self.points.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &self.points {
+            lo = lo.min(p.value.log10());
+            hi = hi.max(p.value.log10());
+        }
+        if (hi - lo).abs() < 1e-12 {
+            hi = lo + 1.0;
+        }
+
+        // Distinct x labels in first-seen order.
+        let mut columns: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !columns.contains(&p.x_label) {
+                columns.push(p.x_label.clone());
+            }
+        }
+        let col_w = columns.iter().map(|c| c.len()).max().unwrap_or(4).max(4) + 1;
+
+        let mut grid = vec![vec![' '; columns.len() * col_w]; self.rows];
+        for p in &self.points {
+            let row =
+                ((hi - p.value.log10()) / (hi - lo) * (self.rows - 1) as f64).round() as usize;
+            let col = columns
+                .iter()
+                .position(|c| *c == p.x_label)
+                .expect("column exists");
+            // Nudge right if the cell is taken, so coincident points show.
+            let base = col * col_w;
+            let mut slot = base;
+            while slot < base + col_w - 1 && grid[row][slot] != ' ' {
+                slot += 1;
+            }
+            grid[row][slot] = p.glyph;
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            // Left axis: the log10 value at this row.
+            let v = hi - (hi - lo) * i as f64 / (self.rows - 1) as f64;
+            let line: String = row.iter().collect();
+            out.push_str(&format!(
+                "{:>9} |{}\n",
+                format_axis(10f64.powf(v)),
+                line.trim_end()
+            ));
+        }
+        out.push_str(&format!(
+            "{:>9} +{}\n",
+            "",
+            "-".repeat(columns.len() * col_w)
+        ));
+        out.push_str(&format!("{:>9}  ", ""));
+        for c in &columns {
+            out.push_str(&format!("{c:<col_w$}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn format_axis(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_on_log_scale() {
+        let mut c = LogChart::new("times", 8);
+        c.point("1985", 3600.0, 'o');
+        c.point("1993", 7.0, '*');
+        let s = c.render();
+        assert!(s.contains("times"));
+        assert!(s.contains('o'));
+        assert!(s.contains('*'));
+        // The big value must appear on an earlier (higher) line.
+        let o_line = s.lines().position(|l| l.contains('o')).unwrap();
+        let star_line = s.lines().position(|l| l.contains('*')).unwrap();
+        assert!(o_line < star_line);
+        // X labels on the final line.
+        assert!(s.lines().last().unwrap().contains("1985"));
+    }
+
+    #[test]
+    fn coincident_points_both_visible() {
+        let mut c = LogChart::new("t", 6);
+        c.point("1990", 40.0, 'a');
+        c.point("1990", 40.0, 'b');
+        let s = c.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        assert!(LogChart::new("t", 5).render().contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_value_rejected() {
+        LogChart::new("t", 5).point("x", 0.0, '?');
+    }
+}

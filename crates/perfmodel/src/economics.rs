@@ -1,0 +1,159 @@
+//! §6's one-pass vs. two-pass economics: buy memory or buy scratch disks?
+//!
+//! "The question becomes: What is the relative price of those scratch disks
+//! and their controllers versus the price of the memory needed to allow a
+//! one-pass sort?" The paper's two anchor points: a 100 MB sort needs
+//! 16 dedicated scratch disks (38.4 k$) against 10 k$ of memory — one-pass
+//! wins 3.6:1; a 1 GB sort needs ~36 scratch disks (86.4 k$) against
+//! ~100 k$ of memory — two-pass is ~15% cheaper. The crossover sits just
+//! under a gigabyte, matching "multi-gigabyte sorts should be done as
+//! two-pass sorts, but for things much smaller than that, one-pass sorts
+//! are more economical."
+
+use crate::prices::{DISK_PLUS_CONTROLLER, MEMORY_PER_MB};
+
+/// Cost comparison at one sort size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PassEconomics {
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Scratch disks a two-pass sort dedicates.
+    pub scratch_disks: u32,
+    /// Price of the extra memory a one-pass sort needs, dollars.
+    pub memory_cost: f64,
+    /// Price of the scratch disks + controllers, dollars.
+    pub scratch_cost: f64,
+}
+
+impl PassEconomics {
+    /// True when buying memory (one-pass) is the cheaper option.
+    pub fn one_pass_wins(&self) -> bool {
+        self.memory_cost <= self.scratch_cost
+    }
+}
+
+/// Scratch-stripe width for an input of `bytes`.
+///
+/// Anchored on the paper's two data points — 16 disks at 100 MB and 36 at
+/// 1 GB — and interpolated with the power law they imply
+/// (36/16 = 2.25 per decade ⇒ exponent log₁₀ 2.25 ≈ 0.352): the scratch
+/// stripe must carry the doubled bandwidth of the bigger sort, but the
+/// bigger sort also tolerates proportionally more elapsed time.
+pub fn scratch_disks_for(bytes: u64) -> u32 {
+    const EXP: f64 = 0.352_18; // log10(36/16)
+    let scale = (bytes as f64 / 1e8).powf(EXP);
+    (16.0 * scale).round().max(1.0) as u32
+}
+
+/// Evaluate the §6 comparison at one input size.
+pub fn pass_economics(input_bytes: u64) -> PassEconomics {
+    let disks = scratch_disks_for(input_bytes);
+    PassEconomics {
+        input_bytes,
+        scratch_disks: disks,
+        memory_cost: input_bytes as f64 / 1e6 * MEMORY_PER_MB,
+        scratch_cost: f64::from(disks) * DISK_PLUS_CONTROLLER,
+    }
+}
+
+/// Disks needed to move `input_mb` through a read phase and a write phase
+/// within `target_s` seconds, given per-disk rates.
+///
+/// The §6 footnote's write-cache question: "SCSI-II discs support write
+/// cache enabled (WCE)… If WCE were used, 20% fewer discs would be needed."
+/// With WCE a drive acknowledges writes at its streaming (read) rate, so
+/// compare `disks_needed(r, w, …)` against `disks_needed(r, r, …)`.
+pub fn disks_needed(read_mbps: f64, write_mbps: f64, input_mb: f64, target_s: f64) -> u32 {
+    assert!(read_mbps > 0.0 && write_mbps > 0.0 && target_s > 0.0);
+    let per_disk_time = input_mb / read_mbps + input_mb / write_mbps;
+    (per_disk_time / target_s).ceil() as u32
+}
+
+/// Fraction of disks saved by enabling WCE (write at the read rate).
+pub fn wce_disk_saving(read_mbps: f64, write_mbps: f64) -> f64 {
+    let without = 1.0 / read_mbps + 1.0 / write_mbps;
+    let with = 2.0 / read_mbps;
+    1.0 - with / without
+}
+
+/// Find the crossover size (bytes) where scratch disks become cheaper than
+/// memory, by bisection over [lo, hi].
+pub fn crossover_bytes() -> u64 {
+    let (mut lo, mut hi) = (1u64 << 20, 1u64 << 40);
+    // memory_cost grows linearly, scratch sub-linearly: one crossover.
+    for _ in 0..60 {
+        let mid = lo + (hi - lo) / 2;
+        if pass_economics(mid).one_pass_wins() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_100mb() {
+        let e = pass_economics(100_000_000);
+        assert_eq!(e.scratch_disks, 16);
+        assert!((e.memory_cost - 10_000.0).abs() < 1.0);
+        assert!((e.scratch_cost - 38_400.0).abs() < 1.0);
+        assert!(e.one_pass_wins());
+        // §6: "360% more expensive to buy the disks".
+        assert!((e.scratch_cost / e.memory_cost - 3.84).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_anchor_1gb() {
+        let e = pass_economics(1_000_000_000);
+        assert_eq!(e.scratch_disks, 36);
+        assert!((e.memory_cost - 100_000.0).abs() < 1.0);
+        assert!((e.scratch_cost - 86_400.0).abs() < 1.0);
+        assert!(!e.one_pass_wins());
+        // §6: "15% less expensive to buy 36 extra disks".
+        assert!((1.0 - e.scratch_cost / e.memory_cost - 0.14).abs() < 0.03);
+    }
+
+    #[test]
+    fn crossover_is_just_under_a_gigabyte() {
+        let x = crossover_bytes();
+        assert!(
+            (500_000_000..1_000_000_000).contains(&x),
+            "crossover at {x}"
+        );
+    }
+
+    #[test]
+    fn wce_saves_roughly_the_papers_20_percent() {
+        // The paper's write-integrity footnote: RZ26-class drives write
+        // ~25–30% below their read rate, so WCE saves ~12–20% of disks.
+        let saving = wce_disk_saving(1.8, 1.4);
+        assert!((0.10..0.25).contains(&saving), "saving {saving}");
+        // A drive whose writes are at half its read rate would save 1/3.
+        assert!((wce_disk_saving(4.0, 2.0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disks_needed_for_the_8_second_sort() {
+        // §6: the 100 MB sort at ~8–9 s on RZ26-class arrays used 16 disks.
+        let n = disks_needed(1.8, 1.4, 100.0, 8.0);
+        assert!((15..=18).contains(&n), "disks {n}");
+        // With WCE, fewer.
+        let n_wce = disks_needed(1.8, 1.8, 100.0, 8.0);
+        assert!(n_wce < n);
+    }
+
+    #[test]
+    fn tiny_sorts_always_one_pass() {
+        assert!(pass_economics(1_000_000).one_pass_wins());
+    }
+
+    #[test]
+    fn terabyte_sorts_always_two_pass() {
+        assert!(!pass_economics(1_000_000_000_000).one_pass_wins());
+    }
+}

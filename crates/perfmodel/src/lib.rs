@@ -1,0 +1,33 @@
+//! Prices, metrics, and the analytic performance model.
+//!
+//! The paper's elapsed-time tables are bandwidth-and-overlap arithmetic over
+//! 1993 hardware, and its price-performance numbers are that arithmetic
+//! times 1993 list prices. This crate holds both:
+//!
+//! * [`prices`] — 1993 constants ($100/MB memory, ~$2,400 disk+controller)
+//!   and the depreciation rules of the Datamation, MinuteSort and
+//!   DollarSort metrics ([`metrics`]),
+//! * [`machines`] — the five Alpha AXP configurations of Table 8,
+//! * [`phase`] — the phase/overlap model that regenerates §7's 9.1-second
+//!   walk-through, Table 8's times, and Figure 7's breakdown,
+//! * [`economics`] — §6's one-pass vs. two-pass buy-memory-or-disks
+//!   analysis,
+//! * [`history`] — Table 1 / Graph 2's published-results data,
+//! * [`table`] — plain-text table rendering shared by the experiments.
+
+pub mod chart;
+pub mod economics;
+pub mod history;
+pub mod machines;
+pub mod metrics;
+pub mod phase;
+pub mod prices;
+pub mod table;
+
+pub use chart::LogChart;
+pub use machines::MachineConfig;
+pub use metrics::{
+    datamation_dollars_per_sort, dollarsort, minutesort, DollarSortResult, MinuteSortResult,
+};
+pub use phase::{datamation_model, PhaseBreakdown};
+pub use table::Table;

@@ -1,0 +1,117 @@
+//! The benchmark metrics: Datamation $/sort, MinuteSort, DollarSort (§8).
+
+use crate::prices::{FIVE_YEARS_SECS, MINUTES_PER_DOLLAR_DIVISOR};
+
+/// Datamation price metric: the 5-year system cost prorated over the sort's
+/// elapsed time. "A one minute sort on a machine with a 5-year cost of a
+/// million dollars would cost 38 cents."
+///
+/// ```
+/// use alphasort_perfmodel::metrics::datamation_dollars_per_sort;
+/// let cents = datamation_dollars_per_sort(1_000_000.0, 60.0) * 100.0;
+/// assert!((cents - 38.0).abs() < 0.5);
+/// ```
+pub fn datamation_dollars_per_sort(system_price: f64, elapsed_s: f64) -> f64 {
+    system_price * elapsed_s / FIVE_YEARS_SECS
+}
+
+/// MinuteSort results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinuteSortResult {
+    /// Gigabytes sorted in the minute.
+    pub sorted_gb: f64,
+    /// Cost of the minute, dollars (price / 1M: 3-year depreciation with
+    /// the built-in ~30% software inflator).
+    pub minute_cost: f64,
+    /// Price-performance, $/sorted GB.
+    pub dollars_per_gb: f64,
+}
+
+/// Score a MinuteSort run: `sorted_bytes` sorted within the minute on a
+/// system with the given list price.
+pub fn minutesort(system_price: f64, sorted_bytes: u64) -> MinuteSortResult {
+    let sorted_gb = sorted_bytes as f64 / 1e9;
+    let minute_cost = system_price / MINUTES_PER_DOLLAR_DIVISOR;
+    MinuteSortResult {
+        sorted_gb,
+        minute_cost,
+        dollars_per_gb: if sorted_gb > 0.0 {
+            minute_cost / sorted_gb
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+/// DollarSort results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DollarSortResult {
+    /// The time budget one dollar buys on this system, seconds.
+    pub budget_s: f64,
+    /// Gigabytes sorted within the budget.
+    pub sorted_gb: f64,
+    /// Elapsed time actually used, seconds.
+    pub elapsed_s: f64,
+}
+
+/// The elapsed-time budget one dollar buys: "each minute of computer time
+/// costs about one millionth of the system list price", so a million-dollar
+/// system gets one minute and a 10,000$ system gets 100 minutes.
+pub fn dollarsort_budget_s(system_price: f64) -> f64 {
+    assert!(system_price > 0.0, "system price must be positive");
+    60.0 * MINUTES_PER_DOLLAR_DIVISOR / system_price
+}
+
+/// Score a DollarSort run.
+pub fn dollarsort(system_price: f64, sorted_bytes: u64, elapsed_s: f64) -> DollarSortResult {
+    DollarSortResult {
+        budget_s: dollarsort_budget_s(system_price),
+        sorted_gb: sorted_bytes as f64 / 1e9,
+        elapsed_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_38_cent_example() {
+        // 1 M$ machine, one-minute sort → 38 cents.
+        let d = datamation_dollars_per_sort(1_000_000.0, 60.0);
+        assert!((d - 0.38).abs() < 0.005, "{d}");
+    }
+
+    #[test]
+    fn paper_table8_dollars_per_sort() {
+        // DEC 7000 3-cpu: 312 k$, 7.0 s → 0.014 $.
+        let d = datamation_dollars_per_sort(312_000.0, 7.0);
+        assert!((d - 0.014).abs() < 0.001, "{d}");
+        // DEC 3000: 97 k$, 13.7 s → 0.009 $ (the price-performance leader).
+        let d = datamation_dollars_per_sort(97_000.0, 13.7);
+        assert!((d - 0.009).abs() < 0.001, "{d}");
+    }
+
+    #[test]
+    fn paper_minutesort_example() {
+        // 512 k$ system sorting 1.08 GB: 51 cents, 0.47 $/GB.
+        let r = minutesort(512_000.0, 1_080_000_000);
+        assert!((r.minute_cost - 0.512).abs() < 0.001);
+        assert!(
+            (r.dollars_per_gb - 0.474).abs() < 0.01,
+            "{}",
+            r.dollars_per_gb
+        );
+    }
+
+    #[test]
+    fn dollarsort_budgets() {
+        assert!((dollarsort_budget_s(1_000_000.0) - 60.0).abs() < 1e-9);
+        assert!((dollarsort_budget_s(10_000.0) - 6_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minutesort_zero_bytes_is_infinite_price() {
+        assert!(minutesort(100_000.0, 0).dollars_per_gb.is_infinite());
+    }
+}

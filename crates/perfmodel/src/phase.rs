@@ -1,0 +1,219 @@
+//! The analytic phase model: §7's walk-through as arithmetic.
+//!
+//! The one-pass sort's schedule is:
+//!
+//! ```text
+//! startup | read ∥ quicksort | last-run sort | write ∥ merge+gather | shutdown
+//! ```
+//!
+//! Each overlapped phase takes the *max* of its IO time and its CPU time
+//! (divided across CPUs), because AlphaSort triple-buffers and hands chores
+//! to workers. CPU constants are calibrated on the paper's own numbers for
+//! the 200 MHz (5 ns) uniprocessor: ~2.1 s of QuickSort + extraction,
+//! ~3.9 s of merge+gather ("it takes almost four seconds of processor and
+//! memory time"), 0.12 s to sort the last run, and ~0.3 s of startup plus
+//! shutdown (§6 itemizes 0.19 s of opens/closes on top of 0.11 s of load).
+
+use crate::machines::MachineConfig;
+
+/// CPU seconds to extract + QuickSort 100 MB of entries on one 5 ns CPU.
+const SORT_CPU_100MB_5NS: f64 = 2.1;
+/// CPU seconds to merge + gather 100 MB on one 5 ns CPU.
+const MERGE_GATHER_CPU_100MB_5NS: f64 = 3.9;
+/// Seconds to sort the final run after input completes (no IO overlap).
+const LAST_RUN_SORT_5NS: f64 = 0.12;
+/// Launch + opens + creates (before data flows).
+const STARTUP_S: f64 = 0.2;
+/// Closes + return to shell.
+const SHUTDOWN_S: f64 = 0.15;
+
+/// Where the modeled time goes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Launch, opens, creates.
+    pub startup: f64,
+    /// Read phase (overlapped with QuickSorting): its elapsed time.
+    pub read_phase: f64,
+    /// Of the read phase, how much was pure IO wait vs CPU-bound.
+    pub read_io_bound: bool,
+    /// Sorting the last run (input finished, output not started).
+    pub last_run_sort: f64,
+    /// Write phase (overlapped with merge+gather): its elapsed time.
+    pub write_phase: f64,
+    /// Whether the write phase was IO bound.
+    pub write_io_bound: bool,
+    /// Closes, return to shell.
+    pub shutdown: f64,
+    /// QuickSort CPU consumed (across all CPUs).
+    pub sort_cpu: f64,
+    /// Merge+gather CPU consumed (across all CPUs).
+    pub merge_gather_cpu: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total elapsed seconds.
+    pub fn total(&self) -> f64 {
+        self.startup + self.read_phase + self.last_run_sort + self.write_phase + self.shutdown
+    }
+}
+
+/// Model a one-pass Datamation-style sort of `input_mb` megabytes on `m`.
+pub fn datamation_model(m: &MachineConfig, input_mb: f64) -> PhaseBreakdown {
+    let clock_scale = m.clock_ns / 5.0;
+    let size_scale = input_mb / 100.0;
+    let cpus = f64::from(m.cpus.max(1));
+
+    let sort_cpu = SORT_CPU_100MB_5NS * clock_scale * size_scale;
+    let merge_gather_cpu = MERGE_GATHER_CPU_100MB_5NS * clock_scale * size_scale;
+    let read_io = input_mb / m.read_mbps;
+    let write_io = input_mb / m.write_mbps;
+
+    let read_phase = read_io.max(sort_cpu / cpus);
+    let write_phase = write_io.max(merge_gather_cpu / cpus);
+
+    PhaseBreakdown {
+        startup: STARTUP_S,
+        read_phase,
+        read_io_bound: read_io >= sort_cpu / cpus,
+        last_run_sort: LAST_RUN_SORT_5NS * clock_scale,
+        write_phase,
+        write_io_bound: write_io >= merge_gather_cpu / cpus,
+        shutdown: SHUTDOWN_S,
+        sort_cpu,
+        merge_gather_cpu,
+    }
+}
+
+/// One slice of the Figure 7 pie: where the 9-second sort's clock ticks go,
+/// as the paper's hardware monitor reported them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure7Slice {
+    /// Component name.
+    pub component: &'static str,
+    /// Fraction of total cycles.
+    pub fraction: f64,
+}
+
+/// The paper's Figure 7 / §7 processor-time breakdown for the DEC 7000
+/// uniprocessor run: 29% of clocks issue instructions; 56% stall on
+/// D-stream misses (12% serviced by the B-cache, 44% by memory); 11% stall
+/// on I-stream misses; 4% on branch mispredicts.
+pub fn figure7_paper() -> Vec<Figure7Slice> {
+    vec![
+        Figure7Slice {
+            component: "issuing instructions",
+            fraction: 0.29,
+        },
+        Figure7Slice {
+            component: "D-stream miss, D-to-B",
+            fraction: 0.12,
+        },
+        Figure7Slice {
+            component: "D-stream miss, B-to-memory",
+            fraction: 0.44,
+        },
+        Figure7Slice {
+            component: "I-stream miss",
+            fraction: 0.11,
+        },
+        Figure7Slice {
+            component: "branch mispredict",
+            fraction: 0.04,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{minutesort_machine, table8};
+
+    #[test]
+    fn uniprocessor_walkthrough_lands_on_9_1_seconds() {
+        let m = &table8()[2]; // 1-cpu DEC 7000
+        let b = datamation_model(m, 100.0);
+        // §7: read 3.87 s, last run 0.12 s, write 4.9 s, ~9.1 s total.
+        assert!((b.read_phase - 3.87).abs() < 0.05, "read {}", b.read_phase);
+        assert!(
+            (b.write_phase - 4.9).abs() < 0.05,
+            "write {}",
+            b.write_phase
+        );
+        assert!((b.total() - 9.1).abs() < 0.25, "total {}", b.total());
+        assert!(b.read_io_bound && b.write_io_bound);
+    }
+
+    #[test]
+    fn every_table8_row_within_ten_percent_of_paper() {
+        for m in table8() {
+            let b = datamation_model(&m, 100.0);
+            let err = (b.total() - m.paper_time_s).abs() / m.paper_time_s;
+            assert!(
+                err < 0.10,
+                "{}: modeled {:.2} vs paper {:.2}",
+                m.name,
+                b.total(),
+                m.paper_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn more_cpus_help_only_cpu_bound_phases() {
+        let mut m = table8()[2].clone();
+        let one = datamation_model(&m, 100.0);
+        m.cpus = 3;
+        let three = datamation_model(&m, 100.0);
+        // Both phases were IO bound on this machine: no change.
+        assert_eq!(one.total(), three.total());
+
+        // Starve the IO so the merge+gather becomes CPU bound.
+        m.read_mbps = 200.0;
+        m.write_mbps = 200.0;
+        m.cpus = 1;
+        let cpu_bound = datamation_model(&m, 100.0);
+        assert!(!cpu_bound.write_io_bound);
+        m.cpus = 3;
+        let cpu_bound_3 = datamation_model(&m, 100.0);
+        assert!(cpu_bound_3.total() < cpu_bound.total());
+    }
+
+    #[test]
+    fn minutesort_machine_sorts_about_a_gigabyte_per_minute() {
+        // The paper: 1.08 GB in a minute on the 3-cpu 36-disk DEC 7000.
+        let m = minutesort_machine();
+        let b = datamation_model(&m, 1_080.0);
+        assert!(
+            (b.total() - 60.0).abs() < 8.0,
+            "modeled {:.1} s for 1.08 GB",
+            b.total()
+        );
+    }
+
+    #[test]
+    fn figure7_fractions_sum_to_one() {
+        let total: f64 = figure7_paper().iter().map(|s| s.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_disk_hits_the_one_minute_barrier() {
+        // §6: one 1993 SCSI disk (4.5 read / 3.5 write) ≈ one minute.
+        let m = MachineConfig {
+            name: "one disk".into(),
+            cpus: 1,
+            clock_ns: 5.0,
+            controllers: "1 SCSI".into(),
+            drives: "1".into(),
+            memory_mb: 256,
+            read_mbps: 4.5,
+            write_mbps: 3.5,
+            system_price: 100_000.0,
+            disk_ctlr_price: 2_400.0,
+            paper_time_s: 60.0,
+            paper_dollars_per_sort: 0.0,
+        };
+        let b = datamation_model(&m, 100.0);
+        assert!(b.total() > 48.0 && b.total() < 60.0, "total {}", b.total());
+    }
+}

@@ -1,0 +1,40 @@
+//! 1993 price constants from the paper.
+
+/// Memory price, dollars per megabyte (§6: "At 100$/MB this is 10k$").
+pub const MEMORY_PER_MB: f64 = 100.0;
+
+/// A commodity disk plus its share of a controller (§6: "a disk and its
+/// controller costs about 2400$").
+pub const DISK_PLUS_CONTROLLER: f64 = 2400.0;
+
+/// Seconds in the TPC's 5-year depreciation window (Datamation $/sort).
+pub const FIVE_YEARS_SECS: f64 = 5.0 * 365.25 * 24.0 * 3600.0;
+
+/// Minutes in 3 years — the paper rounds 1.58 M to 1 M to fold in a ~30%
+/// software/maintenance inflator ("dividing the price by 1M gives a slight
+/// (30%) inflator").
+pub const MINUTES_PER_DOLLAR_DIVISOR: f64 = 1.0e6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_100mb_memory_cost() {
+        // §6: 100 MB of memory at 100 $/MB = 10 k$.
+        assert_eq!(100.0 * MEMORY_PER_MB, 10_000.0);
+    }
+
+    #[test]
+    fn paper_16_scratch_disks_cost() {
+        // §6: 16 scratch disks = 38.4 k$ ("a total price of 36k$" in the
+        // text's rounding).
+        assert_eq!(16.0 * DISK_PLUS_CONTROLLER, 38_400.0);
+    }
+
+    #[test]
+    fn three_years_is_about_1_58m_minutes() {
+        let minutes: f64 = 3.0 * 365.25 * 24.0 * 60.0;
+        assert!((minutes / 1.0e6 - 1.58).abs() < 0.01);
+    }
+}

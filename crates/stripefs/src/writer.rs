@@ -1,0 +1,208 @@
+//! Buffered sequential striped writing with write-behind.
+//!
+//! Full strides are issued asynchronously as soon as they are staged; up to
+//! `depth` strides stay in flight (default 3), so the writer returns to the
+//! caller while member disks drain — the output-side half of the paper's
+//! triple buffering.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::Arc;
+
+use crate::file::{StripedFile, StripedWrite};
+
+/// Sequential writer over a [`StripedFile`] with N-deep write-behind.
+pub struct StripedWriter {
+    file: Arc<StripedFile>,
+    depth: usize,
+    /// Logical offset of the next issued write.
+    pos: u64,
+    staging: Vec<u8>,
+    inflight: VecDeque<StripedWrite>,
+    finished: bool,
+}
+
+impl StripedWriter {
+    /// Default number of strides kept in flight.
+    pub const DEFAULT_DEPTH: usize = 3;
+
+    /// Start writing `file` at offset 0 with the default depth.
+    pub fn new(file: Arc<StripedFile>) -> Self {
+        Self::with_depth(file, Self::DEFAULT_DEPTH)
+    }
+
+    /// Start writing `file` at offset 0, keeping `depth` strides in flight.
+    pub fn with_depth(file: Arc<StripedFile>, depth: usize) -> Self {
+        assert!(depth > 0, "write-behind depth must be positive");
+        StripedWriter {
+            file,
+            depth,
+            pos: 0,
+            staging: Vec::new(),
+            inflight: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// Bytes accepted so far (issued + staged).
+    pub fn position(&self) -> u64 {
+        self.pos + self.staging.len() as u64
+    }
+
+    fn reap(&mut self, down_to: usize) -> io::Result<()> {
+        while self.inflight.len() > down_to {
+            let w = self.inflight.pop_front().expect("inflight not empty");
+            w.wait()?;
+        }
+        Ok(())
+    }
+
+    fn issue_full_strides(&mut self) -> io::Result<()> {
+        let stride = self.file.stride() as usize;
+        let mut issued = 0;
+        while self.staging.len() - issued >= stride {
+            // Block if the pipeline is full (backpressure).
+            self.reap(self.depth - 1)?;
+            let chunk = &self.staging[issued..issued + stride];
+            let w = self.file.write_at_async(self.pos, chunk);
+            self.inflight.push_back(w);
+            self.pos += stride as u64;
+            issued += stride;
+        }
+        if issued > 0 {
+            self.staging.drain(..issued);
+        }
+        Ok(())
+    }
+
+    /// Append bytes; full strides are issued asynchronously behind the call.
+    pub fn push(&mut self, data: &[u8]) -> io::Result<()> {
+        assert!(!self.finished, "writer already finished");
+        self.staging.extend_from_slice(data);
+        self.issue_full_strides()
+    }
+
+    /// Flush the final partial stride and wait for everything in flight.
+    /// Returns the total logical bytes written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.finished = true;
+        self.issue_full_strides()?;
+        if !self.staging.is_empty() {
+            let tail = std::mem::take(&mut self.staging);
+            let w = self.file.write_at_async(self.pos, &tail);
+            self.pos += tail.len() as u64;
+            self.inflight.push_back(w);
+        }
+        self.reap(0)?;
+        Ok(self.pos)
+    }
+}
+
+impl Write for StripedWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.push(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Only whole-stride granularity is flushed here; the partial tail
+        // goes out in `finish()`.
+        self.issue_full_strides()?;
+        self.reap(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::StripedReader;
+    use crate::volume::Volume;
+    use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
+
+    fn volume(n: usize) -> Volume {
+        let disks = (0..n)
+            .map(|i| {
+                SimDisk::new(
+                    format!("d{i}"),
+                    catalog::uncapped(),
+                    Arc::new(MemStorage::new()),
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        Volume::new(Arc::new(IoEngine::new(disks)))
+    }
+
+    #[test]
+    fn write_read_roundtrip_via_streams() {
+        let v = volume(4);
+        let f = Arc::new(v.create_across_all("out", 128, 20_000));
+        let data: Vec<u8> = (0..20_000).map(|i| (i % 253) as u8).collect();
+
+        let mut w = StripedWriter::new(Arc::clone(&f));
+        for chunk in data.chunks(777) {
+            w.push(chunk).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 20_000);
+
+        let mut r = StripedReader::new(f);
+        let mut got = Vec::new();
+        std::io::Read::read_to_end(&mut r, &mut got).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn tiny_pushes_coalesce_into_strides() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("tiny", 64, 1_000));
+        let mut w = StripedWriter::new(Arc::clone(&f));
+        for i in 0..1_000u32 {
+            w.push(&[(i % 251) as u8]).unwrap();
+        }
+        w.finish().unwrap();
+        let back = f.read_at(0, 1_000).unwrap();
+        assert!(back.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+    }
+
+    #[test]
+    fn finish_flushes_partial_tail() {
+        let v = volume(3);
+        let f = Arc::new(v.create_across_all("tail", 100, 500));
+        let mut w = StripedWriter::new(Arc::clone(&f));
+        w.push(&[9u8; 50]).unwrap(); // less than one chunk
+        assert_eq!(w.finish().unwrap(), 50);
+        assert_eq!(f.read_at(0, 50).unwrap(), vec![9u8; 50]);
+        assert_eq!(f.len(), 50);
+    }
+
+    #[test]
+    fn position_tracks_accepted_bytes() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("pos", 64, 1024));
+        let mut w = StripedWriter::new(f);
+        w.push(&[0u8; 100]).unwrap();
+        assert_eq!(w.position(), 100);
+        w.push(&[0u8; 29]).unwrap();
+        assert_eq!(w.position(), 129);
+    }
+
+    #[test]
+    fn io_write_trait_works() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("wtrait", 64, 1024));
+        let mut w = StripedWriter::new(Arc::clone(&f));
+        std::io::Write::write_all(&mut w, &[5u8; 300]).unwrap();
+        std::io::Write::flush(&mut w).unwrap();
+        w.finish().unwrap();
+        assert_eq!(f.read_at(0, 300).unwrap(), vec![5u8; 300]);
+    }
+
+    #[test]
+    fn empty_finish_is_zero_bytes() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("none", 64, 0));
+        let w = StripedWriter::new(f);
+        assert_eq!(w.finish().unwrap(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for stripe geometry and striped IO.
+
+use std::sync::Arc;
+
+use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
+use alphasort_stripefs::{Member, StripeDef, StripedFile, StripedReader, StripedWriter, Volume};
+use proptest::prelude::*;
+
+fn arb_def() -> impl Strategy<Value = StripeDef> {
+    (1u64..64, 1usize..8).prop_map(|(chunk, width)| {
+        let members = (0..width)
+            .map(|i| Member {
+                disk: i,
+                base: (i as u64) * 1_000_000,
+            })
+            .collect();
+        StripeDef::new("p", chunk, members)
+    })
+}
+
+proptest! {
+    /// plan() covers the requested range exactly: contiguous buffer offsets,
+    /// each segment inside one chunk, total length preserved.
+    #[test]
+    fn plan_partitions_range(def in arb_def(), offset in 0u64..10_000, len in 0usize..5_000) {
+        let segs = def.plan(offset, len);
+        let mut expect_buf = 0usize;
+        for s in &segs {
+            prop_assert_eq!(s.buf_off, expect_buf);
+            prop_assert!(s.len > 0);
+            prop_assert!(s.len as u64 <= def.chunk);
+            expect_buf += s.len;
+        }
+        prop_assert_eq!(expect_buf, len);
+    }
+
+    /// locate() agrees with plan(): single-byte plans land where locate says.
+    #[test]
+    fn locate_matches_plan(def in arb_def(), offset in 0u64..10_000) {
+        let (member, phys) = def.locate(offset);
+        let segs = def.plan(offset, 1);
+        prop_assert_eq!(segs.len(), 1);
+        prop_assert_eq!(segs[0].member, member);
+        prop_assert_eq!(segs[0].phys, phys);
+    }
+
+    /// Distinct logical offsets never map to the same physical byte.
+    #[test]
+    fn no_two_offsets_collide(def in arb_def(), a in 0u64..2_000, b in 0u64..2_000) {
+        prop_assume!(a != b);
+        let (ma, pa) = def.locate(a);
+        let (mb, pb) = def.locate(b);
+        prop_assert!((ma, pa) != (mb, pb), "offsets {a} and {b} collide");
+    }
+
+    /// Writing then reading arbitrary ranges through a striped file is an
+    /// identity, for arbitrary geometry.
+    #[test]
+    fn striped_io_roundtrip(
+        chunk in 1u64..128,
+        width in 1usize..6,
+        len in 0usize..4_000,
+        offset in 0u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let disks = (0..width)
+            .map(|i| {
+                SimDisk::new(
+                    format!("d{i}"),
+                    catalog::uncapped(),
+                    Arc::new(MemStorage::new()),
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        let engine = Arc::new(IoEngine::new(disks));
+        let members = (0..width).map(|i| Member { disk: i, base: 0 }).collect();
+        let f = StripedFile::new(StripeDef::new("io", chunk, members), engine);
+
+        let mut state = seed;
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        f.write_at(offset, &data).unwrap();
+        prop_assert_eq!(f.read_at(offset, len).unwrap(), data);
+    }
+
+    /// Streaming writer + reader is an identity for arbitrary chunking of
+    /// the pushes.
+    #[test]
+    fn stream_roundtrip(
+        chunk in 16u64..256,
+        width in 1usize..5,
+        pieces in proptest::collection::vec(0usize..700, 0..12),
+    ) {
+        let disks = (0..width)
+            .map(|i| {
+                SimDisk::new(
+                    format!("d{i}"),
+                    catalog::uncapped(),
+                    Arc::new(MemStorage::new()),
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        let v = Volume::new(Arc::new(IoEngine::new(disks)));
+        let total: usize = pieces.iter().sum();
+        let f = Arc::new(v.create_across_all("s", chunk, total as u64));
+
+        let mut data = Vec::new();
+        let mut w = StripedWriter::new(Arc::clone(&f));
+        let mut b: u8 = 0;
+        for &p in &pieces {
+            let piece: Vec<u8> = (0..p)
+                .map(|_| {
+                    b = b.wrapping_add(17);
+                    b
+                })
+                .collect();
+            w.push(&piece).unwrap();
+            data.extend_from_slice(&piece);
+        }
+        prop_assert_eq!(w.finish().unwrap(), total as u64);
+
+        let mut r = StripedReader::new(f);
+        let mut got = Vec::new();
+        std::io::Read::read_to_end(&mut r, &mut got).unwrap();
+        prop_assert_eq!(got, data);
+    }
+}

@@ -1,0 +1,87 @@
+//! Explore the cache behaviour behind AlphaSort's design (§4, Figure 4).
+//!
+//! Replays the sort kernels against the simulated Alpha AXP hierarchy
+//! (8 KB direct-mapped D-cache, 4 MB B-cache, 32-entry TLB) and prints
+//! misses per record for:
+//!
+//! * the four QuickSort representations (record / pointer / key / prefix),
+//! * replacement-selection with naive vs. clustered tournament layouts,
+//! * the merge-phase gather.
+//!
+//! ```sh
+//! cargo run --release --example cache_explorer [records]
+//! ```
+
+use alphasort_suite::cachesim::{
+    traced_gather, traced_merge, traced_quicksort, traced_tournament_sort, Hierarchy,
+    QuickSortVariant, TournamentLayout,
+};
+use alphasort_suite::perfmodel::table::Table;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("Traced kernels over {n} records, Alpha AXP hierarchy\n");
+    let mut table = Table::new(["kernel", "D-miss/rec", "B-miss/rec", "TLB-miss/rec"]);
+
+    for v in QuickSortVariant::ALL {
+        let mut mem = Hierarchy::alpha_axp();
+        let r = traced_quicksort(n, 7, v, &mut mem);
+        table.row([
+            r.label.clone(),
+            format!("{:.2}", r.d_misses_per_elem()),
+            format!("{:.3}", r.b_misses_per_elem()),
+            format!("{:.3}", r.tlb_misses_per_elem()),
+        ]);
+    }
+    let tournament_slots = (n / 2).next_power_of_two().max(1_024);
+    for layout in [TournamentLayout::Naive, TournamentLayout::Clustered] {
+        for record_traffic in [true, false] {
+            let mut mem = Hierarchy::alpha_axp();
+            let r =
+                traced_tournament_sort(n, tournament_slots, 7, layout, record_traffic, &mut mem);
+            table.row([
+                format!(
+                    "{}{}",
+                    r.label,
+                    if record_traffic { "" } else { " (tree only)" }
+                ),
+                format!("{:.2}", r.d_misses_per_elem()),
+                format!("{:.3}", r.b_misses_per_elem()),
+                format!("{:.3}", r.tlb_misses_per_elem()),
+            ]);
+        }
+    }
+    {
+        let mut mem = Hierarchy::alpha_axp();
+        let r = traced_merge(n, 10, 7, &mut mem);
+        table.row([
+            r.label.clone(),
+            format!("{:.2}", r.d_misses_per_elem()),
+            format!("{:.3}", r.b_misses_per_elem()),
+            format!("{:.3}", r.tlb_misses_per_elem()),
+        ]);
+    }
+    {
+        let mut mem = Hierarchy::alpha_axp();
+        let r = traced_gather(n, 7, &mut mem);
+        table.row([
+            r.label.clone(),
+            format!("{:.2}", r.d_misses_per_elem()),
+            format!("{:.3}", r.b_misses_per_elem()),
+            format!("{:.3}", r.tlb_misses_per_elem()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nReadings: the key-prefix QuickSort misses least (its inner loop\n\
+         lives in the on-chip cache); the tournament thrashes the D-cache\n\
+         (Figure 4); clustering parent/child nodes into one line recovers\n\
+         part of it (§4); and the gather pays ~4 line misses plus a TLB\n\
+         miss per record — the paper's \"terrible cache and TLB behavior\"."
+    );
+}

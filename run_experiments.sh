@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+set -e
+cargo build --release -p alphasort-bench
+for b in table1 fig3 fig4 variants striping table6 onepass fig7 table8 \
+         walkthrough minutesort dollarsort speedup baseline terabyte ablation; do
+  echo
+  echo "################################ exp_$b"
+  ./target/release/exp_$b
+done

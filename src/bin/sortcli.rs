@@ -1,0 +1,231 @@
+//! `sortcli` — an industrial-strength command-line face for AlphaSort.
+//!
+//! The paper distinguishes benchmark specials from "street-legal" sorts
+//! ("AlphaSort slowed down as it was productized in Rdb and in OSF/1
+//! HyperSort"). This is the productized entry point: sort a file of
+//! 100-byte records on the host file system, one- or two-pass, with worker
+//! threads, and optionally verify the output.
+//!
+//! ```text
+//! sortcli <input> <output> [--mem BYTES] [--workers N] [--run RECORDS]
+//!         [--rep record|pointer|key|key-prefix|codeword] [--two-pass]
+//!         [--gen RECORDS[:SEED]] [--verify]
+//! ```
+//!
+//! `--gen` first writes a Datamation-style input file (and with `--verify`
+//! checks the output is a sorted permutation of it).
+
+use std::process::ExitCode;
+
+use alphasort_suite::dmgen::{validate_reader, GenConfig, Generator, RECORD_LEN};
+use alphasort_suite::sort::driver::{one_pass, two_pass, MemScratch};
+use alphasort_suite::sort::io::RecordSink;
+use alphasort_suite::sort::io_file::{FileSink, FileSource};
+use alphasort_suite::sort::{Representation, SortConfig};
+
+struct Args {
+    input: String,
+    output: String,
+    mem: u64,
+    workers: usize,
+    run_records: usize,
+    rep: Representation,
+    two_pass: bool,
+    gen: Option<(u64, u64)>,
+    verify: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sortcli <input> <output> [--mem BYTES] [--workers N] \
+         [--run RECORDS] [--rep NAME] [--two-pass] [--gen RECORDS[:SEED]] [--verify]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut pos = Vec::new();
+    let mut args = Args {
+        input: String::new(),
+        output: String::new(),
+        mem: 256 << 20,
+        workers: 0,
+        run_records: 100_000,
+        rep: Representation::KeyPrefix,
+        two_pass: false,
+        gen: None,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--mem" => args.mem = value("--mem")?.parse().map_err(|_| usage())?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(|_| usage())?,
+            "--run" => args.run_records = value("--run")?.parse().map_err(|_| usage())?,
+            "--rep" => {
+                let v = value("--rep")?;
+                args.rep = Representation::ALL
+                    .into_iter()
+                    .find(|r| r.name() == v)
+                    .ok_or_else(|| {
+                        eprintln!("unknown representation {v}");
+                        usage()
+                    })?;
+            }
+            "--two-pass" => args.two_pass = true,
+            "--verify" => args.verify = true,
+            "--gen" => {
+                let v = value("--gen")?;
+                let (n, seed) = match v.split_once(':') {
+                    Some((n, s)) => (
+                        n.parse().map_err(|_| usage())?,
+                        s.parse().map_err(|_| usage())?,
+                    ),
+                    None => (v.parse().map_err(|_| usage())?, 42u64),
+                };
+                args.gen = Some((n, seed));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => pos.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return Err(usage());
+            }
+        }
+    }
+    if pos.len() != 2 {
+        return Err(usage());
+    }
+    args.input = pos.remove(0);
+    args.output = pos.remove(0);
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    // Optional input generation.
+    let checksum = match args.gen {
+        Some((records, seed)) => {
+            let mut gen = Generator::new(GenConfig::datamation(records, seed));
+            let mut sink = match FileSink::create(&args.input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args.input);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut buf = vec![0u8; 10_000 * RECORD_LEN];
+            loop {
+                let n = gen.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                if let Err(e) = sink.push(&buf[..n]) {
+                    eprintln!("write failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = sink.complete() {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "generated {} records ({:.1} MB) into {}",
+                records,
+                records as f64 * RECORD_LEN as f64 / 1e6,
+                args.input
+            );
+            Some(gen.checksum())
+        }
+        None => None,
+    };
+
+    let cfg = SortConfig {
+        run_records: args.run_records,
+        representation: args.rep,
+        workers: args.workers,
+        gather_batch: 10_000,
+        memory_budget: args.mem,
+        max_fanin: 128,
+    };
+
+    let mut source = match FileSource::open(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sink = match FileSink::create(&args.output) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", args.output);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = if args.two_pass {
+        let mut scratch = MemScratch::new(10_000 * RECORD_LEN);
+        two_pass(&mut source, &mut sink, &mut scratch, &cfg)
+    } else {
+        one_pass(&mut source, &mut sink, &cfg)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sort failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let st = &outcome.stats;
+    eprintln!(
+        "sorted {} records in {:.3} s ({:.1} MB/s): {} runs, \
+         quicksort {:.3} s, merge {:.3} s, gather {:.3} s, {} pass(es)",
+        st.records,
+        st.elapsed.as_secs_f64(),
+        st.throughput_mbps(),
+        st.runs,
+        st.sort_time.as_secs_f64(),
+        st.merge_time.as_secs_f64(),
+        st.gather_time.as_secs_f64(),
+        if st.one_pass { "one" } else { "two" },
+    );
+
+    if args.verify {
+        let Some(checksum) = checksum else {
+            eprintln!("--verify requires --gen (the input fingerprint)");
+            return ExitCode::from(2);
+        };
+        let mut f = match std::fs::File::open(&args.output) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot reopen output: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_reader(&mut f, checksum) {
+            Ok(Ok(report)) => {
+                eprintln!("verified: {} records, sorted permutation ✓", report.records)
+            }
+            Ok(Err(e)) => {
+                eprintln!("OUTPUT INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("verify IO error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! `valsort` — validate a sorted Datamation file.
+//!
+//! Checks key order, counts records and duplicate-key pairs, and prints the
+//! file's order-independent fingerprint. With `--expect COUNT:SUM:XOR`
+//! (the line `gensort` printed) it also verifies the file is a permutation
+//! of the generated input.
+//!
+//! ```text
+//! valsort <file> [--expect COUNT:SUM:XOR]
+//! ```
+
+use std::process::ExitCode;
+
+use alphasort_suite::dmgen::{validate_reader, Checksum, Record, RunningChecksum, RECORD_LEN};
+
+fn parse_checksum(s: &str) -> Option<Checksum> {
+    let mut parts = s.split(':');
+    let count = parts.next()?.parse().ok()?;
+    let sum = parts.next()?.parse().ok()?;
+    let xor = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Checksum { count, sum, xor })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos = Vec::new();
+    let mut expect: Option<Checksum> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect" => {
+                i += 1;
+                expect = match args.get(i).map(|s| parse_checksum(s)) {
+                    Some(Some(cs)) => Some(cs),
+                    _ => {
+                        eprintln!("--expect needs COUNT:SUM:XOR");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other if !other.starts_with('-') => pos.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if pos.len() != 1 {
+        eprintln!("usage: valsort <file> [--expect COUNT:SUM:XOR]");
+        return ExitCode::from(2);
+    }
+
+    let mut file = match std::fs::File::open(&pos[0]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", pos[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match expect {
+        Some(cs) => match validate_reader(&mut file, cs) {
+            Ok(Ok(report)) => {
+                eprintln!(
+                    "OK: {} records in key order, permutation matches \
+                     ({} duplicate-key pairs)",
+                    report.records, report.equal_key_pairs
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(Err(e)) => {
+                eprintln!("INVALID: {e}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("IO error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            // Order check + fingerprint report, no reference to compare.
+            use std::io::Read;
+            let mut buf = vec![0u8; 8192 * RECORD_LEN];
+            let mut pending = 0usize;
+            let mut rc = RunningChecksum::new();
+            let mut prev: Option<[u8; 10]> = None;
+            let mut records = 0u64;
+            let mut dups = 0u64;
+            loop {
+                let n = match file.read(&mut buf[pending..]) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("IO error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if n == 0 {
+                    break;
+                }
+                pending += n;
+                let whole = pending - pending % RECORD_LEN;
+                for chunk in buf[..whole].chunks_exact(RECORD_LEN) {
+                    let r = Record::from_bytes(chunk);
+                    if let Some(p) = prev {
+                        if p > r.key {
+                            eprintln!("INVALID: record {records} out of key order");
+                            return ExitCode::FAILURE;
+                        }
+                        if p == r.key {
+                            dups += 1;
+                        }
+                    }
+                    prev = Some(r.key);
+                    rc.update(&r);
+                    records += 1;
+                }
+                buf.copy_within(whole..pending, 0);
+                pending -= whole;
+            }
+            if pending != 0 {
+                eprintln!("INVALID: trailing partial record ({pending} bytes)");
+                return ExitCode::FAILURE;
+            }
+            let cs = rc.finish();
+            eprintln!("OK: {records} records in key order ({dups} duplicate-key pairs)");
+            println!("{}:{}:{}", cs.count, cs.sum, cs.xor);
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the AlphaSort reproduction suite.
+//!
+//! Re-exports the workspace crates under stable module names so examples and
+//! integration tests can use one dependency:
+//!
+//! * [`dmgen`] — Datamation workload generator & validator
+//! * [`iosim`] — simulated disks, controllers, async IO engine
+//! * [`stripefs`] — software file striping layer
+//! * [`cachesim`] — trace-driven cache hierarchy simulator
+//! * [`sort`] — the AlphaSort algorithms and external-sort drivers
+//! * [`perfmodel`] — 1993 price catalog, analytic phase model, metrics
+
+pub use alphasort_cachesim as cachesim;
+pub use alphasort_core as sort;
+pub use alphasort_dmgen as dmgen;
+pub use alphasort_iosim as iosim;
+pub use alphasort_perfmodel as perfmodel;
+pub use alphasort_stripefs as stripefs;

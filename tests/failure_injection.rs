@@ -1,0 +1,166 @@
+//! Failure injection across the stack: injected disk faults must surface as
+//! errors from the sort (never as silently wrong output), and silent media
+//! corruption must be caught by the validator.
+
+use std::io::ErrorKind;
+use std::sync::Arc;
+
+use alphasort_suite::dmgen::{generate, validate_reader, GenConfig, Generator, RECORD_LEN};
+use alphasort_suite::iosim::{
+    catalog, FaultPlan, FaultyStorage, IoEngine, MemStorage, Pacing, SimDisk, Storage,
+};
+use alphasort_suite::sort::driver::one_pass;
+use alphasort_suite::sort::io::{StripeSink, StripeSource};
+use alphasort_suite::sort::SortConfig;
+use alphasort_suite::stripefs::{StripedReader, StripedWriter, Volume};
+
+/// Build a 4-disk volume where disk 0's storage carries `plan`.
+fn faulty_volume(plan: FaultPlan) -> Volume {
+    let disks = (0..4)
+        .map(|i| {
+            let base: Arc<dyn Storage> = Arc::new(MemStorage::new());
+            let storage: Arc<dyn Storage> = if i == 0 {
+                Arc::new(FaultyStorage::new(base, plan.clone()))
+            } else {
+                base
+            };
+            SimDisk::new(
+                format!("d{i}"),
+                catalog::uncapped(),
+                storage,
+                Pacing::Modeled,
+                None,
+            )
+        })
+        .collect();
+    Volume::new(Arc::new(IoEngine::new(disks)))
+}
+
+fn load_input(
+    volume: &Volume,
+    records: u64,
+) -> (
+    Arc<alphasort_suite::stripefs::StripedFile>,
+    alphasort_suite::dmgen::Checksum,
+) {
+    let bytes = records * RECORD_LEN as u64;
+    let input = Arc::new(volume.create_across_all("input", 4 * 1024, bytes));
+    let mut gen = Generator::new(GenConfig::datamation(records, 3));
+    let mut w = StripedWriter::new(Arc::clone(&input));
+    let mut buf = vec![0u8; 500 * RECORD_LEN];
+    loop {
+        let n = gen.fill(&mut buf);
+        if n == 0 {
+            break;
+        }
+        w.push(&buf[..n]).unwrap();
+    }
+    w.finish().unwrap();
+    (input, gen.checksum())
+}
+
+fn cfg() -> SortConfig {
+    SortConfig {
+        run_records: 1_000,
+        gather_batch: 250,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn read_error_during_sort_surfaces_as_err() {
+    // Input loading does some writes; the failing op is a *read* midway
+    // through the sort's input scan.
+    let volume = faulty_volume(FaultPlan::new().fail_read(5, ErrorKind::TimedOut));
+    let (input, _) = load_input(&volume, 10_000);
+    let output = Arc::new(volume.create_across_all("output", 4 * 1024, input.len()));
+    let mut source = StripeSource::new(input);
+    let mut sink = StripeSink::new(output);
+    let err = one_pass(&mut source, &mut sink, &cfg()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::TimedOut);
+}
+
+#[test]
+fn write_error_during_output_surfaces_as_err() {
+    let records = 10_000u64;
+    // Let the ~50 input-load writes to disk 0 succeed; fail one later,
+    // during the sort's output phase.
+    let load_writes_to_disk0 = (records as usize * RECORD_LEN).div_ceil(4 * 4096);
+    let volume = faulty_volume(
+        FaultPlan::new().fail_write(load_writes_to_disk0 as u64 + 10, ErrorKind::WriteZero),
+    );
+    let (input, _) = load_input(&volume, records);
+    let output = Arc::new(volume.create_across_all("output", 4 * 1024, input.len()));
+    let mut source = StripeSource::new(input);
+    let mut sink = StripeSink::new(output);
+    let err = one_pass(&mut source, &mut sink, &cfg()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::WriteZero);
+}
+
+#[test]
+fn silent_output_corruption_is_caught_by_validator() {
+    let records = 10_000u64;
+    let load_writes_to_disk0 = (records as usize * RECORD_LEN).div_ceil(4 * 4096) as u64;
+    // Corrupt a byte of some output-phase write on disk 0.
+    let volume = faulty_volume(FaultPlan::new().corrupt_write(load_writes_to_disk0 + 7, 123));
+    let (input, cs) = load_input(&volume, records);
+    let output = Arc::new(volume.create_across_all("output", 4 * 1024, input.len()));
+    let mut source = StripeSource::new(input);
+    let mut sink = StripeSink::new(Arc::clone(&output));
+    // The sort itself cannot see the corruption: it must succeed…
+    one_pass(&mut source, &mut sink, &cfg()).unwrap();
+    // …and the validator must reject the output.
+    let mut reader = StripedReader::new(output);
+    let verdict = validate_reader(&mut reader, cs).unwrap();
+    assert!(verdict.is_err(), "corrupted output passed validation");
+}
+
+#[test]
+fn corrupt_read_of_input_produces_invalid_output() {
+    let records = 5_000u64;
+    let volume = faulty_volume(FaultPlan::new().corrupt_read(3, 50));
+    let (input, cs) = load_input(&volume, records);
+    let output = Arc::new(volume.create_across_all("output", 4 * 1024, input.len()));
+    let mut source = StripeSource::new(input);
+    let mut sink = StripeSink::new(Arc::clone(&output));
+    one_pass(&mut source, &mut sink, &cfg()).unwrap();
+    let mut reader = StripedReader::new(output);
+    let verdict = validate_reader(&mut reader, cs).unwrap();
+    assert!(verdict.is_err(), "input corruption went unnoticed");
+}
+
+#[test]
+fn fault_free_control_case_passes() {
+    // Sanity for the three tests above: same setup, no faults, must pass.
+    let volume = faulty_volume(FaultPlan::new());
+    let (input, cs) = load_input(&volume, 10_000);
+    let output = Arc::new(volume.create_across_all("output", 4 * 1024, input.len()));
+    let mut source = StripeSource::new(input);
+    let mut sink = StripeSink::new(Arc::clone(&output));
+    one_pass(&mut source, &mut sink, &cfg()).unwrap();
+    let mut reader = StripedReader::new(output);
+    let report = validate_reader(&mut reader, cs).unwrap().unwrap();
+    assert_eq!(report.records, 10_000);
+}
+
+#[test]
+fn striped_writer_propagates_member_write_faults() {
+    // A fault on a member disk must surface through the buffered writer's
+    // pipeline (at push-backpressure or finish), not vanish.
+    let volume = faulty_volume(FaultPlan::new().fail_write(2, ErrorKind::Other));
+    let file = std::sync::Arc::new(volume.create_across_all("w", 4 * 1024, 1 << 20));
+    let mut w = alphasort_suite::stripefs::StripedWriter::new(file);
+    let data = vec![1u8; 256 * 1024];
+    let res = w.push(&data).and_then(|()| w.finish().map(|_| ()));
+    assert!(res.is_err(), "injected write fault was swallowed");
+}
+
+#[test]
+fn validator_rejects_truncated_stream() {
+    let (input, cs) = generate(GenConfig::datamation(100, 1));
+    let mut sorted = input.clone();
+    alphasort_suite::dmgen::records_of_mut(&mut sorted).sort_by_key(|a| a.key);
+    sorted.truncate(50 * RECORD_LEN);
+    let mut cursor = std::io::Cursor::new(&sorted);
+    assert!(validate_reader(&mut cursor, cs).unwrap().is_err());
+}
