@@ -12,11 +12,10 @@
 //! uniprocessor case, where the root does sorting "in its spare time").
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::gather::gather_into;
 use crate::merge::MergedPtr;
@@ -37,20 +36,23 @@ pub struct SortPool {
 impl SortPool {
     /// Create a pool with `workers` threads (0 = sort inline on submit).
     pub fn new(workers: usize, rep: Representation) -> Self {
-        let (tx, work_rx) = unbounded::<(usize, Vec<u8>)>();
-        let (res_tx, rx) = unbounded();
+        let (tx, work_rx) = channel::<(usize, Vec<u8>)>();
+        // std mpsc receivers are single-consumer; workers share one behind a
+        // mutex, holding the lock only while dequeuing (MPMC work queue).
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, rx) = channel();
         let handles = (0..workers)
             .map(|w| {
-                let work_rx = work_rx.clone();
+                let work_rx = Arc::clone(&work_rx);
                 let res_tx = res_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("sort-worker-{w}"))
-                    .spawn(move || {
-                        while let Ok((id, buf)) = work_rx.recv() {
-                            let t0 = Instant::now();
-                            let run = form_run(buf, rep);
-                            let _ = res_tx.send((id, run, t0.elapsed()));
-                        }
+                    .spawn(move || loop {
+                        let msg = work_rx.lock().unwrap().recv();
+                        let Ok((id, buf)) = msg else { break };
+                        let t0 = Instant::now();
+                        let run = form_run(buf, rep);
+                        let _ = res_tx.send((id, run, t0.elapsed()));
                     })
                     .expect("failed to spawn sort worker")
             })
@@ -165,22 +167,24 @@ pub struct GatherPool {
 impl GatherPool {
     /// Create a pool with `workers` threads (0 = gather inline).
     pub fn new(workers: usize, runs: Arc<Vec<SortedRun>>) -> Self {
-        let (tx, work_rx) = unbounded::<(u64, Vec<MergedPtr>)>();
-        let (res_tx, rx) = unbounded();
+        let (tx, work_rx) = channel::<(u64, Vec<MergedPtr>)>();
+        // Shared single receiver behind a mutex, as in `SortPool::new`.
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, rx) = channel();
         let handles = (0..workers)
             .map(|w| {
-                let work_rx = work_rx.clone();
+                let work_rx = Arc::clone(&work_rx);
                 let res_tx = res_tx.clone();
                 let runs = Arc::clone(&runs);
                 std::thread::Builder::new()
                     .name(format!("gather-worker-{w}"))
-                    .spawn(move || {
-                        while let Ok((id, ptrs)) = work_rx.recv() {
-                            let t0 = Instant::now();
-                            let mut buf = Vec::new();
-                            gather_into(&runs, &ptrs, &mut buf);
-                            let _ = res_tx.send((id, buf, t0.elapsed()));
-                        }
+                    .spawn(move || loop {
+                        let msg = work_rx.lock().unwrap().recv();
+                        let Ok((id, ptrs)) = msg else { break };
+                        let t0 = Instant::now();
+                        let mut buf = Vec::new();
+                        gather_into(&runs, &ptrs, &mut buf);
+                        let _ = res_tx.send((id, buf, t0.elapsed()));
                     })
                     .expect("failed to spawn gather worker")
             })

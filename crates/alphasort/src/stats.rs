@@ -34,6 +34,18 @@ pub struct SortStats {
     /// Intermediate cascade merge passes performed (0 unless the run count
     /// exceeded the configured merge fan-in).
     pub merge_passes: u32,
+    /// For distributed sorts: bytes shipped to peer nodes during the
+    /// exchange phase (0 for single-node sorts).
+    pub exchange_bytes_out: u64,
+    /// For distributed sorts: bytes received from peer nodes during the
+    /// exchange phase.
+    pub exchange_bytes_in: u64,
+    /// For distributed sorts: wall time blocked waiting on the exchange
+    /// (sends that back-pressured plus receives with nothing pending).
+    pub exchange_wait: Duration,
+    /// For distributed sorts: records each node owned after the exchange
+    /// (empty for single-node sorts). Feed [`SortStats::exchange_skew`].
+    pub partition_sizes: Vec<u64>,
 }
 
 impl SortStats {
@@ -44,6 +56,18 @@ impl SortStats {
         } else {
             self.records as f64 / self.runs as f64
         }
+    }
+
+    /// Largest post-exchange partition over the ideal share — 1.0 is
+    /// perfect balance, matching `PartitionSortStats::skew`.
+    pub fn exchange_skew(&self) -> f64 {
+        let total: u64 = self.partition_sizes.iter().sum();
+        if total == 0 || self.partition_sizes.is_empty() {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.partition_sizes.len() as f64;
+        let max = *self.partition_sizes.iter().max().expect("non-empty") as f64;
+        max / ideal
     }
 
     /// Sort throughput in MB/s over total elapsed time.
@@ -98,5 +122,16 @@ mod tests {
         let st = SortStats::default();
         assert_eq!(st.avg_run_len(), 0.0);
         assert_eq!(st.throughput_mbps(), 0.0);
+        assert_eq!(st.exchange_skew(), 1.0);
+    }
+
+    #[test]
+    fn exchange_skew_is_max_over_ideal() {
+        let st = SortStats {
+            partition_sizes: vec![100, 300, 100, 100],
+            ..Default::default()
+        };
+        // Ideal share is 150; the largest partition holds 300.
+        assert!((st.exchange_skew() - 2.0).abs() < 1e-12);
     }
 }

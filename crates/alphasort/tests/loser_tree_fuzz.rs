@@ -7,7 +7,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use alphasort_core::rs::LoserTree;
-use proptest::prelude::*;
+use alphasort_dmgen::SplitMix64;
 
 /// Merge `lists` (each ascending) with the loser tree.
 fn merge_with_tree(lists: &[Vec<u32>]) -> Vec<u32> {
@@ -49,33 +49,45 @@ fn merge_with_heap(lists: &[Vec<u32>]) -> Vec<u32> {
     out
 }
 
-proptest! {
-    /// Tree merge ≡ heap merge for arbitrary sorted inputs, including empty
-    /// lists, duplicate values, and non-power-of-two fan-ins.
-    #[test]
-    fn loser_tree_merge_equals_heap_merge(
-        mut lists in proptest::collection::vec(
-            proptest::collection::vec(0u32..1000, 0..50),
-            1..17,
-        ),
-    ) {
-        for l in &mut lists {
+fn random_sorted_lists(
+    r: &mut SplitMix64,
+    min_lists: u64,
+    max_lists: u64,
+    min_len: u64,
+    max_len: u64,
+) -> Vec<Vec<u32>> {
+    let k = min_lists + r.next_below(max_lists - min_lists);
+    (0..k)
+        .map(|_| {
+            let len = min_len + r.next_below(max_len - min_len);
+            let mut l: Vec<u32> = (0..len).map(|_| r.next_below(1000) as u32).collect();
             l.sort_unstable();
-        }
-        prop_assert_eq!(merge_with_tree(&lists), merge_with_heap(&lists));
-    }
+            l
+        })
+        .collect()
+}
 
-    /// The winner is always a minimal live leaf, at every step.
-    #[test]
-    fn winner_is_always_minimal(
-        mut lists in proptest::collection::vec(
-            proptest::collection::vec(0u32..100, 1..20),
-            2..9,
-        ),
-    ) {
-        for l in &mut lists {
-            l.sort_unstable();
-        }
+/// Tree merge ≡ heap merge for arbitrary sorted inputs, including empty
+/// lists, duplicate values, and non-power-of-two fan-ins.
+#[test]
+fn loser_tree_merge_equals_heap_merge() {
+    let mut r = SplitMix64::new(0xC1);
+    for case in 0..256 {
+        let lists = random_sorted_lists(&mut r, 1, 17, 0, 50);
+        assert_eq!(
+            merge_with_tree(&lists),
+            merge_with_heap(&lists),
+            "case {case}"
+        );
+    }
+}
+
+/// The winner is always a minimal live leaf, at every step.
+#[test]
+fn winner_is_always_minimal() {
+    let mut r = SplitMix64::new(0xC2);
+    for case in 0..256 {
+        let lists = random_sorted_lists(&mut r, 2, 9, 1, 20);
         let k = lists.len();
         let mut pos = vec![0usize; k];
         let less = |pos: &Vec<usize>, a: usize, b: usize| -> bool {
@@ -95,7 +107,7 @@ proptest! {
                 .min()
                 .copied()
                 .expect("some leaf is live");
-            prop_assert_eq!(wv, min_live);
+            assert_eq!(wv, min_live, "case {case}");
             pos[w] += 1;
             tree.replay(|a, b| less(&pos, a, b));
         }

@@ -1,5 +1,6 @@
 //! Property tests for the sort core: every driver and representation must
 //! produce a sorted permutation for arbitrary inputs and configurations.
+//! Cases are driven by a seeded [`SplitMix64`] so every run is reproducible.
 
 use alphasort_core::driver::{one_pass, two_pass, MemScratch};
 use alphasort_core::io::{MemSink, MemSource};
@@ -7,140 +8,149 @@ use alphasort_core::rs::generate_runs;
 use alphasort_core::runform::{form_run, Representation};
 use alphasort_core::{SortConfig, SortStats};
 use alphasort_dmgen::{
-    generate, records_of, validate_records, GenConfig, KeyDistribution, Record, RECORD_LEN,
+    generate, records_of, validate_records, GenConfig, KeyDistribution, Record, SplitMix64,
+    RECORD_LEN,
 };
-use proptest::prelude::*;
 
-fn arb_dist() -> impl Strategy<Value = KeyDistribution> {
-    prop_oneof![
-        Just(KeyDistribution::Random),
-        Just(KeyDistribution::RandomPrintable),
-        Just(KeyDistribution::Sorted),
-        Just(KeyDistribution::Reverse),
-        (1u32..32).prop_map(|c| KeyDistribution::DupHeavy { cardinality: c }),
-        (0u8..=10).prop_map(|s| KeyDistribution::CommonPrefix { shared: s }),
-        (0u16..=1000).prop_map(|p| KeyDistribution::NearlySorted { permille: p }),
-    ]
+fn any_dist(r: &mut SplitMix64) -> KeyDistribution {
+    match r.next_below(7) {
+        0 => KeyDistribution::Random,
+        1 => KeyDistribution::RandomPrintable,
+        2 => KeyDistribution::Sorted,
+        3 => KeyDistribution::Reverse,
+        4 => KeyDistribution::DupHeavy {
+            cardinality: 1 + r.next_below(31) as u32,
+        },
+        5 => KeyDistribution::CommonPrefix {
+            shared: r.next_below(11) as u8,
+        },
+        _ => KeyDistribution::NearlySorted {
+            permille: r.next_below(1001) as u16,
+        },
+    }
 }
 
-fn arb_rep() -> impl Strategy<Value = Representation> {
-    prop_oneof![
-        Just(Representation::Record),
-        Just(Representation::Pointer),
-        Just(Representation::Key),
-        Just(Representation::KeyPrefix),
-        Just(Representation::Codeword),
-    ]
+fn any_rep(r: &mut SplitMix64) -> Representation {
+    Representation::ALL[r.next_below(Representation::ALL.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// One-pass sort: sorted permutation for arbitrary everything.
-    #[test]
-    fn one_pass_sorts_anything(
-        n in 0u64..1_200,
-        seed in any::<u64>(),
-        dist in arb_dist(),
-        rep in arb_rep(),
-        run_records in 1usize..400,
-        gather_batch in 1usize..200,
-        workers in 0usize..4,
-        chunk in 1usize..5_000,
-    ) {
-        let (data, cs) = generate(GenConfig { records: n, seed, dist });
-        let mut source = MemSource::new(data, chunk);
+/// One-pass sort: sorted permutation for arbitrary everything.
+#[test]
+fn one_pass_sorts_anything() {
+    let mut r = SplitMix64::new(0xA1);
+    for case in 0..64 {
+        let n = r.next_below(1_200);
+        let seed = r.next_u64();
+        let dist = any_dist(&mut r);
+        let rep = any_rep(&mut r);
+        let (data, cs) = generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        });
+        let mut source = MemSource::new(data, 1 + r.next_below(4_999) as usize);
         let mut sink = MemSink::new();
         let cfg = SortConfig {
-            run_records,
+            run_records: 1 + r.next_below(399) as usize,
             representation: rep,
-            workers,
-            gather_batch,
+            workers: r.next_below(4) as usize,
+            gather_batch: 1 + r.next_below(199) as usize,
             ..Default::default()
         };
         let outcome = one_pass(&mut source, &mut sink, &cfg).unwrap();
-        prop_assert_eq!(outcome.stats.records, n);
+        assert_eq!(outcome.stats.records, n, "case {case}");
         let report = validate_records(sink.data(), cs).unwrap();
-        prop_assert_eq!(report.records, n);
+        assert_eq!(report.records, n, "case {case}");
     }
+}
 
-    /// Two-pass sort: same contract, through scratch.
-    #[test]
-    fn two_pass_sorts_anything(
-        n in 0u64..800,
-        seed in any::<u64>(),
-        dist in arb_dist(),
-        rep in arb_rep(),
-        run_records in 1usize..200,
-        gather_batch in 1usize..100,
-        chunk in 1usize..3_000,
-        workers in 0usize..3,
-        max_fanin in 2usize..12,
-    ) {
-        let (data, cs) = generate(GenConfig { records: n, seed, dist });
-        let mut source = MemSource::new(data, chunk);
+/// Two-pass sort: same contract, through scratch.
+#[test]
+fn two_pass_sorts_anything() {
+    let mut r = SplitMix64::new(0xA2);
+    for case in 0..64 {
+        let n = r.next_below(800);
+        let seed = r.next_u64();
+        let dist = any_dist(&mut r);
+        let rep = any_rep(&mut r);
+        let (data, cs) = generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        });
+        let mut source = MemSource::new(data, 1 + r.next_below(2_999) as usize);
         let mut sink = MemSink::new();
         let mut scratch = MemScratch::new(16 * RECORD_LEN);
         let cfg = SortConfig {
-            run_records,
+            run_records: 1 + r.next_below(199) as usize,
             representation: rep,
-            gather_batch,
-            workers,
-            max_fanin,
+            gather_batch: 1 + r.next_below(99) as usize,
+            workers: r.next_below(3) as usize,
+            max_fanin: 2 + r.next_below(10) as usize,
             ..Default::default()
         };
         let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
-        prop_assert_eq!(outcome.stats.records, n);
+        assert_eq!(outcome.stats.records, n, "case {case}");
         let report = validate_records(sink.data(), cs).unwrap();
-        prop_assert_eq!(report.records, n);
+        assert_eq!(report.records, n, "case {case}");
     }
+}
 
-    /// Replacement-selection runs concatenate to the input multiset and
-    /// each run is sorted, for any capacity.
-    #[test]
-    fn replacement_selection_invariants(
-        n in 0u64..600,
-        seed in any::<u64>(),
-        dist in arb_dist(),
-        capacity in 1usize..100,
-    ) {
-        let (data, _) = generate(GenConfig { records: n, seed, dist });
+/// Replacement-selection runs concatenate to the input multiset and each
+/// run is sorted, for any capacity.
+#[test]
+fn replacement_selection_invariants() {
+    let mut r = SplitMix64::new(0xA3);
+    for case in 0..64 {
+        let n = r.next_below(600);
+        let seed = r.next_u64();
+        let dist = any_dist(&mut r);
+        let capacity = 1 + r.next_below(99) as usize;
+        let (data, _) = generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        });
         let input = records_of(&data);
         let runs = generate_runs(input, capacity);
-        let total: usize = runs.iter().map(|r| r.len()).sum();
-        prop_assert_eq!(total as u64, n);
+        let total: usize = runs.iter().map(|run| run.len()).sum();
+        assert_eq!(total as u64, n, "case {case}");
         for run in &runs {
-            prop_assert!(run.windows(2).all(|w| w[0].key <= w[1].key));
+            assert!(run.windows(2).all(|w| w[0].key <= w[1].key), "case {case}");
         }
         // Multiset equality via sorted key+seq list.
-        let mut a: Vec<(Vec<u8>, u64)> =
-            input.iter().map(|r| (r.key.to_vec(), r.seq())).collect();
+        let mut a: Vec<(Vec<u8>, u64)> = input.iter().map(|rec| (rec.key.to_vec(), rec.seq())).collect();
         let mut b: Vec<(Vec<u8>, u64)> = runs
             .iter()
             .flatten()
-            .map(|r| (r.key.to_vec(), r.seq()))
+            .map(|rec| (rec.key.to_vec(), rec.seq()))
             .collect();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// form_run agrees with the standard-library sort for every
-    /// representation.
-    #[test]
-    fn run_formation_matches_std_sort(
-        n in 0u64..500,
-        seed in any::<u64>(),
-        dist in arb_dist(),
-        rep in arb_rep(),
-    ) {
-        let (data, _) = generate(GenConfig { records: n, seed, dist });
+/// form_run agrees with the standard-library sort for every representation.
+#[test]
+fn run_formation_matches_std_sort() {
+    let mut r = SplitMix64::new(0xA4);
+    for case in 0..64 {
+        let n = r.next_below(500);
+        let seed = r.next_u64();
+        let dist = any_dist(&mut r);
+        let rep = any_rep(&mut r);
+        let (data, _) = generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        });
         let mut expect: Vec<Record> = records_of(&data).to_vec();
         expect.sort_by_key(|a| a.key);
         let run = form_run(data, rep);
-        let got: Vec<[u8; 10]> = run.iter_sorted().map(|r| r.key).collect();
-        let want: Vec<[u8; 10]> = expect.iter().map(|r| r.key).collect();
-        prop_assert_eq!(got, want);
+        let got: Vec<[u8; 10]> = run.iter_sorted().map(|rec| rec.key).collect();
+        let want: Vec<[u8; 10]> = expect.iter().map(|rec| rec.key).collect();
+        assert_eq!(got, want, "case {case}");
     }
 }
 

@@ -7,8 +7,7 @@ use alphasort_core::driver::one_pass;
 use alphasort_core::io::{MemSink, MemSource};
 use alphasort_core::runform::Representation;
 use alphasort_core::SortConfig;
-use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution};
-use proptest::prelude::*;
+use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution, SplitMix64};
 
 fn assert_stable(rep: Representation, records: u64, run_records: usize, cardinality: u32) {
     let (data, _) = generate(GenConfig {
@@ -60,23 +59,22 @@ fn codeword_pipeline_is_stable() {
     assert_stable(Representation::Codeword, 2_000, 333, 4);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Stability holds across arbitrary run sizes and key cardinalities for
-    /// the stable representations.
-    #[test]
-    fn stability_holds_for_arbitrary_configs(
-        records in 10u64..800,
-        run_records in 1usize..300,
-        cardinality in 1u32..10,
-        rep in prop_oneof![
-            Just(Representation::Pointer),
-            Just(Representation::Key),
-            Just(Representation::KeyPrefix),
-            Just(Representation::Codeword),
-        ],
-    ) {
+/// Stability holds across arbitrary run sizes and key cardinalities for
+/// the stable representations.
+#[test]
+fn stability_holds_for_arbitrary_configs() {
+    const STABLE_REPS: [Representation; 4] = [
+        Representation::Pointer,
+        Representation::Key,
+        Representation::KeyPrefix,
+        Representation::Codeword,
+    ];
+    let mut r = SplitMix64::new(0xD1);
+    for _ in 0..32 {
+        let records = 10 + r.next_below(790);
+        let run_records = 1 + r.next_below(299) as usize;
+        let cardinality = 1 + r.next_below(9) as u32;
+        let rep = STABLE_REPS[r.next_below(4) as usize];
         assert_stable(rep, records, run_records, cardinality);
     }
 }

@@ -1,10 +1,10 @@
-//! Criterion bench: the whole external sort — one-pass vs two-pass, worker
-//! scaling, and the ablation of AlphaSort's design choices (representation,
-//! overlap depth).
+//! Bench: the whole external sort — one-pass vs two-pass, worker scaling,
+//! and the ablation of AlphaSort's design choices (representation, overlap
+//! depth).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use alphasort_bench::harness::BenchGroup;
 use alphasort_core::driver::{one_pass, two_pass, MemScratch};
 use alphasort_core::io::{MemSink, MemSource};
 use alphasort_core::runform::Representation;
@@ -17,130 +17,110 @@ fn data() -> Vec<u8> {
     generate(GenConfig::datamation(N, 9)).0
 }
 
-fn bench_drivers(c: &mut Criterion) {
+fn bench_drivers() {
     let input = data();
-    let mut g = c.benchmark_group("external_sort");
-    g.throughput(Throughput::Bytes(N * RECORD_LEN as u64));
+    let mut g = BenchGroup::new("external_sort");
+    g.throughput_bytes(N * RECORD_LEN as u64);
     g.sample_size(10);
 
-    g.bench_function("one_pass", |b| {
-        b.iter(|| {
+    g.bench("one_pass", || {
+        let mut src = MemSource::new(input.clone(), 1_000_000);
+        let mut sink = MemSink::new();
+        let cfg = SortConfig {
+            run_records: 100_000,
+            gather_batch: 10_000,
+            ..Default::default()
+        };
+        black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
+    });
+    g.bench("two_pass", || {
+        let mut src = MemSource::new(input.clone(), 1_000_000);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(10_000 * RECORD_LEN);
+        let cfg = SortConfig {
+            run_records: 50_000,
+            gather_batch: 10_000,
+            ..Default::default()
+        };
+        black_box(two_pass(&mut src, &mut sink, &mut scratch, &cfg).unwrap())
+    });
+}
+
+fn bench_worker_scaling() {
+    // §5's shared-memory speedup: the same sort with 0, 1, 3 workers.
+    let input = data();
+    let mut g = BenchGroup::new("worker_scaling");
+    g.throughput_bytes(N * RECORD_LEN as u64);
+    g.sample_size(10);
+    for workers in [0usize, 1, 3] {
+        g.bench(format!("{workers}"), || {
+            let mut src = MemSource::new(input.clone(), 1_000_000);
+            let mut sink = MemSink::new();
+            let cfg = SortConfig {
+                run_records: 25_000,
+                gather_batch: 10_000,
+                workers,
+                ..Default::default()
+            };
+            black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
+        });
+    }
+}
+
+fn bench_representation_ablation() {
+    // The end-to-end cost of the §4 representation choice.
+    let input = data();
+    let mut g = BenchGroup::new("e2e_representation");
+    g.throughput_bytes(N * RECORD_LEN as u64);
+    g.sample_size(10);
+    for rep in Representation::ALL {
+        g.bench(rep.name(), || {
             let mut src = MemSource::new(input.clone(), 1_000_000);
             let mut sink = MemSink::new();
             let cfg = SortConfig {
                 run_records: 100_000,
                 gather_batch: 10_000,
+                representation: rep,
                 ..Default::default()
             };
             black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
         });
-    });
-    g.bench_function("two_pass", |b| {
-        b.iter(|| {
-            let mut src = MemSource::new(input.clone(), 1_000_000);
-            let mut sink = MemSink::new();
-            let mut scratch = MemScratch::new(10_000 * RECORD_LEN);
-            let cfg = SortConfig {
-                run_records: 50_000,
-                gather_batch: 10_000,
-                ..Default::default()
-            };
-            black_box(two_pass(&mut src, &mut sink, &mut scratch, &cfg).unwrap())
-        });
-    });
-    g.finish();
-}
-
-fn bench_worker_scaling(c: &mut Criterion) {
-    // §5's shared-memory speedup: the same sort with 0, 1, 3 workers.
-    let input = data();
-    let mut g = c.benchmark_group("worker_scaling");
-    g.throughput(Throughput::Bytes(N * RECORD_LEN as u64));
-    g.sample_size(10);
-    for workers in [0usize, 1, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                let mut src = MemSource::new(input.clone(), 1_000_000);
-                let mut sink = MemSink::new();
-                let cfg = SortConfig {
-                    run_records: 25_000,
-                    gather_batch: 10_000,
-                    workers: w,
-                    ..Default::default()
-                };
-                black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
-            });
-        });
     }
-    g.finish();
 }
 
-fn bench_representation_ablation(c: &mut Criterion) {
-    // The end-to-end cost of the §4 representation choice.
-    let input = data();
-    let mut g = c.benchmark_group("e2e_representation");
-    g.throughput(Throughput::Bytes(N * RECORD_LEN as u64));
-    g.sample_size(10);
-    for rep in Representation::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(rep.name()), &rep, |b, &rep| {
-            b.iter(|| {
-                let mut src = MemSource::new(input.clone(), 1_000_000);
-                let mut sink = MemSink::new();
-                let cfg = SortConfig {
-                    run_records: 100_000,
-                    gather_batch: 10_000,
-                    representation: rep,
-                    ..Default::default()
-                };
-                black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_against_partition_baseline(c: &mut Criterion) {
+fn bench_against_partition_baseline() {
     // AlphaSort's pipeline vs the shared-nothing design it displaced (§2).
     use alphasort_core::baseline::{partition_sort, PartitionSortConfig};
     let input = data();
-    let mut g = c.benchmark_group("vs_partition_baseline");
-    g.throughput(Throughput::Bytes(N * RECORD_LEN as u64));
+    let mut g = BenchGroup::new("vs_partition_baseline");
+    g.throughput_bytes(N * RECORD_LEN as u64);
     g.sample_size(10);
-    g.bench_function("alphasort_3_workers", |b| {
-        b.iter(|| {
-            let mut src = MemSource::new(input.clone(), 1_000_000);
-            let mut sink = MemSink::new();
-            let cfg = SortConfig {
-                run_records: 50_000,
-                gather_batch: 10_000,
-                workers: 3,
-                ..Default::default()
-            };
-            black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
-        });
+    g.bench("alphasort_3_workers", || {
+        let mut src = MemSource::new(input.clone(), 1_000_000);
+        let mut sink = MemSink::new();
+        let cfg = SortConfig {
+            run_records: 50_000,
+            gather_batch: 10_000,
+            workers: 3,
+            ..Default::default()
+        };
+        black_box(one_pass(&mut src, &mut sink, &cfg).unwrap())
     });
     for nodes in [4usize, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("partition_sort", nodes),
-            &nodes,
-            |b, &nodes| {
-                let cfg = PartitionSortConfig {
-                    nodes,
-                    samples_per_node: 256,
-                    ..Default::default()
-                };
-                b.iter(|| black_box(partition_sort(&input, &cfg)));
-            },
-        );
+        let cfg = PartitionSortConfig {
+            nodes,
+            samples_per_node: 256,
+            ..Default::default()
+        };
+        g.bench(format!("partition_sort/{nodes}"), || {
+            black_box(partition_sort(&input, &cfg))
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_drivers,
-    bench_worker_scaling,
-    bench_representation_ablation,
-    bench_against_partition_baseline
-);
-criterion_main!(benches);
+fn main() {
+    bench_drivers();
+    bench_worker_scaling();
+    bench_representation_ablation();
+    bench_against_partition_baseline();
+}

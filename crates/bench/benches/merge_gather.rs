@@ -1,11 +1,11 @@
-//! Criterion bench: the merge phase — tournament merge of (key-prefix,
-//! pointer) runs, the record gather, and the OVC-vs-plain merge ablation.
-//! The paper: "More time is spent gathering the records than is consumed in
-//! creating, sorting and merging the key-prefix/pointer pairs."
+//! Bench: the merge phase — tournament merge of (key-prefix, pointer) runs,
+//! the record gather, and the OVC-vs-plain merge ablation. The paper: "More
+//! time is spent gathering the records than is consumed in creating, sorting
+//! and merging the key-prefix/pointer pairs."
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use alphasort_bench::harness::BenchGroup;
 use alphasort_core::gather::merge_gather_all;
 use alphasort_core::merge::{MergedPtr, RunMerger};
 use alphasort_core::ovc::{plain_merge_bytes, OvcMerger};
@@ -19,46 +19,38 @@ fn make_runs(n: u64, per_run: usize) -> Vec<SortedRun> {
         .collect()
 }
 
-fn bench_merge_and_gather(c: &mut Criterion) {
+fn bench_merge_and_gather() {
     let n = 100_000u64;
     let runs = make_runs(n, 10_000); // 10 runs, the paper's "typically ten"
-    let mut g = c.benchmark_group("merge_phase");
-    g.throughput(Throughput::Bytes(n * RECORD_LEN as u64));
+    let mut g = BenchGroup::new("merge_phase");
+    g.throughput_bytes(n * RECORD_LEN as u64);
     g.sample_size(10);
 
-    g.bench_function("merge_only", |b| {
-        b.iter(|| {
-            let ptrs: Vec<MergedPtr> = RunMerger::new(&runs).collect();
-            black_box(ptrs)
-        });
+    g.bench("merge_only", || {
+        let ptrs: Vec<MergedPtr> = RunMerger::new(&runs).collect();
+        black_box(ptrs)
     });
-    g.bench_function("merge_plus_gather", |b| {
-        b.iter(|| black_box(merge_gather_all(&runs)));
-    });
-    g.finish();
+    g.bench("merge_plus_gather", || black_box(merge_gather_all(&runs)));
 }
 
-fn bench_merge_fanin(c: &mut Criterion) {
+fn bench_merge_fanin() {
     // Fan-in sweep: "in a one-pass sort there are typically between ten and
     // one hundred runs".
     let n = 100_000u64;
-    let mut g = c.benchmark_group("merge_fanin");
+    let mut g = BenchGroup::new("merge_fanin");
     g.sample_size(10);
     for fanin in [2usize, 10, 100] {
         let runs = make_runs(n, (n as usize).div_ceil(fanin));
-        g.bench_with_input(BenchmarkId::from_parameter(fanin), &runs, |b, runs| {
-            b.iter(|| {
-                let ptrs: Vec<MergedPtr> = RunMerger::new(runs).collect();
-                black_box(ptrs)
-            });
+        g.bench(format!("{fanin}"), || {
+            let ptrs: Vec<MergedPtr> = RunMerger::new(&runs).collect();
+            black_box(ptrs)
         });
     }
-    g.finish();
 }
 
-fn bench_ovc(c: &mut Criterion) {
+fn bench_ovc() {
     let n = 100_000u64;
-    let mut g = c.benchmark_group("ovc_vs_plain_merge");
+    let mut g = BenchGroup::new("ovc_vs_plain_merge");
     g.sample_size(10);
     for (label, dist) in [
         ("random", KeyDistribution::Random),
@@ -77,31 +69,24 @@ fn bench_ovc(c: &mut Criterion) {
                 v
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("plain", label), &runs, |b, runs| {
-            b.iter(|| {
-                let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
-                black_box(plain_merge_bytes(refs))
-            });
+        g.bench(format!("plain/{label}"), || {
+            let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
+            black_box(plain_merge_bytes(refs))
         });
-        g.bench_with_input(BenchmarkId::new("ovc", label), &runs, |b, runs| {
-            b.iter(|| {
-                let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
-                let mut m = OvcMerger::new(refs);
-                let mut count = 0u64;
-                while m.next_record().is_some() {
-                    count += 1;
-                }
-                black_box(count)
-            });
+        g.bench(format!("ovc/{label}"), || {
+            let refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
+            let mut m = OvcMerger::new(refs);
+            let mut count = 0u64;
+            while m.next_record().is_some() {
+                count += 1;
+            }
+            black_box(count)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_merge_and_gather,
-    bench_merge_fanin,
-    bench_ovc
-);
-criterion_main!(benches);
+fn main() {
+    bench_merge_and_gather();
+    bench_merge_fanin();
+    bench_ovc();
+}

@@ -1,17 +1,17 @@
-//! Criterion bench: QuickSort run formation vs replacement-selection
-//! (§4's 2.5:1 claim), across input distributions.
+//! Bench: QuickSort run formation vs replacement-selection (§4's 2.5:1
+//! claim), across input distributions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use alphasort_bench::harness::BenchGroup;
 use alphasort_core::rs::generate_runs;
 use alphasort_core::runform::key_prefix_order;
 use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution, Record, RECORD_LEN};
 
-fn bench_quicksort_vs_replacement_selection(c: &mut Criterion) {
+fn main() {
     let n = 100_000u64;
-    let mut g = c.benchmark_group("quicksort_vs_rs");
-    g.throughput(Throughput::Bytes(n * RECORD_LEN as u64));
+    let mut g = BenchGroup::new("quicksort_vs_rs");
+    g.throughput_bytes(n * RECORD_LEN as u64);
     g.sample_size(10);
     for (label, dist) in [
         ("random", KeyDistribution::Random),
@@ -24,23 +24,11 @@ fn bench_quicksort_vs_replacement_selection(c: &mut Criterion) {
             dist,
         });
         let records: Vec<Record> = records_of(&data).to_vec();
-        g.bench_with_input(
-            BenchmarkId::new("quicksort_prefix", label),
-            &data,
-            |b, d| {
-                b.iter(|| black_box(key_prefix_order(d)));
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("replacement_selection", label),
-            &records,
-            |b, r| {
-                b.iter(|| black_box(generate_runs(r, 25_000)));
-            },
-        );
+        g.bench(format!("quicksort_prefix/{label}"), || {
+            black_box(key_prefix_order(&data))
+        });
+        g.bench(format!("replacement_selection/{label}"), || {
+            black_box(generate_runs(&records, 25_000))
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_quicksort_vs_replacement_selection);
-criterion_main!(benches);

@@ -1,41 +1,34 @@
-//! Criterion bench for §4's representation comparison: CPU time to form one
-//! sorted run under each sort-array representation, plus the footnote's
-//! 256-bucket partition sort.
+//! Bench for §4's representation comparison: CPU time to form one sorted
+//! run under each sort-array representation, plus the footnote's 256-bucket
+//! partition sort.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use alphasort_bench::harness::BenchGroup;
 use alphasort_core::partition::partition_order;
 use alphasort_core::runform::{form_run, Representation};
 use alphasort_dmgen::{generate, GenConfig, KeyDistribution, RECORD_LEN};
 
-fn bench_representations(c: &mut Criterion) {
+fn bench_representations() {
     let n = 100_000u64; // the paper's run size
     let (data, _) = generate(GenConfig::datamation(n, 1));
 
-    let mut g = c.benchmark_group("run_formation");
-    g.throughput(Throughput::Bytes(n * RECORD_LEN as u64));
+    let mut g = BenchGroup::new("run_formation");
+    g.throughput_bytes(n * RECORD_LEN as u64);
     g.sample_size(10);
     for rep in Representation::ALL {
-        g.bench_with_input(BenchmarkId::new("quicksort", rep.name()), &data, |b, d| {
-            b.iter(|| black_box(form_run(d.clone(), rep)));
+        g.bench(format!("quicksort/{}", rep.name()), || {
+            black_box(form_run(data.clone(), rep))
         });
     }
-    g.bench_with_input(
-        BenchmarkId::new("partition", "256-bucket"),
-        &data,
-        |b, d| {
-            b.iter(|| black_box(partition_order(d)));
-        },
-    );
-    g.finish();
+    g.bench("partition/256-bucket", || black_box(partition_order(&data)));
 }
 
-fn bench_degenerate_prefix(c: &mut Criterion) {
+fn bench_degenerate_prefix() {
     // §4's risk case: a shared prefix forces every compare through to the
     // full keys, degrading key-prefix sort toward pointer sort.
     let n = 100_000u64;
-    let mut g = c.benchmark_group("prefix_degeneracy");
+    let mut g = BenchGroup::new("prefix_degeneracy");
     g.sample_size(10);
     for (label, dist) in [
         ("random", KeyDistribution::Random),
@@ -49,12 +42,13 @@ fn bench_degenerate_prefix(c: &mut Criterion) {
             seed: 2,
             dist,
         });
-        g.bench_with_input(BenchmarkId::new("key_prefix", label), &data, |b, d| {
-            b.iter(|| black_box(form_run(d.clone(), Representation::KeyPrefix)));
+        g.bench(format!("key_prefix/{label}"), || {
+            black_box(form_run(data.clone(), Representation::KeyPrefix))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_representations, bench_degenerate_prefix);
-criterion_main!(benches);
+fn main() {
+    bench_representations();
+    bench_degenerate_prefix();
+}

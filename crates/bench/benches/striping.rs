@@ -1,12 +1,12 @@
-//! Criterion bench: the striping layer's host-side overhead — sequential
-//! striped read/write throughput over unconstrained in-memory disks as the
-//! stripe widens (the software cost of striping, independent of device
-//! speed), and stripe geometry planning.
+//! Bench: the striping layer's host-side overhead — sequential striped
+//! read/write throughput over unconstrained in-memory disks as the stripe
+//! widens (the software cost of striping, independent of device speed), and
+//! stripe geometry planning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use alphasort_bench::harness::BenchGroup;
 use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
 use alphasort_stripefs::{Member, StripeDef, StripedReader, StripedWriter, Volume};
 
@@ -25,74 +25,68 @@ fn volume(width: usize) -> Volume {
     Volume::new(Arc::new(IoEngine::new(disks)))
 }
 
-fn bench_striped_io(c: &mut Criterion) {
+fn bench_striped_io() {
     let bytes = 8_000_000usize;
-    let mut g = c.benchmark_group("striped_io");
-    g.throughput(Throughput::Bytes(bytes as u64));
+    let mut g = BenchGroup::new("striped_io");
+    g.throughput_bytes(bytes as u64);
     g.sample_size(10);
     for width in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("write", width), &width, |b, &w| {
-            let v = volume(w);
-            let chunk = vec![0u8; 1 << 20];
-            let mut file_no = 0;
-            b.iter(|| {
-                file_no += 1;
-                let f =
-                    Arc::new(v.create_across_all(format!("f{file_no}"), 64 * 1024, bytes as u64));
-                let mut wtr = StripedWriter::new(f);
-                let mut left = bytes;
-                while left > 0 {
-                    let n = left.min(chunk.len());
-                    wtr.push(&chunk[..n]).unwrap();
-                    left -= n;
-                }
-                black_box(wtr.finish().unwrap())
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("read", width), &width, |b, &w| {
-            let v = volume(w);
-            let f = Arc::new(v.create_across_all("data", 64 * 1024, bytes as u64));
-            let chunk = vec![0u8; 1 << 20];
+        let v = volume(width);
+        let chunk = vec![0u8; 1 << 20];
+        let mut file_no = 0u64;
+        g.bench(format!("write/{width}"), || {
+            file_no += 1;
+            let f = Arc::new(v.create_across_all(format!("f{file_no}"), 64 * 1024, bytes as u64));
+            let mut wtr = StripedWriter::new(f);
             let mut left = bytes;
-            let mut wtr = StripedWriter::new(Arc::clone(&f));
             while left > 0 {
                 let n = left.min(chunk.len());
                 wtr.push(&chunk[..n]).unwrap();
                 left -= n;
             }
-            wtr.finish().unwrap();
-            b.iter(|| {
-                let mut r = StripedReader::new(Arc::clone(&f));
-                let mut total = 0usize;
-                while let Some(s) = r.next_stride() {
-                    total += s.unwrap().len();
-                }
-                black_box(total)
-            });
+            black_box(wtr.finish().unwrap())
+        });
+
+        let v = volume(width);
+        let f = Arc::new(v.create_across_all("data", 64 * 1024, bytes as u64));
+        let mut left = bytes;
+        let mut wtr = StripedWriter::new(Arc::clone(&f));
+        while left > 0 {
+            let n = left.min(chunk.len());
+            wtr.push(&chunk[..n]).unwrap();
+            left -= n;
+        }
+        wtr.finish().unwrap();
+        g.bench(format!("read/{width}"), || {
+            let mut r = StripedReader::new(Arc::clone(&f));
+            let mut total = 0usize;
+            while let Some(s) = r.next_stride() {
+                total += s.unwrap().len();
+            }
+            black_box(total)
         });
     }
-    g.finish();
 }
 
-fn bench_geometry(c: &mut Criterion) {
+fn bench_geometry() {
     let def = StripeDef::new(
         "g",
         64 * 1024,
         (0..16).map(|i| Member { disk: i, base: 0 }).collect(),
     );
-    let mut g = c.benchmark_group("stripe_geometry");
-    g.bench_function("plan_1MB_range", |b| {
-        b.iter(|| black_box(def.plan(123_456, 1 << 20)));
-    });
-    g.bench_function("locate", |b| {
-        let mut off = 0u64;
-        b.iter(|| {
+    let mut g = BenchGroup::new("stripe_geometry");
+    g.sample_size(10);
+    g.bench("plan_1MB_range", || black_box(def.plan(123_456, 1 << 20)));
+    let mut off = 0u64;
+    g.bench("locate_x1000", || {
+        for _ in 0..1000 {
             off = (off + 37_123) % (1 << 30);
-            black_box(def.locate(off))
-        });
+            black_box(def.locate(off));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_striped_io, bench_geometry);
-criterion_main!(benches);
+fn main() {
+    bench_striped_io();
+    bench_geometry();
+}

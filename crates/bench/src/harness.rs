@@ -1,0 +1,86 @@
+//! A minimal bench harness: named groups, per-benchmark timing with median
+//! and min over a fixed sample count, optional bytes/s throughput.
+//!
+//! The criterion dependency could not survive the offline, std-only rule, so
+//! the `benches/*.rs` targets (all `harness = false`) drive this instead.
+//! Statistics are deliberately simple — each sample is one full closure call
+//! timed with [`Instant`]; the report prints the median, the min and, when a
+//! throughput is declared, MB/s at the median.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box as bb;
+
+/// One named group of benchmarks, mirroring criterion's `benchmark_group`.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    bytes: Option<u64>,
+}
+
+impl BenchGroup {
+    /// Start a group; the name prefixes every benchmark line.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchGroup {
+            name,
+            samples: 10,
+            bytes: None,
+        }
+    }
+
+    /// Samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declare bytes processed per iteration, enabling MB/s in the report.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.bytes = Some(bytes);
+        self
+    }
+
+    /// Run one benchmark: a warm-up call, then `samples` timed calls.
+    pub fn bench<R>(&mut self, id: impl AsRef<str>, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up (page in data, fill caches)
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let rate = self
+            .bytes
+            .map(|b| format!(", {:7.1} MB/s", b as f64 / 1e6 / median.as_secs_f64()))
+            .unwrap_or_default();
+        println!(
+            "{}/{:<40} median {:>10.3?}  min {:>10.3?}{}",
+            self.name,
+            id.as_ref(),
+            median,
+            min,
+            rate
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure_samples_plus_warmup_times() {
+        let mut calls = 0u32;
+        let mut g = BenchGroup::new("t");
+        g.sample_size(3).throughput_bytes(1);
+        g.bench("count", || calls += 1);
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+}

@@ -1,8 +1,10 @@
-//! Shared plumbing for the experiment binaries and criterion benches.
+//! Shared plumbing for the experiment binaries and the bench targets.
 //!
 //! Each `exp_*` binary regenerates one table or figure of the paper; see
 //! `DESIGN.md`'s per-experiment index and `EXPERIMENTS.md` for the recorded
 //! paper-vs-measured comparisons.
+
+pub mod harness;
 
 use std::sync::Arc;
 

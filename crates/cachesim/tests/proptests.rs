@@ -1,12 +1,13 @@
 //! Property tests for the cache model: the set-associative simulator must
 //! agree with a naive reference implementation, and the hierarchy's
-//! counters must obey their structural invariants.
+//! counters must obey their structural invariants. Cases are driven by a
+//! seeded [`SplitMix64`] so every run is reproducible.
 
 use alphasort_cachesim::{
     traced_gather, traced_merge, traced_quicksort, traced_tournament_sort, Cache, CacheConfig,
     Hierarchy, QuickSortVariant, TournamentLayout,
 };
-use proptest::prelude::*;
+use alphasort_dmgen::SplitMix64;
 
 /// A deliberately naive LRU cache to check the real one against.
 struct ReferenceCache {
@@ -51,41 +52,46 @@ impl ReferenceCache {
     }
 }
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (1usize..=4, 0usize..=3, 1usize..=4).prop_map(|(line_pow, sets_pow, ways)| {
-        let line = 1usize << (line_pow + 2); // 8..64
-        let sets = 1usize << sets_pow; // 1..8
-        CacheConfig {
-            size: line * sets * ways,
-            line,
-            ways,
-        }
-    })
+fn any_config(r: &mut SplitMix64) -> CacheConfig {
+    let line = 1usize << (3 + r.next_below(4)); // 8..64
+    let sets = 1usize << r.next_below(4); // 1..8
+    let ways = 1 + r.next_below(4) as usize;
+    CacheConfig {
+        size: line * sets * ways,
+        line,
+        ways,
+    }
 }
 
-proptest! {
-    /// Hit/miss sequence matches the reference exactly, access by access.
-    #[test]
-    fn cache_matches_reference_lru(
-        cfg in arb_config(),
-        addrs in proptest::collection::vec(0u64..1_024, 1..300),
-    ) {
+/// Hit/miss sequence matches the reference exactly, access by access.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut r = SplitMix64::new(0xCA1);
+    for case in 0..256 {
+        let cfg = any_config(&mut r);
+        let addrs: Vec<u64> = (0..1 + r.next_below(299))
+            .map(|_| r.next_below(1_024))
+            .collect();
         let mut real = Cache::new(cfg);
         let mut reference = ReferenceCache::new(cfg);
         for (i, &a) in addrs.iter().enumerate() {
-            let r = real.access_line(a);
-            let e = reference.access_line(a);
-            prop_assert_eq!(r, e, "access #{} (addr {}) diverged", i, a);
+            let got = real.access_line(a);
+            let expect = reference.access_line(a);
+            assert_eq!(got, expect, "case {case}: access #{i} (addr {a}) diverged");
         }
     }
+}
 
-    /// Accesses to a working set no larger than the cache never miss after
-    /// the first touch of each line.
-    #[test]
-    fn small_working_set_has_cold_misses_only(
-        cfg in arb_config(),
-        seq in proptest::collection::vec(0usize..64, 1..400),
-    ) {
+/// Accesses to a working set no larger than the cache never miss after the
+/// first touch of each line.
+#[test]
+fn small_working_set_has_cold_misses_only() {
+    let mut r = SplitMix64::new(0xCA2);
+    for case in 0..256 {
+        let cfg = any_config(&mut r);
+        let seq: Vec<usize> = (0..1 + r.next_below(399))
+            .map(|_| r.next_below(64) as usize)
+            .collect();
         let mut cache = Cache::new(cfg);
         let lines = cfg.size / cfg.line; // exactly fills the cache
         let distinct: Vec<u64> = (0..lines as u64).map(|i| i * cfg.line as u64).collect();
@@ -94,32 +100,40 @@ proptest! {
         }
         let touched: std::collections::HashSet<usize> =
             seq.iter().map(|s| s % distinct.len()).collect();
-        prop_assert!(cache.misses() as usize <= touched.len());
+        assert!(cache.misses() as usize <= touched.len(), "case {case}");
     }
+}
 
-    /// Hierarchy counter invariants: line probes ≥ accesses, misses can't
-    /// exceed probes, and B-misses can't exceed D-misses.
-    #[test]
-    fn hierarchy_counters_are_consistent(
-        ops in proptest::collection::vec((0u64..1_000_000, 1u64..256), 1..200),
-    ) {
+/// Hierarchy counter invariants: line probes ≥ accesses, misses can't
+/// exceed probes, and B-misses can't exceed D-misses.
+#[test]
+fn hierarchy_counters_are_consistent() {
+    let mut r = SplitMix64::new(0xCA3);
+    for case in 0..128 {
+        let ops: Vec<(u64, u64)> = (0..1 + r.next_below(199))
+            .map(|_| (r.next_below(1_000_000), 1 + r.next_below(255)))
+            .collect();
         let mut h = Hierarchy::alpha_axp();
         for &(addr, size) in &ops {
             h.read(addr, size);
         }
         let s = h.stats();
-        prop_assert_eq!(s.accesses, ops.len() as u64);
-        prop_assert!(s.line_probes >= s.accesses);
-        prop_assert!(s.d_misses <= s.line_probes);
-        prop_assert!(s.b_misses <= s.d_misses);
+        assert_eq!(s.accesses, ops.len() as u64, "case {case}");
+        assert!(s.line_probes >= s.accesses, "case {case}");
+        assert!(s.d_misses <= s.line_probes, "case {case}");
+        assert!(s.b_misses <= s.d_misses, "case {case}");
     }
+}
 
-    /// Replaying the same trace twice gives identical counters (the model
-    /// is deterministic), and reset really clears.
-    #[test]
-    fn hierarchy_is_deterministic(
-        ops in proptest::collection::vec((0u64..100_000, 1u64..64), 1..100),
-    ) {
+/// Replaying the same trace twice gives identical counters (the model is
+/// deterministic), and reset really clears.
+#[test]
+fn hierarchy_is_deterministic() {
+    let mut r = SplitMix64::new(0xCA4);
+    for case in 0..128 {
+        let ops: Vec<(u64, u64)> = (0..1 + r.next_below(99))
+            .map(|_| (r.next_below(100_000), 1 + r.next_below(63)))
+            .collect();
         let run = |h: &mut Hierarchy| {
             for &(addr, size) in &ops {
                 h.read(addr, size);
@@ -130,26 +144,25 @@ proptest! {
         let first = run(&mut h);
         h.reset();
         let second = run(&mut h);
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every traced kernel is deterministic: same seed, same counters.
-    #[test]
-    fn traced_kernels_are_deterministic(
-        n in 256usize..3_000,
-        seed in any::<u64>(),
-        variant in prop_oneof![
-            Just(QuickSortVariant::Record),
-            Just(QuickSortVariant::Pointer),
-            Just(QuickSortVariant::Key),
-            Just(QuickSortVariant::KeyPrefix),
-            Just(QuickSortVariant::Codeword),
-        ],
-    ) {
+/// Every traced kernel is deterministic: same seed, same counters.
+#[test]
+fn traced_kernels_are_deterministic() {
+    const VARIANTS: [QuickSortVariant; 5] = [
+        QuickSortVariant::Record,
+        QuickSortVariant::Pointer,
+        QuickSortVariant::Key,
+        QuickSortVariant::KeyPrefix,
+        QuickSortVariant::Codeword,
+    ];
+    let mut r = SplitMix64::new(0xCA5);
+    for _ in 0..24 {
+        let n = 256 + r.next_below(2_744) as usize;
+        let seed = r.next_u64();
+        let variant = VARIANTS[r.next_below(5) as usize];
         let run = |f: &dyn Fn(&mut Hierarchy)| {
             let mut h = Hierarchy::alpha_axp();
             f(&mut h);
@@ -158,34 +171,44 @@ proptest! {
         let q = |h: &mut Hierarchy| {
             traced_quicksort(n, seed, variant, h);
         };
-        prop_assert_eq!(run(&q), run(&q));
+        assert_eq!(run(&q), run(&q));
         let g = |h: &mut Hierarchy| {
             traced_gather(n, seed, h);
         };
-        prop_assert_eq!(run(&g), run(&g));
+        assert_eq!(run(&g), run(&g));
     }
+}
 
-    /// Tournament and merge kernels count every record exactly once and
-    /// issue a sane number of accesses for arbitrary sizes/layouts.
-    #[test]
-    fn traced_tournament_and_merge_account_all_records(
-        n in 64usize..2_000,
-        cap_pow in 1u32..6,
-        runs in 1usize..12,
-        seed in any::<u64>(),
-        layout in prop_oneof![Just(TournamentLayout::Naive), Just(TournamentLayout::Clustered)],
-    ) {
+/// Tournament and merge kernels count every record exactly once and issue
+/// a sane number of accesses for arbitrary sizes/layouts.
+#[test]
+fn traced_tournament_and_merge_account_all_records() {
+    let mut r = SplitMix64::new(0xCA6);
+    for case in 0..24 {
+        let n = 64 + r.next_below(1_936) as usize;
+        let cap_pow = 1 + r.next_below(5) as u32;
+        let runs = 1 + r.next_below(11) as usize;
+        let seed = r.next_u64();
+        let layout = if r.next_below(2) == 0 {
+            TournamentLayout::Naive
+        } else {
+            TournamentLayout::Clustered
+        };
         let capacity = (1usize << cap_pow).min(n / 2).max(2);
-        prop_assume!(n >= capacity);
+        if n < capacity {
+            continue;
+        }
         let mut h = Hierarchy::alpha_axp();
         let t = traced_tournament_sort(n, capacity, seed, layout, true, &mut h);
-        prop_assert_eq!(t.elements, n as u64);
+        assert_eq!(t.elements, n as u64, "case {case}");
         // Each emitted record reads+writes 100 B plus tree traffic.
-        prop_assert!(t.stats.accesses >= 2 * n as u64);
+        assert!(t.stats.accesses >= 2 * n as u64, "case {case}");
 
-        prop_assume!(n >= runs);
+        if n < runs {
+            continue;
+        }
         let mut h2 = Hierarchy::alpha_axp();
         let m = traced_merge(n, runs, seed, &mut h2);
-        prop_assert_eq!(m.elements, (n / runs * runs) as u64);
+        assert_eq!(m.elements, (n / runs * runs) as u64, "case {case}");
     }
 }

@@ -1,115 +1,145 @@
-//! Property tests for the workload generator and validator.
+//! Property tests for the workload generator and validator, driven by a
+//! seeded [`SplitMix64`] so every case is reproducible.
 
 use alphasort_dmgen::{
     generate, records_of, records_of_mut, validate_records, GenConfig, KeyDistribution, Record,
     RunningChecksum, SplitMix64, ValidationError, KEY_LEN, RECORD_LEN,
 };
-use proptest::prelude::*;
 
-fn arb_dist() -> impl Strategy<Value = KeyDistribution> {
-    prop_oneof![
-        Just(KeyDistribution::Random),
-        Just(KeyDistribution::RandomPrintable),
-        Just(KeyDistribution::Sorted),
-        Just(KeyDistribution::Reverse),
-        (0u16..=1000).prop_map(|permille| KeyDistribution::NearlySorted { permille }),
-        (1u32..64).prop_map(|cardinality| KeyDistribution::DupHeavy { cardinality }),
-        (0u8..=10).prop_map(|shared| KeyDistribution::CommonPrefix { shared }),
-    ]
+fn any_dist(r: &mut SplitMix64) -> KeyDistribution {
+    match r.next_below(7) {
+        0 => KeyDistribution::Random,
+        1 => KeyDistribution::RandomPrintable,
+        2 => KeyDistribution::Sorted,
+        3 => KeyDistribution::Reverse,
+        4 => KeyDistribution::NearlySorted {
+            permille: r.next_below(1001) as u16,
+        },
+        5 => KeyDistribution::DupHeavy {
+            cardinality: 1 + r.next_below(63) as u32,
+        },
+        _ => KeyDistribution::CommonPrefix {
+            shared: r.next_below(11) as u8,
+        },
+    }
 }
 
-proptest! {
-    /// Sorting the generated input always validates, for every distribution.
-    #[test]
-    fn sorted_output_validates(
-        n in 1u64..400,
-        seed in any::<u64>(),
-        dist in arb_dist(),
-    ) {
-        let (input, cs) = generate(GenConfig { records: n, seed, dist });
+/// Sorting the generated input always validates, for every distribution.
+#[test]
+fn sorted_output_validates() {
+    let mut r = SplitMix64::new(0xE1);
+    for case in 0..256 {
+        let n = 1 + r.next_below(399);
+        let seed = r.next_u64();
+        let dist = any_dist(&mut r);
+        let (input, cs) = generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        });
         let mut output = input.clone();
         records_of_mut(&mut output).sort_by_key(|a| a.key);
         let report = validate_records(&output, cs).unwrap();
-        prop_assert_eq!(report.records, n);
+        assert_eq!(report.records, n, "case {case}");
     }
+}
 
-    /// Any reordering of the records preserves the checksum.
-    #[test]
-    fn checksum_is_order_independent(
-        n in 1u64..200,
-        seed in any::<u64>(),
-        rot in 0usize..200,
-    ) {
+/// Any reordering of the records preserves the checksum.
+#[test]
+fn checksum_is_order_independent() {
+    let mut r = SplitMix64::new(0xE2);
+    for case in 0..256 {
+        let n = 1 + r.next_below(199);
+        let seed = r.next_u64();
         let (input, cs) = generate(GenConfig::datamation(n, seed));
         let mut rotated = input.clone();
         let recs = records_of_mut(&mut rotated);
-        let k = rot % recs.len();
+        let k = r.next_below(200) as usize % recs.len();
         recs.rotate_left(k);
         let mut rc = RunningChecksum::new();
         rc.update_bytes(&rotated);
-        prop_assert_eq!(rc.finish(), cs);
+        assert_eq!(rc.finish(), cs, "case {case}");
     }
+}
 
-    /// Corrupting any single byte of a sorted output makes validation fail.
-    #[test]
-    fn any_byte_corruption_is_caught(
-        n in 2u64..100,
-        seed in any::<u64>(),
-        victim in any::<proptest::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
+/// Corrupting any single byte of a sorted output makes validation fail.
+#[test]
+fn any_byte_corruption_is_caught() {
+    let mut r = SplitMix64::new(0xE3);
+    for case in 0..256 {
+        let n = 2 + r.next_below(98);
+        let seed = r.next_u64();
         let (input, cs) = generate(GenConfig::datamation(n, seed));
         let mut output = input.clone();
         records_of_mut(&mut output).sort_by_key(|a| a.key);
-        let idx = victim.index(output.len());
+        let idx = r.next_below(output.len() as u64) as usize;
+        let flip = 1 + r.next_below(255) as u8;
         output[idx] ^= flip;
-        prop_assert!(validate_records(&output, cs).is_err());
+        assert!(validate_records(&output, cs).is_err(), "case {case}");
     }
+}
 
-    /// Prefix comparisons agree with key comparisons whenever prefixes differ.
-    #[test]
-    fn prefix_comparison_sound(a in any::<[u8; KEY_LEN]>(), b in any::<[u8; KEY_LEN]>()) {
+/// Prefix comparisons agree with key comparisons whenever prefixes differ.
+#[test]
+fn prefix_comparison_sound() {
+    let mut r = SplitMix64::new(0xE4);
+    for case in 0..4_096 {
+        let mut a = [0u8; KEY_LEN];
+        let mut b = [0u8; KEY_LEN];
+        r.fill_bytes(&mut a);
+        r.fill_bytes(&mut b);
+        // Half the cases get matching 8-byte prefixes to exercise both arms.
+        if case % 2 == 0 {
+            let (head, _) = a.split_at(8);
+            b[..8].copy_from_slice(head);
+        }
         let ra = Record::with_key(a, 0);
         let rb = Record::with_key(b, 1);
         if ra.prefix() != rb.prefix() {
-            prop_assert_eq!(ra.prefix() < rb.prefix(), ra.key < rb.key);
+            assert_eq!(ra.prefix() < rb.prefix(), ra.key < rb.key, "case {case}");
         } else {
-            prop_assert_eq!(&a[..8], &b[..8]);
+            assert_eq!(&a[..8], &b[..8], "case {case}");
         }
     }
+}
 
-    /// fill_bytes is deterministic and length-faithful.
-    #[test]
-    fn rng_fill_deterministic(seed in any::<u64>(), len in 0usize..64) {
+/// fill_bytes is deterministic and length-faithful.
+#[test]
+fn rng_fill_deterministic() {
+    let mut r = SplitMix64::new(0xE5);
+    for case in 0..128 {
+        let seed = r.next_u64();
+        let len = r.next_below(64) as usize;
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         let mut xs = vec![0u8; len];
         let mut ys = vec![0u8; len];
         a.fill_bytes(&mut xs);
         b.fill_bytes(&mut ys);
-        prop_assert_eq!(xs, ys);
+        assert_eq!(xs, ys, "case {case}");
     }
+}
 
-    /// Swapping two adjacent out-of-order records is flagged as OutOfOrder,
-    /// not as a checksum problem (the permutation is intact).
-    #[test]
-    fn adjacent_swap_reported_as_order_error(
-        n in 3u64..100,
-        seed in any::<u64>(),
-        at in any::<proptest::sample::Index>(),
-    ) {
+/// Swapping two adjacent out-of-order records is flagged as OutOfOrder,
+/// not as a checksum problem (the permutation is intact).
+#[test]
+fn adjacent_swap_reported_as_order_error() {
+    let mut r = SplitMix64::new(0xE6);
+    for case in 0..256 {
+        let n = 3 + r.next_below(97);
+        let seed = r.next_u64();
         let (input, cs) = generate(GenConfig::datamation(n, seed));
         let mut output = input.clone();
         records_of_mut(&mut output).sort_by_key(|a| a.key);
         let recs = records_of_mut(&mut output);
-        let i = at.index(recs.len() - 1);
+        let i = r.next_below(recs.len() as u64 - 1) as usize;
         if recs[i].key == recs[i + 1].key {
-            return Ok(()); // swap of equal keys stays sorted
+            continue; // swap of equal keys stays sorted
         }
         recs.swap(i, i + 1);
         match validate_records(&output, cs) {
             Err(ValidationError::OutOfOrder { .. }) => {}
-            other => prop_assert!(false, "expected OutOfOrder, got {other:?}"),
+            other => panic!("case {case}: expected OutOfOrder, got {other:?}"),
         }
     }
 }

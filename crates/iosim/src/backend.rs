@@ -8,8 +8,7 @@
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
-
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Byte-addressed random-access store.
 ///
@@ -58,13 +57,13 @@ impl MemStorage {
 
     /// Copy out the full current image (tests).
     pub fn snapshot(&self) -> Vec<u8> {
-        self.data.read().clone()
+        self.data.read().unwrap().clone()
     }
 }
 
 impl Storage for MemStorage {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        let data = self.data.read();
+        let data = self.data.read().unwrap();
         let off = offset as usize;
         let end = off.saturating_add(buf.len());
         if off >= data.len() {
@@ -78,7 +77,7 @@ impl Storage for MemStorage {
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
-        let mut img = self.data.write();
+        let mut img = self.data.write().unwrap();
         let off = offset as usize;
         let end = off + data.len();
         if img.len() < end {
@@ -89,7 +88,7 @@ impl Storage for MemStorage {
     }
 
     fn len(&self) -> u64 {
-        self.data.read().len() as u64
+        self.data.read().unwrap().len() as u64
     }
 }
 

@@ -2,10 +2,8 @@
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-use parking_lot::Mutex;
 
 use crate::backend::Storage;
 use crate::spec::{ControllerSpec, DiskSpec};
@@ -162,12 +160,12 @@ impl SimDisk {
 
     /// Snapshot of accumulated stats.
     pub fn stats(&self) -> DiskStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     /// Reset counters (between experiment phases).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = DiskStats::default();
+        *self.stats.lock().unwrap() = DiskStats::default();
         self.last_end.store(u64::MAX, Ordering::Relaxed);
     }
 
@@ -189,7 +187,7 @@ impl SimDisk {
             self.spec.write_ns(bytes)
         };
         {
-            let mut st = self.stats.lock();
+            let mut st = self.stats.lock().unwrap();
             if is_read {
                 st.reads += 1;
                 st.bytes_read += bytes;

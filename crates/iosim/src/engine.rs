@@ -9,11 +9,11 @@
 //! directly expresses how much IO the caller keeps in flight — triple
 //! buffering is "keep three reads outstanding per disk".
 
+use std::cell::RefCell;
 use std::io;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::disk::SimDisk;
 
@@ -21,15 +21,15 @@ enum Request {
     Read {
         offset: u64,
         len: usize,
-        reply: Sender<io::Result<Vec<u8>>>,
+        reply: SyncSender<io::Result<Vec<u8>>>,
     },
     Write {
         offset: u64,
         data: Vec<u8>,
-        reply: Sender<io::Result<usize>>,
+        reply: SyncSender<io::Result<usize>>,
     },
     Sync {
-        reply: Sender<io::Result<usize>>,
+        reply: SyncSender<io::Result<usize>>,
     },
 }
 
@@ -38,11 +38,24 @@ enum Request {
 /// Dropping a handle without waiting is allowed; the operation still runs.
 pub struct IoHandle<T> {
     rx: Receiver<io::Result<T>>,
+    /// Result pulled off the channel by a non-consuming poll
+    /// ([`is_ready`](Self::is_ready)), parked until `wait`/`try_wait`.
+    polled: RefCell<Option<io::Result<T>>>,
 }
 
 impl<T> IoHandle<T> {
+    fn new(rx: Receiver<io::Result<T>>) -> Self {
+        IoHandle {
+            rx,
+            polled: RefCell::new(None),
+        }
+    }
+
     /// Block until the operation completes and return its result.
     pub fn wait(self) -> io::Result<T> {
+        if let Some(res) = self.polled.into_inner() {
+            return res;
+        }
         self.rx.recv().unwrap_or_else(|_| {
             Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
@@ -53,17 +66,30 @@ impl<T> IoHandle<T> {
 
     /// Non-blocking poll: `Some` if complete, `None` if still in flight.
     pub fn try_wait(&self) -> Option<io::Result<T>> {
+        if let Some(res) = self.polled.borrow_mut().take() {
+            return Some(res);
+        }
         self.rx.try_recv().ok()
     }
 
     /// Whether the result is ready (without consuming it).
     pub fn is_ready(&self) -> bool {
-        !self.rx.is_empty()
+        let mut polled = self.polled.borrow_mut();
+        if polled.is_some() {
+            return true;
+        }
+        match self.rx.try_recv() {
+            Ok(res) => {
+                *polled = Some(res);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
 struct DiskWorker {
-    tx: Sender<Request>,
+    tx: SyncSender<Request>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -89,7 +115,7 @@ impl IoEngine {
         let workers = disks
             .iter()
             .map(|disk| {
-                let (tx, rx) = bounded::<Request>(depth);
+                let (tx, rx) = sync_channel::<Request>(depth);
                 let disk = Arc::clone(disk);
                 let join = std::thread::Builder::new()
                     .name(format!("io-{}", disk.name()))
@@ -138,18 +164,18 @@ impl IoEngine {
     /// Submit an asynchronous read of `len` bytes at `offset` on disk
     /// `disk_idx`. Blocks only if that disk's queue is full.
     pub fn read(&self, disk_idx: usize, offset: u64, len: usize) -> IoHandle<Vec<u8>> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = sync_channel(1);
         self.workers[disk_idx]
             .tx
             .send(Request::Read { offset, len, reply })
             .expect("IO worker exited");
-        IoHandle { rx }
+        IoHandle::new(rx)
     }
 
     /// Submit an asynchronous write of `data` at `offset` on disk `disk_idx`.
     /// The completed value is the byte count written.
     pub fn write(&self, disk_idx: usize, offset: u64, data: Vec<u8>) -> IoHandle<usize> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = sync_channel(1);
         self.workers[disk_idx]
             .tx
             .send(Request::Write {
@@ -158,17 +184,17 @@ impl IoEngine {
                 reply,
             })
             .expect("IO worker exited");
-        IoHandle { rx }
+        IoHandle::new(rx)
     }
 
     /// Submit an asynchronous flush on disk `disk_idx`.
     pub fn sync(&self, disk_idx: usize) -> IoHandle<usize> {
-        let (reply, rx) = bounded(1);
+        let (reply, rx) = sync_channel(1);
         self.workers[disk_idx]
             .tx
             .send(Request::Sync { reply })
             .expect("IO worker exited");
-        IoHandle { rx }
+        IoHandle::new(rx)
     }
 }
 
@@ -176,7 +202,7 @@ impl Drop for IoEngine {
     fn drop(&mut self) {
         // Close the queues; workers drain what is already submitted and exit.
         for w in &mut self.workers {
-            let (dead_tx, _) = bounded(1);
+            let (dead_tx, _) = sync_channel(1);
             let tx = std::mem::replace(&mut w.tx, dead_tx);
             drop(tx);
         }
@@ -252,6 +278,20 @@ mod tests {
             assert!(spins < 1_000_000, "write never completed");
             std::hint::spin_loop();
         }
+    }
+
+    #[test]
+    fn is_ready_does_not_consume_the_result() {
+        let e = engine(1);
+        let h = e.write(0, 0, vec![1; 32]);
+        let mut spins = 0;
+        while !h.is_ready() {
+            spins += 1;
+            assert!(spins < 1_000_000, "write never completed");
+            std::hint::spin_loop();
+        }
+        assert!(h.is_ready()); // still ready on re-poll
+        assert_eq!(h.wait().unwrap(), 32); // and the result is intact
     }
 
     #[test]

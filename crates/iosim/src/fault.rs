@@ -7,9 +7,7 @@
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::backend::Storage;
 
@@ -91,13 +89,13 @@ impl FaultyStorage {
     }
 
     fn take_read_fault(&self, op: u64) -> Option<Fault> {
-        let mut plan = self.plan.lock();
+        let mut plan = self.plan.lock().unwrap();
         let idx = plan.read_faults.iter().position(|(n, _)| *n == op)?;
         Some(plan.read_faults.remove(idx).1)
     }
 
     fn take_write_fault(&self, op: u64) -> Option<Fault> {
-        let mut plan = self.plan.lock();
+        let mut plan = self.plan.lock().unwrap();
         let idx = plan.write_faults.iter().position(|(n, _)| *n == op)?;
         Some(plan.write_faults.remove(idx).1)
     }

@@ -1,9 +1,9 @@
 //! Device specifications: bandwidth, seek, capacity, 1993 price.
 
-use serde::{Deserialize, Serialize};
+use alphasort_minijson::{Json, JsonError};
 
 /// Characteristics of one disk drive.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiskSpec {
     /// Marketing name, e.g. `"RZ26"`.
     pub name: String,
@@ -45,6 +45,30 @@ impl DiskSpec {
         self.write_mbps = self.read_mbps;
         self
     }
+
+    /// JSON form, for host-side spec files.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("read_mbps".into(), Json::from(self.read_mbps)),
+            ("write_mbps".into(), Json::from(self.write_mbps)),
+            ("seek_ms".into(), Json::from(self.seek_ms)),
+            ("capacity_gb".into(), Json::from(self.capacity_gb)),
+            ("price_dollars".into(), Json::from(self.price_dollars)),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<DiskSpec, JsonError> {
+        Ok(DiskSpec {
+            name: v.field_str("name")?.to_string(),
+            read_mbps: v.field_f64("read_mbps")?,
+            write_mbps: v.field_f64("write_mbps")?,
+            seek_ms: v.field_f64("seek_ms")?,
+            capacity_gb: v.field_f64("capacity_gb")?,
+            price_dollars: v.field_f64("price_dollars")?,
+        })
+    }
 }
 
 /// Characteristics of one controller (host adapter / bus).
@@ -52,7 +76,7 @@ impl DiskSpec {
 /// Disks attach to a controller; the controller's bandwidth caps the sum of
 /// its disks' transfer rates. "Bottlenecks appear when a controller
 /// saturates" (§6) is exactly this cap binding before the per-disk rates do.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ControllerSpec {
     /// Marketing name, e.g. `"fast-SCSI"`.
     pub name: String,
@@ -66,6 +90,24 @@ impl ControllerSpec {
     /// Nanoseconds for `bytes` to cross this controller.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
         transfer_ns(bytes, self.bandwidth_mbps)
+    }
+
+    /// JSON form, for host-side spec files.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("bandwidth_mbps".into(), Json::from(self.bandwidth_mbps)),
+            ("price_dollars".into(), Json::from(self.price_dollars)),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<ControllerSpec, JsonError> {
+        Ok(ControllerSpec {
+            name: v.field_str("name")?.to_string(),
+            bandwidth_mbps: v.field_f64("bandwidth_mbps")?,
+            price_dollars: v.field_f64("price_dollars")?,
+        })
     }
 }
 
@@ -134,8 +176,17 @@ mod tests {
     #[test]
     fn spec_serde_roundtrip() {
         let d = disk();
-        let json = serde_json::to_string(&d).unwrap();
-        let d2: DiskSpec = serde_json::from_str(&json).unwrap();
+        let json = d.to_json().dump();
+        let d2 = DiskSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(d, d2);
+
+        let c = ControllerSpec {
+            name: "c".into(),
+            bandwidth_mbps: 10.0,
+            price_dollars: 1000.0,
+        };
+        let json = c.to_json().dump_pretty();
+        let c2 = ControllerSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(c, c2);
     }
 }

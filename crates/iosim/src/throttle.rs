@@ -4,9 +4,8 @@
 //! byte count from both, so whichever is slower gates throughput — exactly
 //! how a saturated SCSI bus caps the drives behind it.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 /// A token bucket metering bytes per second.
 ///
@@ -53,7 +52,7 @@ impl TokenBucket {
         let bytes = bytes as f64;
         loop {
             let wait = {
-                let mut st = self.inner.lock();
+                let mut st = self.inner.lock().unwrap();
                 let now = Instant::now();
                 let elapsed = now.duration_since(st.last_refill).as_secs_f64();
                 st.tokens = (st.tokens + elapsed * self.rate_bytes_per_sec).min(self.burst_bytes);

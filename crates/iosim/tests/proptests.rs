@@ -1,12 +1,13 @@
 //! Property tests for the disk simulator: storage semantics, accounting
 //! invariants, and fault-plan behaviour under arbitrary operation mixes.
+//! Cases are driven by a seeded [`SplitMix64`] so every run is reproducible.
 
 use std::sync::Arc;
 
+use alphasort_dmgen::SplitMix64;
 use alphasort_iosim::{
     catalog, FaultPlan, FaultyStorage, IoEngine, MemStorage, Pacing, SimDisk, Storage,
 };
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,18 +15,31 @@ enum Op {
     Read { offset: u64, len: usize },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..4_096, proptest::collection::vec(any::<u8>(), 1..128))
-            .prop_map(|(offset, data)| Op::Write { offset, data }),
-        (0u64..4_096, 1usize..128).prop_map(|(offset, len)| Op::Read { offset, len }),
-    ]
+fn any_op(r: &mut SplitMix64) -> Op {
+    let offset = r.next_below(4_096);
+    if r.next_below(2) == 0 {
+        let mut data = vec![0u8; 1 + r.next_below(127) as usize];
+        r.fill_bytes(&mut data);
+        Op::Write { offset, data }
+    } else {
+        Op::Read {
+            offset,
+            len: 1 + r.next_below(127) as usize,
+        }
+    }
 }
 
-proptest! {
-    /// MemStorage behaves like a sparse byte array with zero fill.
-    #[test]
-    fn mem_storage_matches_shadow_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+fn any_ops(r: &mut SplitMix64, max: u64) -> Vec<Op> {
+    let n = 1 + r.next_below(max - 1);
+    (0..n).map(|_| any_op(r)).collect()
+}
+
+/// MemStorage behaves like a sparse byte array with zero fill.
+#[test]
+fn mem_storage_matches_shadow_model() {
+    let mut r = SplitMix64::new(0xF1);
+    for case in 0..128 {
+        let ops = any_ops(&mut r, 60);
         let storage = MemStorage::new();
         let mut shadow = vec![0u8; 8_192];
         let mut high_water = 0usize;
@@ -41,16 +55,20 @@ proptest! {
                     let mut buf = vec![0xFFu8; *len];
                     storage.read_at(*offset, &mut buf).unwrap();
                     let off = *offset as usize;
-                    prop_assert_eq!(&buf[..], &shadow[off..off + len]);
+                    assert_eq!(&buf[..], &shadow[off..off + len], "case {case}");
                 }
             }
-            prop_assert_eq!(storage.len() as usize, high_water);
+            assert_eq!(storage.len() as usize, high_water, "case {case}");
         }
     }
+}
 
-    /// Disk stats account every operation and byte exactly.
-    #[test]
-    fn disk_stats_account_everything(ops in proptest::collection::vec(arb_op(), 1..60)) {
+/// Disk stats account every operation and byte exactly.
+#[test]
+fn disk_stats_account_everything() {
+    let mut r = SplitMix64::new(0xF2);
+    for case in 0..128 {
+        let ops = any_ops(&mut r, 60);
         let disk = SimDisk::new(
             "p0",
             catalog::rz28(),
@@ -74,19 +92,23 @@ proptest! {
             }
         }
         let st = disk.stats();
-        prop_assert_eq!(st.reads, reads);
-        prop_assert_eq!(st.writes, writes);
-        prop_assert_eq!(st.bytes_read, br);
-        prop_assert_eq!(st.bytes_written, bw);
-        prop_assert!(st.seeks <= reads + writes);
+        assert_eq!(st.reads, reads, "case {case}");
+        assert_eq!(st.writes, writes, "case {case}");
+        assert_eq!(st.bytes_read, br, "case {case}");
+        assert_eq!(st.bytes_written, bw, "case {case}");
+        assert!(st.seeks <= reads + writes, "case {case}");
         // Modeled busy time is monotone in work done.
-        prop_assert!(st.busy_ns > 0 || (br + bw == 0));
+        assert!(st.busy_ns > 0 || (br + bw == 0), "case {case}");
     }
+}
 
-    /// Async engine results equal synchronous execution of the same ops,
-    /// per disk (FIFO order per disk is guaranteed).
-    #[test]
-    fn engine_matches_sync_disk(ops in proptest::collection::vec(arb_op(), 1..40)) {
+/// Async engine results equal synchronous execution of the same ops, per
+/// disk (FIFO order per disk is guaranteed).
+#[test]
+fn engine_matches_sync_disk() {
+    let mut r = SplitMix64::new(0xF3);
+    for case in 0..128 {
+        let ops = any_ops(&mut r, 40);
         // Sync reference.
         let sync_disk = SimDisk::new(
             "s",
@@ -127,16 +149,18 @@ proptest! {
             }
         }
         let got: Vec<Vec<u8>> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// A fault plan fires each injected fault exactly once, at the right
-    /// operation index, and everything else passes through untouched.
-    #[test]
-    fn fault_plan_fires_exactly_once(
-        fail_at in 0u64..20,
-        total_reads in 21u64..40,
-    ) {
+/// A fault plan fires each injected fault exactly once, at the right
+/// operation index, and everything else passes through untouched.
+#[test]
+fn fault_plan_fires_exactly_once() {
+    let mut r = SplitMix64::new(0xF4);
+    for case in 0..64 {
+        let fail_at = r.next_below(20);
+        let total_reads = 21 + r.next_below(19);
         let storage = FaultyStorage::new(
             Arc::new(MemStorage::new()),
             FaultPlan::new().fail_read(fail_at, std::io::ErrorKind::TimedOut),
@@ -148,9 +172,9 @@ proptest! {
             if storage.read_at(0, &mut buf).is_err() {
                 failures.push(i);
             } else {
-                prop_assert_eq!(buf, [7u8; 8]);
+                assert_eq!(buf, [7u8; 8], "case {case}");
             }
         }
-        prop_assert_eq!(failures, vec![fail_at]);
+        assert_eq!(failures, vec![fail_at], "case {case}");
     }
 }

@@ -1,0 +1,206 @@
+//! Wire frames for the exchange protocol.
+//!
+//! Every message between nodes is one length-prefixed frame:
+//!
+//! ```text
+//! +------+--------+----------------+--------------------+
+//! | tag  | from   | payload length |      payload       |
+//! | u8   | u32 BE | u32 BE         | `len` bytes        |
+//! +------+--------+----------------+--------------------+
+//! ```
+//!
+//! The `from` field carries the sender's node id so a receiver multiplexing
+//! many peers over one queue can attribute each frame. Payload size is
+//! capped at [`MAX_PAYLOAD`] so a corrupt length prefix cannot trigger a
+//! multi-gigabyte allocation.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload (16 MB — far above the batch
+/// sizes the exchange actually uses).
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Protocol messages. `Sample` and `Splitters` run the coordinator phase;
+/// `Data`/`Done` run the all-to-all exchange; `Bye` is the graceful
+/// transport shutdown marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator: this node's sampled keys (concatenated
+    /// KEY_LEN-byte keys).
+    Sample { from: u32, keys: Vec<u8> },
+    /// Coordinator → worker: the chosen splitters (concatenated keys).
+    Splitters { from: u32, keys: Vec<u8> },
+    /// Worker → worker: a batch of whole records destined for the receiver.
+    Data { from: u32, records: Vec<u8> },
+    /// Worker → worker: no more `Data` frames will follow from `from`.
+    Done { from: u32 },
+    /// Transport-level goodbye: the sender is closing its connection.
+    Bye { from: u32 },
+}
+
+impl Frame {
+    /// The sending node's id.
+    pub fn from(&self) -> u32 {
+        match self {
+            Frame::Sample { from, .. }
+            | Frame::Splitters { from, .. }
+            | Frame::Data { from, .. }
+            | Frame::Done { from }
+            | Frame::Bye { from } => *from,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Sample { .. } => 1,
+            Frame::Splitters { .. } => 2,
+            Frame::Data { .. } => 3,
+            Frame::Done { .. } => 4,
+            Frame::Bye { .. } => 5,
+        }
+    }
+
+    fn payload(&self) -> &[u8] {
+        match self {
+            Frame::Sample { keys, .. } | Frame::Splitters { keys, .. } => keys,
+            Frame::Data { records, .. } => records,
+            Frame::Done { .. } | Frame::Bye { .. } => &[],
+        }
+    }
+
+    /// Bytes this frame occupies on the wire, header included.
+    pub fn wire_len(&self) -> u64 {
+        9 + self.payload().len() as u64
+    }
+
+    /// Write the frame to `w` (one header + payload, no flush).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let payload = self.payload();
+        let mut header = [0u8; 9];
+        header[0] = self.tag();
+        header[1..5].copy_from_slice(&self.from().to_be_bytes());
+        header[5..9].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+        w.write_all(&header)?;
+        w.write_all(payload)
+    }
+
+    /// Read one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
+    /// boundary; an EOF mid-frame is an `UnexpectedEof` error.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        let mut header = [0u8; 9];
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let tag = header[0];
+        let from = u32::from_be_bytes(header[1..5].try_into().expect("4 bytes"));
+        let len = u32::from_be_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame payload {len} exceeds cap {MAX_PAYLOAD}"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        let frame = match tag {
+            1 => Frame::Sample {
+                from,
+                keys: payload,
+            },
+            2 => Frame::Splitters {
+                from,
+                keys: payload,
+            },
+            3 => Frame::Data {
+                from,
+                records: payload,
+            },
+            4 => Frame::Done { from },
+            5 => Frame::Bye { from },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame tag {other}"),
+                ))
+            }
+        };
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let mut wire = Vec::new();
+        f.write_to(&mut wire).unwrap();
+        assert_eq!(wire.len() as u64, f.wire_len());
+        let got = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(Frame::Sample {
+            from: 3,
+            keys: vec![1; 30],
+        });
+        roundtrip(Frame::Splitters {
+            from: 0,
+            keys: vec![9; 10],
+        });
+        roundtrip(Frame::Data {
+            from: 7,
+            records: (0..200).collect(),
+        });
+        roundtrip(Frame::Done { from: 2 });
+        roundtrip(Frame::Bye { from: 1 });
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut wire = Vec::new();
+        let frames = [
+            Frame::Done { from: 0 },
+            Frame::Data {
+                from: 1,
+                records: vec![5; 17],
+            },
+            Frame::Bye { from: 2 },
+        ];
+        for f in &frames {
+            f.write_to(&mut wire).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for f in &frames {
+            assert_eq!(Frame::read_from(&mut r).unwrap().unwrap(), *f);
+        }
+        assert_eq!(Frame::read_from(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_midframe_eof_is_error() {
+        let mut wire = Vec::new();
+        Frame::Data {
+            from: 0,
+            records: vec![1; 50],
+        }
+        .write_to(&mut wire)
+        .unwrap();
+        let truncated = &wire[..wire.len() - 10];
+        let err = Frame::read_from(&mut &truncated[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(Frame::read_from(&mut &[][..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_without_allocating() {
+        let mut wire = vec![3u8, 0, 0, 0, 0];
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = Frame::read_from(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,48 @@
+//! netsort: a distributed shared-nothing sort over the AlphaSort pipeline.
+//!
+//! §2 of the paper describes the design AlphaSort displaced: a
+//! shared-nothing cluster where every node reads its local disk, the
+//! records are exchanged so each node owns one key range, and each node
+//! sorts locally (DeWitt, Naughton & Schneider's Hypercube sort with
+//! *probabilistic splitting*). The [`baseline`](alphasort_core::baseline)
+//! module fakes that design inside one process; this crate builds the real
+//! thing:
+//!
+//! - a **coordinator phase** ([`splitter`]) that pools key samples from
+//!   every node and broadcasts quantile splitters,
+//! - an **all-to-all exchange** of length-prefixed record frames
+//!   ([`frame`]) over a pluggable [`Transport`] — the in-process
+//!   [`loopback_cluster`] or real TCP sockets with retry/backoff
+//!   ([`tcp`]),
+//! - a **per-node AlphaSort pipeline** ([`worker`]): after the exchange,
+//!   each node runs the ordinary cache-conscious one-pass sort over the
+//!   records it owns, so concatenating node outputs in node order yields
+//!   the globally sorted dataset.
+//!
+//! Exchange-phase counters (bytes shipped, wait time, partition skew) land
+//! in the shared [`SortStats`](alphasort_core::SortStats).
+//!
+//! ```
+//! use alphasort_netsort::{netsort_loopback, NetsortConfig};
+//! use alphasort_dmgen::{generate, validate_records, GenConfig};
+//!
+//! let (input, checksum) = generate(GenConfig::datamation(5_000, 42));
+//! let (output, stats) = netsort_loopback(&input, 4, &NetsortConfig::default())?;
+//! validate_records(&output, checksum).expect("sorted permutation");
+//! assert_eq!(stats.partition_sizes.len(), 4);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod frame;
+pub mod splitter;
+pub mod tcp;
+pub mod transport;
+pub mod worker;
+
+pub use frame::Frame;
+pub use tcp::{bind_cluster, connect_with_retry, RetryPolicy, TcpTransport};
+pub use transport::{loopback_cluster, LoopbackTransport, Transport};
+pub use worker::{
+    merge_cluster_stats, netsort_loopback, netsort_tcp, run_worker, split_shares, NetsortConfig,
+    WorkerOutcome, COORDINATOR,
+};

@@ -1,0 +1,426 @@
+//! The per-node worker and whole-cluster drivers.
+//!
+//! Protocol, from each worker's point of view:
+//!
+//! 1. **Sample** — read the local input, sample keys with the golden-ratio
+//!    stride, send them to the coordinator (node 0; a self-send when we
+//!    *are* node 0).
+//! 2. **Split** — the coordinator pools all samples, picks the quantile
+//!    splitters and broadcasts them; everyone else waits, stashing any
+//!    early `Data` frames from faster peers (frames from different peers
+//!    have no cross-ordering).
+//! 3. **Exchange** — partition the local records by the splitters, stream
+//!    each foreign partition to its owner in batched `Data` frames, then
+//!    tell every peer `Done`. Drain the inbox until all peers said `Done`.
+//! 4. **Local sort** — run the ordinary AlphaSort one-pass pipeline over
+//!    the records this node now owns and write them to the local sink.
+//!    Concatenating the node outputs in node order is the sorted dataset.
+
+use std::io;
+use std::time::Instant;
+
+use alphasort_core::io::{MemSink, MemSource, RecordSink, RecordSource};
+use alphasort_core::stats::timed;
+use alphasort_core::{driver::one_pass, SortConfig, SortStats};
+use alphasort_dmgen::RECORD_LEN;
+
+use crate::frame::Frame;
+use crate::splitter::{
+    compute_splitters, decode_splitters, encode_splitters, partition_records, sample_keys,
+};
+use crate::transport::{loopback_cluster, Transport};
+
+/// Coordinator node id.
+pub const COORDINATOR: usize = 0;
+
+/// Configuration shared by every worker of a distributed sort.
+#[derive(Clone, Debug)]
+pub struct NetsortConfig {
+    /// Keys each node samples for the coordinator's splitter computation.
+    pub samples_per_node: usize,
+    /// Records per `Data` frame during the exchange (640 records = 64 kB
+    /// payloads, large enough to amortize framing, small enough to pipeline).
+    pub batch_records: usize,
+    /// The local AlphaSort pipeline's configuration.
+    pub sort: SortConfig,
+}
+
+impl Default for NetsortConfig {
+    fn default() -> Self {
+        NetsortConfig {
+            samples_per_node: 256,
+            batch_records: 640,
+            sort: SortConfig::default(),
+        }
+    }
+}
+
+/// One worker's result: its share of the sorted output lives in its sink;
+/// `stats` covers the whole worker including the exchange phase.
+#[derive(Clone, Debug)]
+pub struct WorkerOutcome {
+    /// Phase breakdown; exchange counters filled in.
+    pub stats: SortStats,
+    /// Bytes this node wrote to its local sink.
+    pub bytes: u64,
+}
+
+fn protocol_error(what: &str, frame: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("protocol error: expected {what}, got {frame:?} from node {}", frame.from()),
+    )
+}
+
+/// Run one node of the distributed sort. Blocks until this node's share of
+/// the output is fully written to `sink`.
+pub fn run_worker<T, Src, Snk>(
+    transport: &mut T,
+    source: &mut Src,
+    sink: &mut Snk,
+    cfg: &NetsortConfig,
+) -> io::Result<WorkerOutcome>
+where
+    T: Transport,
+    Src: RecordSource,
+    Snk: RecordSink,
+{
+    let t_start = Instant::now();
+    let node = transport.node();
+    let nodes = transport.nodes();
+    let me = node as u32;
+    let mut stats = SortStats::default();
+
+    // ---- read the local input ---------------------------------------------
+    let mut input: Vec<u8> = Vec::new();
+    loop {
+        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
+        let Some(chunk) = chunk else { break };
+        input.extend_from_slice(&chunk);
+    }
+    if !input.len().is_multiple_of(RECORD_LEN) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "node {node} input ends mid-record ({} trailing bytes)",
+                input.len() % RECORD_LEN
+            ),
+        ));
+    }
+
+    // ---- sample + splitters -----------------------------------------------
+    transport.send(
+        COORDINATOR,
+        Frame::Sample {
+            from: me,
+            keys: sample_keys(&input, cfg.samples_per_node),
+        },
+    )?;
+    if node == COORDINATOR {
+        let mut samples = Vec::with_capacity(nodes);
+        while samples.len() < nodes {
+            let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+            match frame {
+                Frame::Sample { keys, .. } => samples.push(keys),
+                other => return Err(protocol_error("Sample", &other)),
+            }
+        }
+        let payload = encode_splitters(&compute_splitters(&samples, nodes));
+        for peer in 0..nodes {
+            transport.send(
+                peer,
+                Frame::Splitters {
+                    from: me,
+                    keys: payload.clone(),
+                },
+            )?;
+        }
+    }
+    // Everyone (coordinator included — it self-sent) waits for the
+    // splitters, stashing early exchange traffic from faster peers.
+    let mut pending: Vec<Frame> = Vec::new();
+    let splitters = loop {
+        let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+        match frame {
+            Frame::Splitters { keys, .. } => break decode_splitters(&keys),
+            data @ (Frame::Data { .. } | Frame::Done { .. }) => pending.push(data),
+            other => return Err(protocol_error("Splitters", &other)),
+        }
+    };
+
+    // ---- exchange: scatter ours, gather ours ------------------------------
+    let mut partitions = partition_records(&input, &splitters);
+    drop(input);
+    // Gather received records per sender, not in arrival order: shares are
+    // contiguous in node order, so concatenating the per-sender buffers in
+    // node order restores the global input order within this partition.
+    // With a stable local sort that makes the distributed output
+    // byte-identical to a single-node stable sort, ties included.
+    let mut gather: Vec<Vec<u8>> = vec![Vec::new(); nodes];
+    gather[node] = std::mem::take(&mut partitions[node]);
+    for (target, part) in partitions.into_iter().enumerate() {
+        if target == node {
+            continue;
+        }
+        for batch in part.chunks(cfg.batch_records * RECORD_LEN) {
+            stats.exchange_bytes_out += batch.len() as u64;
+            timed(&mut stats.exchange_wait, || {
+                transport.send(
+                    target,
+                    Frame::Data {
+                        from: me,
+                        records: batch.to_vec(),
+                    },
+                )
+            })?;
+        }
+        transport.send(target, Frame::Done { from: me })?;
+    }
+    let mut done = 0usize;
+    let absorb = |frame: Frame, gather: &mut Vec<Vec<u8>>, stats: &mut SortStats| match frame {
+        Frame::Data { from, records } => {
+            let sender = from as usize;
+            if sender >= nodes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("Data frame from unknown node {sender}"),
+                ));
+            }
+            stats.exchange_bytes_in += records.len() as u64;
+            gather[sender].extend_from_slice(&records);
+            Ok(false)
+        }
+        Frame::Done { .. } => Ok(true),
+        other => Err(protocol_error("Data or Done", &other)),
+    };
+    for frame in pending {
+        done += usize::from(absorb(frame, &mut gather, &mut stats)?);
+    }
+    while done < nodes - 1 {
+        let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+        done += usize::from(absorb(frame, &mut gather, &mut stats)?);
+    }
+    transport.shutdown()?;
+    let local = gather.concat();
+
+    // ---- local AlphaSort pipeline over what we now own --------------------
+    stats.partition_sizes = vec![(local.len() / RECORD_LEN) as u64];
+    let mut local_source = MemSource::new(local, 1 << 20);
+    let outcome = one_pass(&mut local_source, sink, &cfg.sort)?;
+
+    // Fold the local pipeline's stats into the worker-level ones.
+    let exchange = stats;
+    let mut stats = outcome.stats;
+    stats.read_wait += exchange.read_wait;
+    stats.exchange_bytes_out = exchange.exchange_bytes_out;
+    stats.exchange_bytes_in = exchange.exchange_bytes_in;
+    stats.exchange_wait = exchange.exchange_wait;
+    stats.partition_sizes = exchange.partition_sizes;
+    stats.elapsed = t_start.elapsed();
+    Ok(WorkerOutcome {
+        stats,
+        bytes: outcome.bytes,
+    })
+}
+
+/// Split `input` into `nodes` contiguous record-aligned shares (the last
+/// may be short) — each node's "local disk" in the in-process drivers.
+pub fn split_shares(input: &[u8], nodes: usize) -> Vec<Vec<u8>> {
+    assert!(nodes >= 1);
+    assert!(input.len().is_multiple_of(RECORD_LEN));
+    let records = input.len() / RECORD_LEN;
+    let per = records.div_ceil(nodes).max(1) * RECORD_LEN;
+    let mut shares: Vec<Vec<u8>> = input.chunks(per).map(<[u8]>::to_vec).collect();
+    shares.resize(nodes, Vec::new());
+    shares
+}
+
+/// Combine per-node worker stats into one cluster-level view: counters sum,
+/// phase times take the per-node maximum (the critical path), and
+/// `partition_sizes` lists every node's post-exchange share in node order.
+pub fn merge_cluster_stats(per_node: &[SortStats]) -> SortStats {
+    let mut out = SortStats::default();
+    for st in per_node {
+        out.records += st.records;
+        out.runs += st.runs;
+        out.run_lengths.extend_from_slice(&st.run_lengths);
+        out.read_wait = out.read_wait.max(st.read_wait);
+        out.sort_time = out.sort_time.max(st.sort_time);
+        out.merge_time = out.merge_time.max(st.merge_time);
+        out.gather_time = out.gather_time.max(st.gather_time);
+        out.write_wait = out.write_wait.max(st.write_wait);
+        out.elapsed = out.elapsed.max(st.elapsed);
+        out.spill_time = out.spill_time.max(st.spill_time);
+        out.merge_passes = out.merge_passes.max(st.merge_passes);
+        out.exchange_bytes_out += st.exchange_bytes_out;
+        out.exchange_bytes_in += st.exchange_bytes_in;
+        out.exchange_wait = out.exchange_wait.max(st.exchange_wait);
+        out.partition_sizes.extend_from_slice(&st.partition_sizes);
+    }
+    out.one_pass = per_node.iter().all(|st| st.one_pass);
+    out
+}
+
+/// Sort `input` on an in-process cluster of `nodes` workers connected by
+/// the loopback transport. Returns the concatenated (globally sorted)
+/// output and the merged cluster stats.
+pub fn netsort_loopback(
+    input: &[u8],
+    nodes: usize,
+    cfg: &NetsortConfig,
+) -> io::Result<(Vec<u8>, SortStats)> {
+    let shares = split_shares(input, nodes);
+    let transports = loopback_cluster(nodes);
+    let results: Vec<io::Result<(Vec<u8>, SortStats)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .zip(shares)
+            .map(|(mut transport, share)| {
+                scope.spawn(move || {
+                    let mut source = MemSource::new(share, 1 << 20);
+                    let mut sink = MemSink::new();
+                    let outcome = run_worker(&mut transport, &mut source, &mut sink, cfg)?;
+                    Ok((sink.into_inner(), outcome.stats))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut output = Vec::with_capacity(input.len());
+    let mut stats = Vec::with_capacity(nodes);
+    for r in results {
+        let (part, st) = r?;
+        output.extend_from_slice(&part);
+        stats.push(st);
+    }
+    Ok((output, merge_cluster_stats(&stats)))
+}
+
+/// Sort `input` on a cluster of `nodes` workers connected by real TCP
+/// sockets on 127.0.0.1 (each worker a thread with its own listener).
+pub fn netsort_tcp(
+    input: &[u8],
+    nodes: usize,
+    cfg: &NetsortConfig,
+    policy: &crate::tcp::RetryPolicy,
+) -> io::Result<(Vec<u8>, SortStats)> {
+    let shares = split_shares(input, nodes);
+    let (listeners, addrs) = crate::tcp::bind_cluster(nodes)?;
+    let results: Vec<io::Result<(Vec<u8>, SortStats)>> = std::thread::scope(|scope| {
+        let addrs = &addrs;
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .zip(shares)
+            .enumerate()
+            .map(|(node, (listener, share))| {
+                scope.spawn(move || {
+                    let mut transport =
+                        crate::tcp::TcpTransport::establish(node, listener, addrs, policy)?;
+                    let mut source = MemSource::new(share, 1 << 20);
+                    let mut sink = MemSink::new();
+                    let outcome = run_worker(&mut transport, &mut source, &mut sink, cfg)?;
+                    Ok((sink.into_inner(), outcome.stats))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut output = Vec::with_capacity(input.len());
+    let mut stats = Vec::with_capacity(nodes);
+    for r in results {
+        let (part, st) = r?;
+        output.extend_from_slice(&part);
+        stats.push(st);
+    }
+    Ok((output, merge_cluster_stats(&stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasort_dmgen::{generate, validate_records, GenConfig};
+
+    #[test]
+    fn split_shares_covers_input_exactly() {
+        let (input, _) = generate(GenConfig::datamation(103, 1));
+        let shares = split_shares(&input, 4);
+        assert_eq!(shares.len(), 4);
+        assert!(shares.iter().all(|s| s.len() % RECORD_LEN == 0));
+        assert_eq!(shares.concat(), input);
+        // More nodes than records: trailing shares are empty, none lost.
+        let tiny = split_shares(&input[..2 * RECORD_LEN], 8);
+        assert_eq!(tiny.len(), 8);
+        assert_eq!(tiny.concat(), &input[..2 * RECORD_LEN]);
+    }
+
+    #[test]
+    fn loopback_cluster_sorts_and_validates() {
+        let (input, cs) = generate(GenConfig::datamation(10_000, 42));
+        let cfg = NetsortConfig {
+            sort: SortConfig {
+                run_records: 1_000,
+                gather_batch: 500,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (output, stats) = netsort_loopback(&input, 4, &cfg).unwrap();
+        let report = validate_records(&output, cs).unwrap();
+        assert_eq!(report.records, 10_000);
+        assert_eq!(stats.records, 10_000);
+        assert_eq!(stats.partition_sizes.len(), 4);
+        assert_eq!(stats.partition_sizes.iter().sum::<u64>(), 10_000);
+        assert!(stats.exchange_bytes_out > 0);
+        // Everything shipped is received by someone.
+        assert_eq!(stats.exchange_bytes_out, stats.exchange_bytes_in);
+    }
+
+    #[test]
+    fn single_node_cluster_ships_nothing() {
+        let (input, cs) = generate(GenConfig::datamation(2_000, 7));
+        let (output, stats) = netsort_loopback(&input, 1, &NetsortConfig::default()).unwrap();
+        validate_records(&output, cs).unwrap();
+        assert_eq!(stats.exchange_bytes_out, 0);
+        assert_eq!(stats.partition_sizes, vec![2_000]);
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let (output, stats) = netsort_loopback(&[], 3, &NetsortConfig::default()).unwrap();
+        assert!(output.is_empty());
+        assert_eq!(stats.records, 0);
+    }
+
+    #[test]
+    fn merged_stats_take_critical_path_times() {
+        use std::time::Duration;
+        let a = SortStats {
+            records: 10,
+            sort_time: Duration::from_millis(5),
+            exchange_wait: Duration::from_millis(9),
+            partition_sizes: vec![10],
+            one_pass: true,
+            ..Default::default()
+        };
+        let b = SortStats {
+            records: 20,
+            sort_time: Duration::from_millis(8),
+            exchange_wait: Duration::from_millis(2),
+            partition_sizes: vec![20],
+            one_pass: true,
+            ..Default::default()
+        };
+        let m = merge_cluster_stats(&[a, b]);
+        assert_eq!(m.records, 30);
+        assert_eq!(m.sort_time, Duration::from_millis(8));
+        assert_eq!(m.exchange_wait, Duration::from_millis(9));
+        assert_eq!(m.partition_sizes, vec![10, 20]);
+        assert!(m.one_pass);
+    }
+}

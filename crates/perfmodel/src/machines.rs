@@ -6,10 +6,10 @@
 //! 27 MB/s read / 22 MB/s write) and scaled by drive count for the other
 //! rows so the modeled elapsed times land on Table 8's.
 
-use serde::{Deserialize, Serialize};
+use alphasort_minijson::{Json, JsonError};
 
 /// One machine configuration (a Table 8 row).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// System name.
     pub name: String,
@@ -35,6 +35,47 @@ pub struct MachineConfig {
     pub paper_time_s: f64,
     /// $/sort the paper reports.
     pub paper_dollars_per_sort: f64,
+}
+
+impl MachineConfig {
+    /// JSON form, for host-side machine tables.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("cpus".into(), Json::from(self.cpus)),
+            ("clock_ns".into(), Json::from(self.clock_ns)),
+            ("controllers".into(), Json::from(self.controllers.as_str())),
+            ("drives".into(), Json::from(self.drives.as_str())),
+            ("memory_mb".into(), Json::from(self.memory_mb)),
+            ("read_mbps".into(), Json::from(self.read_mbps)),
+            ("write_mbps".into(), Json::from(self.write_mbps)),
+            ("system_price".into(), Json::from(self.system_price)),
+            ("disk_ctlr_price".into(), Json::from(self.disk_ctlr_price)),
+            ("paper_time_s".into(), Json::from(self.paper_time_s)),
+            (
+                "paper_dollars_per_sort".into(),
+                Json::from(self.paper_dollars_per_sort),
+            ),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<MachineConfig, JsonError> {
+        Ok(MachineConfig {
+            name: v.field_str("name")?.to_string(),
+            cpus: v.field_u64("cpus")? as u32,
+            clock_ns: v.field_f64("clock_ns")?,
+            controllers: v.field_str("controllers")?.to_string(),
+            drives: v.field_str("drives")?.to_string(),
+            memory_mb: v.field_u64("memory_mb")? as u32,
+            read_mbps: v.field_f64("read_mbps")?,
+            write_mbps: v.field_f64("write_mbps")?,
+            system_price: v.field_f64("system_price")?,
+            disk_ctlr_price: v.field_f64("disk_ctlr_price")?,
+            paper_time_s: v.field_f64("paper_time_s")?,
+            paper_dollars_per_sort: v.field_f64("paper_dollars_per_sort")?,
+        })
+    }
 }
 
 /// The five rows of Table 8.
@@ -162,8 +203,14 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let rows = table8();
-        let json = serde_json::to_string(&rows).unwrap();
-        let rows2: Vec<MachineConfig> = serde_json::from_str(&json).unwrap();
+        let json = Json::Arr(rows.iter().map(MachineConfig::to_json).collect()).dump();
+        let rows2: Vec<MachineConfig> = Json::parse(&json)
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| MachineConfig::from_json(v).unwrap())
+            .collect();
         assert_eq!(rows, rows2);
     }
 }

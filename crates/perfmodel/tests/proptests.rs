@@ -1,118 +1,158 @@
 //! Property tests for the analytic models: monotonicity and invariants
 //! that must hold over the whole parameter space, not just the paper's
-//! calibration points.
+//! calibration points. Cases are driven by a seeded [`SplitMix64`].
 
+use alphasort_dmgen::SplitMix64;
 use alphasort_perfmodel::economics::{pass_economics, scratch_disks_for};
 use alphasort_perfmodel::machines::MachineConfig;
 use alphasort_perfmodel::metrics::{datamation_dollars_per_sort, dollarsort_budget_s, minutesort};
 use alphasort_perfmodel::phase::datamation_model;
-use proptest::prelude::*;
 
-fn arb_machine() -> impl Strategy<Value = MachineConfig> {
-    (
-        1u32..=6,
-        4.0f64..10.0,
-        5.0f64..100.0,
-        4.0f64..80.0,
-        50_000.0f64..1_000_000.0,
-    )
-        .prop_map(
-            |(cpus, clock_ns, read_mbps, write_mbps, system_price)| MachineConfig {
-                name: "arb".into(),
-                cpus,
-                clock_ns,
-                controllers: String::new(),
-                drives: String::new(),
-                memory_mb: 256,
-                read_mbps,
-                write_mbps,
-                system_price,
-                disk_ctlr_price: system_price * 0.3,
-                paper_time_s: 0.0,
-                paper_dollars_per_sort: 0.0,
-            },
-        )
+fn uniform(r: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64
 }
 
-proptest! {
-    /// The phase model is monotone: more data never sorts faster, faster
-    /// disks never sort slower, and more CPUs never sort slower.
-    #[test]
-    fn phase_model_is_monotone(m in arb_machine(), mb in 10.0f64..2_000.0) {
+fn any_machine(r: &mut SplitMix64) -> MachineConfig {
+    let system_price = uniform(r, 50_000.0, 1_000_000.0);
+    MachineConfig {
+        name: "arb".into(),
+        cpus: 1 + r.next_below(6) as u32,
+        clock_ns: uniform(r, 4.0, 10.0),
+        controllers: String::new(),
+        drives: String::new(),
+        memory_mb: 256,
+        read_mbps: uniform(r, 5.0, 100.0),
+        write_mbps: uniform(r, 4.0, 80.0),
+        system_price,
+        disk_ctlr_price: system_price * 0.3,
+        paper_time_s: 0.0,
+        paper_dollars_per_sort: 0.0,
+    }
+}
+
+/// The phase model is monotone: more data never sorts faster, faster
+/// disks never sort slower, and more CPUs never sort slower.
+#[test]
+fn phase_model_is_monotone() {
+    let mut r = SplitMix64::new(0x7E1);
+    for case in 0..256 {
+        let m = any_machine(&mut r);
+        let mb = uniform(&mut r, 10.0, 2_000.0);
         let base = datamation_model(&m, mb).total();
-        prop_assert!(base > 0.0);
+        assert!(base > 0.0, "case {case}");
 
         let bigger = datamation_model(&m, mb * 2.0).total();
-        prop_assert!(bigger >= base, "2x data sorted faster: {bigger} < {base}");
+        assert!(
+            bigger >= base,
+            "case {case}: 2x data sorted faster: {bigger} < {base}"
+        );
 
         let mut faster_disks = m.clone();
         faster_disks.read_mbps *= 2.0;
         faster_disks.write_mbps *= 2.0;
-        prop_assert!(datamation_model(&faster_disks, mb).total() <= base);
+        assert!(
+            datamation_model(&faster_disks, mb).total() <= base,
+            "case {case}"
+        );
 
         let mut more_cpus = m.clone();
         more_cpus.cpus += 1;
-        prop_assert!(datamation_model(&more_cpus, mb).total() <= base);
+        assert!(
+            datamation_model(&more_cpus, mb).total() <= base,
+            "case {case}"
+        );
     }
+}
 
-    /// Elapsed time is bounded below by the raw IO time and above by the
-    /// fully-serialized schedule.
-    #[test]
-    fn phase_model_respects_io_bounds(m in arb_machine(), mb in 10.0f64..2_000.0) {
+/// Elapsed time is bounded below by the raw IO time and above by the
+/// fully-serialized schedule.
+#[test]
+fn phase_model_respects_io_bounds() {
+    let mut r = SplitMix64::new(0x7E2);
+    for case in 0..256 {
+        let m = any_machine(&mut r);
+        let mb = uniform(&mut r, 10.0, 2_000.0);
         let b = datamation_model(&m, mb);
         let io = mb / m.read_mbps + mb / m.write_mbps;
         let cpu = (b.sort_cpu + b.merge_gather_cpu) / f64::from(m.cpus);
-        prop_assert!(b.total() >= io, "total below pure IO time");
+        assert!(b.total() >= io, "case {case}: total below pure IO time");
         // Upper bound: everything serialized plus fixed overheads.
-        prop_assert!(b.total() <= io + cpu + b.last_run_sort + b.startup + b.shutdown + 1e-9);
+        assert!(
+            b.total() <= io + cpu + b.last_run_sort + b.startup + b.shutdown + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// $/sort scales linearly in both price and time.
-    #[test]
-    fn dollars_per_sort_is_bilinear(price in 1_000.0f64..1e7, secs in 0.1f64..1e4) {
+/// $/sort scales linearly in both price and time.
+#[test]
+fn dollars_per_sort_is_bilinear() {
+    let mut r = SplitMix64::new(0x7E3);
+    for case in 0..256 {
+        let price = uniform(&mut r, 1_000.0, 1e7);
+        let secs = uniform(&mut r, 0.1, 1e4);
         let d = datamation_dollars_per_sort(price, secs);
-        prop_assert!(d > 0.0);
-        prop_assert!((datamation_dollars_per_sort(price * 2.0, secs) - d * 2.0).abs() < d * 1e-9);
-        prop_assert!((datamation_dollars_per_sort(price, secs * 3.0) - d * 3.0).abs() < d * 1e-9);
+        assert!(d > 0.0, "case {case}");
+        assert!(
+            (datamation_dollars_per_sort(price * 2.0, secs) - d * 2.0).abs() < d * 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (datamation_dollars_per_sort(price, secs * 3.0) - d * 3.0).abs() < d * 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// MinuteSort price-performance improves with more bytes sorted, at
-    /// fixed price.
-    #[test]
-    fn minutesort_more_is_better(price in 1_000.0f64..1e7, gb in 1u64..1_000) {
+/// MinuteSort price-performance improves with more bytes sorted, at fixed
+/// price.
+#[test]
+fn minutesort_more_is_better() {
+    let mut r = SplitMix64::new(0x7E4);
+    for case in 0..256 {
+        let price = uniform(&mut r, 1_000.0, 1e7);
+        let gb = 1 + r.next_below(999);
         let small = minutesort(price, gb * 1_000_000_000);
         let big = minutesort(price, (gb + 1) * 1_000_000_000);
-        prop_assert!(big.dollars_per_gb < small.dollars_per_gb);
-        prop_assert_eq!(big.minute_cost, small.minute_cost);
+        assert!(big.dollars_per_gb < small.dollars_per_gb, "case {case}");
+        assert_eq!(big.minute_cost, small.minute_cost, "case {case}");
     }
+}
 
-    /// DollarSort budgets are inversely proportional to price.
-    #[test]
-    fn dollarsort_budget_inverse_in_price(price in 1_000.0f64..1e7) {
+/// DollarSort budgets are inversely proportional to price.
+#[test]
+fn dollarsort_budget_inverse_in_price() {
+    let mut r = SplitMix64::new(0x7E5);
+    for case in 0..256 {
+        let price = uniform(&mut r, 1_000.0, 1e7);
         let b = dollarsort_budget_s(price);
         let b2 = dollarsort_budget_s(price * 2.0);
-        prop_assert!((b / b2 - 2.0).abs() < 1e-9);
+        assert!((b / b2 - 2.0).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Scratch-disk counts grow monotonically (and sub-linearly) in sort
-    /// size; the economics verdict flips exactly once over a doubling scan.
-    #[test]
-    fn economics_monotone_single_crossover(start_mb in 1u64..100) {
+/// Scratch-disk counts grow monotonically (and sub-linearly) in sort size;
+/// the economics verdict flips exactly once over a doubling scan.
+#[test]
+fn economics_monotone_single_crossover() {
+    let mut r = SplitMix64::new(0x7E6);
+    for case in 0..64 {
+        let start_mb = 1 + r.next_below(99);
         let mut prev_disks = 0;
         let mut flips = 0;
         let mut prev_one_pass = true;
         for i in 0..12 {
             let bytes = start_mb * 1_000_000 * (1 << i);
             let disks = scratch_disks_for(bytes);
-            prop_assert!(disks >= prev_disks, "disk count decreased");
+            assert!(disks >= prev_disks, "case {case}: disk count decreased");
             prev_disks = disks;
             let verdict = pass_economics(bytes).one_pass_wins();
             if verdict != prev_one_pass {
                 flips += 1;
-                prop_assert!(!verdict, "flipped back to one-pass at {bytes}");
+                assert!(!verdict, "case {case}: flipped back to one-pass at {bytes}");
             }
             prev_one_pass = verdict;
         }
-        prop_assert!(flips <= 1);
+        assert!(flips <= 1, "case {case}");
     }
 }

@@ -6,10 +6,10 @@
 //! chunk from every member (Figure 5 of the paper) — `width × chunk` logical
 //! bytes that can move in parallel at the sum of member bandwidths.
 
-use serde::{Deserialize, Serialize};
+use alphasort_minijson::{Json, JsonError};
 
 /// One member extent of a striped file.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Member {
     /// Index of the disk (within the owning engine/array) holding this member.
     pub disk: usize,
@@ -17,8 +17,26 @@ pub struct Member {
     pub base: u64,
 }
 
+impl Member {
+    /// JSON form, for `.str` descriptor files.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("disk".into(), Json::from(self.disk)),
+            ("base".into(), Json::from(self.base)),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<Member, JsonError> {
+        Ok(Member {
+            disk: v.field_u64("disk")? as usize,
+            base: v.field_u64("base")?,
+        })
+    }
+}
+
 /// The geometry of one striped file.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StripeDef {
     /// Human name of the file (the paper's descriptor-file name).
     pub name: String,
@@ -106,6 +124,38 @@ impl StripeDef {
         // The worst-loaded member holds ceil(chunks / width) chunks.
         let chunks = full_chunks + u64::from(tail > 0);
         chunks.div_ceil(self.width() as u64) * self.chunk
+    }
+
+    /// JSON form, for `.str` descriptor files.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("chunk".into(), Json::from(self.chunk)),
+            (
+                "members".into(),
+                Json::Arr(self.members.iter().map(Member::to_json).collect()),
+            ),
+            ("len".into(), Json::from(self.len)),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<StripeDef, JsonError> {
+        let members = v
+            .field_arr("members")?
+            .iter()
+            .map(Member::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if members.is_empty() {
+            return Err(JsonError::new("stripe descriptor has no members"));
+        }
+        let chunk = v.field_u64("chunk")?;
+        if chunk == 0 {
+            return Err(JsonError::new("stripe descriptor has zero chunk"));
+        }
+        let mut def = StripeDef::new(v.field_str("name")?, chunk, members);
+        def.len = v.field_u64("len")?;
+        Ok(def)
     }
 }
 
@@ -197,9 +247,18 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let d = def3();
-        let json = serde_json::to_string(&d).unwrap();
-        let d2: StripeDef = serde_json::from_str(&json).unwrap();
+        let json = d.to_json().dump();
+        let d2 = StripeDef::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn from_json_rejects_degenerate_descriptors() {
+        let no_members = r#"{"name": "x", "chunk": 10, "members": [], "len": 0}"#;
+        assert!(StripeDef::from_json(&Json::parse(no_members).unwrap()).is_err());
+        let zero_chunk =
+            r#"{"name": "x", "chunk": 0, "members": [{"disk": 0, "base": 0}], "len": 0}"#;
+        assert!(StripeDef::from_json(&Json::parse(zero_chunk).unwrap()).is_err());
     }
 
     #[test]

@@ -10,11 +10,10 @@
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use alphasort_iosim::IoEngine;
+use alphasort_minijson::Json;
 
 use crate::file::StripedFile;
 use crate::geometry::{Member, StripeDef};
@@ -52,7 +51,7 @@ impl Volume {
     /// fits (first-fit, splitting the remainder back), else bump.
     fn allocate(&self, d: usize, extent: u64) -> u64 {
         {
-            let mut free = self.free[d].lock();
+            let mut free = self.free[d].lock().unwrap();
             if let Some(i) = free.iter().position(|&(_, size)| size >= extent) {
                 let (base, size) = free[i];
                 if size == extent {
@@ -83,7 +82,7 @@ impl Volume {
             return;
         }
         for m in &def.members {
-            let mut free = self.free[m.disk].lock();
+            let mut free = self.free[m.disk].lock().unwrap();
             let (mut base, mut size) = (m.base, per_member);
             // Merge any free neighbour touching the new extent, repeatedly
             // (kept simple: the lists are short).
@@ -103,7 +102,7 @@ impl Volume {
     pub fn free_bytes(&self) -> u64 {
         self.free
             .iter()
-            .map(|f| f.lock().iter().map(|&(_, s)| s).sum::<u64>())
+            .map(|f| f.lock().unwrap().iter().map(|&(_, s)| s).sum::<u64>())
             .sum()
     }
 
@@ -185,15 +184,15 @@ impl Volume {
 
     /// Persist a stripe definition as a `.str` descriptor file (JSON).
     pub fn save_descriptor(def: &StripeDef, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(def)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        std::fs::write(path, def.to_json().dump_pretty())
     }
 
     /// Load a stripe definition from a `.str` descriptor file.
     pub fn load_descriptor(path: &Path) -> io::Result<StripeDef> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let parsed =
+            Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        StripeDef::from_json(&parsed).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
     /// Open a striped file via its host-side `.str` descriptor, like the

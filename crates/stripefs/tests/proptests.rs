@@ -1,114 +1,127 @@
-//! Property tests for stripe geometry and striped IO.
+//! Property tests for stripe geometry and striped IO, driven by a seeded
+//! [`SplitMix64`] so every case is reproducible.
 
 use std::sync::Arc;
 
+use alphasort_dmgen::SplitMix64;
 use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
 use alphasort_stripefs::{Member, StripeDef, StripedFile, StripedReader, StripedWriter, Volume};
-use proptest::prelude::*;
 
-fn arb_def() -> impl Strategy<Value = StripeDef> {
-    (1u64..64, 1usize..8).prop_map(|(chunk, width)| {
-        let members = (0..width)
-            .map(|i| Member {
-                disk: i,
-                base: (i as u64) * 1_000_000,
-            })
-            .collect();
-        StripeDef::new("p", chunk, members)
-    })
+fn any_def(r: &mut SplitMix64) -> StripeDef {
+    let chunk = 1 + r.next_below(63);
+    let width = 1 + r.next_below(7) as usize;
+    let members = (0..width)
+        .map(|i| Member {
+            disk: i,
+            base: (i as u64) * 1_000_000,
+        })
+        .collect();
+    StripeDef::new("p", chunk, members)
 }
 
-proptest! {
-    /// plan() covers the requested range exactly: contiguous buffer offsets,
-    /// each segment inside one chunk, total length preserved.
-    #[test]
-    fn plan_partitions_range(def in arb_def(), offset in 0u64..10_000, len in 0usize..5_000) {
+fn uncapped_disks(width: usize) -> Vec<Arc<SimDisk>> {
+    (0..width)
+        .map(|i| {
+            SimDisk::new(
+                format!("d{i}"),
+                catalog::uncapped(),
+                Arc::new(MemStorage::new()),
+                Pacing::Modeled,
+                None,
+            )
+        })
+        .collect()
+}
+
+/// plan() covers the requested range exactly: contiguous buffer offsets,
+/// each segment inside one chunk, total length preserved.
+#[test]
+fn plan_partitions_range() {
+    let mut r = SplitMix64::new(0x5F1);
+    for case in 0..256 {
+        let def = any_def(&mut r);
+        let offset = r.next_below(10_000);
+        let len = r.next_below(5_000) as usize;
         let segs = def.plan(offset, len);
         let mut expect_buf = 0usize;
         for s in &segs {
-            prop_assert_eq!(s.buf_off, expect_buf);
-            prop_assert!(s.len > 0);
-            prop_assert!(s.len as u64 <= def.chunk);
+            assert_eq!(s.buf_off, expect_buf, "case {case}");
+            assert!(s.len > 0, "case {case}");
+            assert!(s.len as u64 <= def.chunk, "case {case}");
             expect_buf += s.len;
         }
-        prop_assert_eq!(expect_buf, len);
+        assert_eq!(expect_buf, len, "case {case}");
     }
+}
 
-    /// locate() agrees with plan(): single-byte plans land where locate says.
-    #[test]
-    fn locate_matches_plan(def in arb_def(), offset in 0u64..10_000) {
+/// locate() agrees with plan(): single-byte plans land where locate says.
+#[test]
+fn locate_matches_plan() {
+    let mut r = SplitMix64::new(0x5F2);
+    for case in 0..256 {
+        let def = any_def(&mut r);
+        let offset = r.next_below(10_000);
         let (member, phys) = def.locate(offset);
         let segs = def.plan(offset, 1);
-        prop_assert_eq!(segs.len(), 1);
-        prop_assert_eq!(segs[0].member, member);
-        prop_assert_eq!(segs[0].phys, phys);
+        assert_eq!(segs.len(), 1, "case {case}");
+        assert_eq!(segs[0].member, member, "case {case}");
+        assert_eq!(segs[0].phys, phys, "case {case}");
     }
+}
 
-    /// Distinct logical offsets never map to the same physical byte.
-    #[test]
-    fn no_two_offsets_collide(def in arb_def(), a in 0u64..2_000, b in 0u64..2_000) {
-        prop_assume!(a != b);
+/// Distinct logical offsets never map to the same physical byte.
+#[test]
+fn no_two_offsets_collide() {
+    let mut r = SplitMix64::new(0x5F3);
+    for case in 0..256 {
+        let def = any_def(&mut r);
+        let a = r.next_below(2_000);
+        let b = r.next_below(2_000);
+        if a == b {
+            continue;
+        }
         let (ma, pa) = def.locate(a);
         let (mb, pb) = def.locate(b);
-        prop_assert!((ma, pa) != (mb, pb), "offsets {a} and {b} collide");
+        assert!(
+            (ma, pa) != (mb, pb),
+            "case {case}: offsets {a} and {b} collide"
+        );
     }
+}
 
-    /// Writing then reading arbitrary ranges through a striped file is an
-    /// identity, for arbitrary geometry.
-    #[test]
-    fn striped_io_roundtrip(
-        chunk in 1u64..128,
-        width in 1usize..6,
-        len in 0usize..4_000,
-        offset in 0u64..1_000,
-        seed in any::<u64>(),
-    ) {
-        let disks = (0..width)
-            .map(|i| {
-                SimDisk::new(
-                    format!("d{i}"),
-                    catalog::uncapped(),
-                    Arc::new(MemStorage::new()),
-                    Pacing::Modeled,
-                    None,
-                )
-            })
-            .collect();
-        let engine = Arc::new(IoEngine::new(disks));
+/// Writing then reading arbitrary ranges through a striped file is an
+/// identity, for arbitrary geometry.
+#[test]
+fn striped_io_roundtrip() {
+    let mut r = SplitMix64::new(0x5F4);
+    for case in 0..64 {
+        let chunk = 1 + r.next_below(127);
+        let width = 1 + r.next_below(5) as usize;
+        let len = r.next_below(4_000) as usize;
+        let offset = r.next_below(1_000);
+        let engine = Arc::new(IoEngine::new(uncapped_disks(width)));
         let members = (0..width).map(|i| Member { disk: i, base: 0 }).collect();
         let f = StripedFile::new(StripeDef::new("io", chunk, members), engine);
 
-        let mut state = seed;
-        let data: Vec<u8> = (0..len)
-            .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (state >> 56) as u8
-            })
-            .collect();
+        let mut data = vec![0u8; len];
+        r.fill_bytes(&mut data);
         f.write_at(offset, &data).unwrap();
-        prop_assert_eq!(f.read_at(offset, len).unwrap(), data);
+        assert_eq!(f.read_at(offset, len).unwrap(), data, "case {case}");
     }
+}
 
-    /// Streaming writer + reader is an identity for arbitrary chunking of
-    /// the pushes.
-    #[test]
-    fn stream_roundtrip(
-        chunk in 16u64..256,
-        width in 1usize..5,
-        pieces in proptest::collection::vec(0usize..700, 0..12),
-    ) {
-        let disks = (0..width)
-            .map(|i| {
-                SimDisk::new(
-                    format!("d{i}"),
-                    catalog::uncapped(),
-                    Arc::new(MemStorage::new()),
-                    Pacing::Modeled,
-                    None,
-                )
-            })
+/// Streaming writer + reader is an identity for arbitrary chunking of the
+/// pushes.
+#[test]
+fn stream_roundtrip() {
+    let mut r = SplitMix64::new(0x5F5);
+    for case in 0..64 {
+        let chunk = 16 + r.next_below(240);
+        let width = 1 + r.next_below(4) as usize;
+        let pieces: Vec<usize> = (0..r.next_below(12))
+            .map(|_| r.next_below(700) as usize)
             .collect();
-        let v = Volume::new(Arc::new(IoEngine::new(disks)));
+        let v = Volume::new(Arc::new(IoEngine::new(uncapped_disks(width))));
         let total: usize = pieces.iter().sum();
         let f = Arc::new(v.create_across_all("s", chunk, total as u64));
 
@@ -125,11 +138,11 @@ proptest! {
             w.push(&piece).unwrap();
             data.extend_from_slice(&piece);
         }
-        prop_assert_eq!(w.finish().unwrap(), total as u64);
+        assert_eq!(w.finish().unwrap(), total as u64, "case {case}");
 
-        let mut r = StripedReader::new(f);
+        let mut rd = StripedReader::new(f);
         let mut got = Vec::new();
-        std::io::Read::read_to_end(&mut r, &mut got).unwrap();
-        prop_assert_eq!(got, data);
+        std::io::Read::read_to_end(&mut rd, &mut got).unwrap();
+        assert_eq!(got, data, "case {case}");
     }
 }

@@ -1,0 +1,328 @@
+//! `netsort` — drive an N-worker distributed sort, disk to disk.
+//!
+//! The cluster the paper's §2 baseline imagines, made concrete: the input
+//! file is split into contiguous per-node share files (each node's "local
+//! disk"), N workers sample/split/exchange/sort in parallel — over the
+//! in-process loopback transport or real TCP sockets on 127.0.0.1 — and
+//! the per-node outputs concatenate, in node order, into one globally
+//! sorted file.
+//!
+//! ```text
+//! netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]]
+//!         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N]
+//!         [--verify] [--keep]
+//! ```
+//!
+//! `--gen` first writes a Datamation-style input file; with `--verify` the
+//! output is checked to be a sorted permutation of the input (checksummed
+//! while splitting, so `--verify` also works on pre-existing inputs).
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use alphasort_suite::dmgen::{
+    validate_reader, GenConfig, Generator, RunningChecksum, RECORD_LEN,
+};
+use alphasort_suite::netsort::{
+    bind_cluster, loopback_cluster, merge_cluster_stats, run_worker, NetsortConfig, RetryPolicy,
+    TcpTransport, Transport,
+};
+use alphasort_suite::sort::io_file::{FileSink, FileSource};
+use alphasort_suite::sort::{SortConfig, SortStats};
+
+struct Args {
+    input: String,
+    output: String,
+    nodes: usize,
+    tcp: bool,
+    gen: Option<(u64, u64)>,
+    run_records: usize,
+    workers: usize,
+    batch_records: usize,
+    samples: usize,
+    verify: bool,
+    keep: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]] \
+         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N] [--verify] [--keep]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut pos = Vec::new();
+    let mut args = Args {
+        input: String::new(),
+        output: String::new(),
+        nodes: 4,
+        tcp: false,
+        gen: None,
+        run_records: 100_000,
+        workers: 0,
+        batch_records: 640,
+        samples: 256,
+        verify: false,
+        keep: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|_| usage())?,
+            "--tcp" => args.tcp = true,
+            "--gen" => {
+                let v = value("--gen")?;
+                let (records, seed) = match v.split_once(':') {
+                    Some((r, s)) => (
+                        r.parse().map_err(|_| usage())?,
+                        s.parse().map_err(|_| usage())?,
+                    ),
+                    None => (v.parse().map_err(|_| usage())?, 42),
+                };
+                args.gen = Some((records, seed));
+            }
+            "--run" => args.run_records = value("--run")?.parse().map_err(|_| usage())?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(|_| usage())?,
+            "--batch" => args.batch_records = value("--batch")?.parse().map_err(|_| usage())?,
+            "--samples" => args.samples = value("--samples")?.parse().map_err(|_| usage())?,
+            "--verify" => args.verify = true,
+            "--keep" => args.keep = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                return Err(usage());
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+    if pos.len() != 2 || args.nodes == 0 || args.batch_records == 0 {
+        return Err(usage());
+    }
+    args.input = pos.remove(0);
+    args.output = pos.remove(0);
+    Ok(args)
+}
+
+/// Stream `input` into `nodes` contiguous record-aligned share files
+/// (`<output>.nodeK.in`), checksumming every record on the way through.
+fn split_to_share_files(
+    input: &str,
+    output: &str,
+    nodes: usize,
+) -> io::Result<(Vec<String>, RunningChecksum)> {
+    let len = fs::metadata(input)?.len();
+    if !len.is_multiple_of(RECORD_LEN as u64) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{input} is not a whole number of {RECORD_LEN}-byte records"),
+        ));
+    }
+    let records = len / RECORD_LEN as u64;
+    let per = records.div_ceil(nodes as u64).max(1) * RECORD_LEN as u64;
+    let mut reader = BufReader::with_capacity(1 << 20, File::open(input)?);
+    let mut checksum = RunningChecksum::new();
+    let mut paths = Vec::with_capacity(nodes);
+    let mut buf = vec![0u8; 64 * RECORD_LEN];
+    for node in 0..nodes {
+        let path = format!("{output}.node{node}.in");
+        let mut writer = BufWriter::with_capacity(1 << 20, File::create(&path)?);
+        let mut left = per.min((records * RECORD_LEN as u64).saturating_sub(node as u64 * per));
+        while left > 0 {
+            let want = (left as usize).min(buf.len());
+            reader.read_exact(&mut buf[..want])?;
+            checksum.update_bytes(&buf[..want]);
+            writer.write_all(&buf[..want])?;
+            left -= want as u64;
+        }
+        writer.flush()?;
+        paths.push(path);
+    }
+    Ok((paths, checksum))
+}
+
+/// Run every worker in its own thread; each builds its transport with its
+/// `maker` (TCP establishment must happen concurrently — every node blocks
+/// until its peers dial in), reads its share file, writes its part file.
+fn run_cluster<T, F>(
+    makers: Vec<F>,
+    shares: &[String],
+    parts: &[String],
+    cfg: &NetsortConfig,
+) -> io::Result<Vec<SortStats>>
+where
+    T: Transport,
+    F: FnOnce() -> io::Result<T> + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = makers
+            .into_iter()
+            .enumerate()
+            .map(|(node, maker)| {
+                let share = &shares[node];
+                let part = &parts[node];
+                scope.spawn(move || -> io::Result<SortStats> {
+                    let mut transport = maker()?;
+                    let mut source = FileSource::open(share)?;
+                    let mut sink = FileSink::create(part)?;
+                    Ok(run_worker(&mut transport, &mut source, &mut sink, cfg)?.stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+fn concatenate(parts: &[String], output: &str) -> io::Result<u64> {
+    let mut writer = BufWriter::with_capacity(1 << 20, File::create(output)?);
+    let mut total = 0;
+    for part in parts {
+        total += io::copy(&mut File::open(part)?, &mut writer)?;
+    }
+    writer.flush()?;
+    Ok(total)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    if let Some((records, seed)) = args.gen {
+        let mut gen = Generator::new(GenConfig::datamation(records, seed));
+        let write = File::create(&args.input)
+            .map_err(|e| io::Error::other(format!("cannot create {}: {e}", args.input)))
+            .and_then(|f| {
+                let mut w = BufWriter::with_capacity(1 << 20, f);
+                gen.generate_to(&mut w, 10_000)?;
+                w.flush()
+            });
+        if let Err(e) = write {
+            eprintln!("generate failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "generated {} records ({:.1} MB) into {}",
+            records,
+            (records * RECORD_LEN as u64) as f64 / 1e6,
+            args.input
+        );
+    }
+
+    let (shares, checksum) = match split_to_share_files(&args.input, &args.output, args.nodes) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("split failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parts: Vec<String> = (0..args.nodes)
+        .map(|n| format!("{}.node{n}.out", args.output))
+        .collect();
+
+    let cfg = NetsortConfig {
+        samples_per_node: args.samples,
+        batch_records: args.batch_records,
+        sort: SortConfig {
+            run_records: args.run_records,
+            workers: args.workers,
+            ..Default::default()
+        },
+    };
+
+    let per_node = if args.tcp {
+        bind_cluster(args.nodes).and_then(|(listeners, addrs)| {
+            let addrs = &addrs;
+            let policy = RetryPolicy::default();
+            let makers: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(node, listener)| {
+                    let policy = policy.clone();
+                    move || TcpTransport::establish(node, listener, addrs, &policy)
+                })
+                .collect();
+            run_cluster(makers, &shares, &parts, &cfg)
+        })
+    } else {
+        let makers: Vec<_> = loopback_cluster(args.nodes)
+            .into_iter()
+            .map(|t| move || Ok(t))
+            .collect();
+        run_cluster(makers, &shares, &parts, &cfg)
+    };
+    let per_node = match per_node {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("distributed sort failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = concatenate(&parts, &args.output) {
+        eprintln!("concatenation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !args.keep {
+        for path in shares.iter().chain(parts.iter()) {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    let st = merge_cluster_stats(&per_node);
+    eprintln!(
+        "netsort: {} records on {} {} node(s) in {:.3} s ({:.1} MB/s aggregate)",
+        st.records,
+        args.nodes,
+        if args.tcp { "tcp" } else { "loopback" },
+        st.elapsed.as_secs_f64(),
+        st.throughput_mbps(),
+    );
+    eprintln!(
+        "exchange: {:.1} MB shipped, {:.1} MB received, wait {:.3} s (critical path), \
+         skew {:.2}, partitions {:?}",
+        st.exchange_bytes_out as f64 / 1e6,
+        st.exchange_bytes_in as f64 / 1e6,
+        st.exchange_wait.as_secs_f64(),
+        st.exchange_skew(),
+        st.partition_sizes,
+    );
+    eprintln!(
+        "local pipeline: quicksort {:.3} s, merge {:.3} s, gather {:.3} s, {} pass(es)",
+        st.sort_time.as_secs_f64(),
+        st.merge_time.as_secs_f64(),
+        st.gather_time.as_secs_f64(),
+        if st.one_pass { "one" } else { "two" },
+    );
+
+    if args.verify {
+        let result = File::open(&args.output)
+            .map_err(|e| io::Error::other(format!("cannot reopen output: {e}")))
+            .and_then(|mut f| validate_reader(&mut f, checksum.finish()));
+        match result {
+            Ok(Ok(report)) => {
+                eprintln!("verified: {} records, sorted permutation ✓", report.records)
+            }
+            Ok(Err(e)) => {
+                eprintln!("OUTPUT INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("verify failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,10 +9,12 @@
 //! * [`cachesim`] — trace-driven cache hierarchy simulator
 //! * [`sort`] — the AlphaSort algorithms and external-sort drivers
 //! * [`perfmodel`] — 1993 price catalog, analytic phase model, metrics
+//! * [`netsort`] — distributed shared-nothing sort over the local pipeline
 
 pub use alphasort_cachesim as cachesim;
 pub use alphasort_core as sort;
 pub use alphasort_dmgen as dmgen;
 pub use alphasort_iosim as iosim;
+pub use alphasort_netsort as netsort;
 pub use alphasort_perfmodel as perfmodel;
 pub use alphasort_stripefs as stripefs;
