@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use alphasort_dmgen::RECORD_LEN;
+use alphasort_obs as obs;
 
 use crate::driver::{SortConfig, SortOutcome};
 use crate::gather::take_ptrs;
@@ -18,7 +19,7 @@ use crate::io::{RecordSink, RecordSource};
 use crate::merge::RunMerger;
 use crate::parallel::{GatherPool, SortPool};
 use crate::planner::PassPlan;
-use crate::stats::{timed, SortStats};
+use crate::stats::{timed_phase, SortStats};
 
 /// How many gather batches may be in flight before the root drains one —
 /// the output-side analogue of triple buffering.
@@ -35,6 +36,7 @@ where
     Snk: RecordSink,
 {
     assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
+    let mut top = obs::span(obs::phase::ONE_PASS);
     let t_start = Instant::now();
     let mut stats = SortStats {
         one_pass: true,
@@ -46,8 +48,16 @@ where
     let mut pool = SortPool::new(cfg.workers, cfg.representation);
     let mut cur: Vec<u8> = Vec::with_capacity(run_bytes);
     loop {
-        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
-        let Some(chunk) = chunk else { break };
+        let mut rd = obs::span(obs::phase::READ);
+        let t0 = Instant::now();
+        let chunk = source.next_chunk();
+        stats.read_wait += t0.elapsed();
+        if let Ok(Some(c)) = &chunk {
+            rd.attr("bytes", c.len() as u64);
+        }
+        drop(rd);
+        let Some(chunk) = chunk? else { break };
+        stats.bytes_sorted += chunk.len() as u64;
         let mut off = 0;
         while off < chunk.len() {
             let take = (run_bytes - cur.len()).min(chunk.len() - off);
@@ -70,14 +80,13 @@ where
         }
         pool.submit(cur);
     }
-    let (runs, sort_cpu) = pool.finish();
-    stats.sort_time = sort_cpu;
-    stats.runs = runs.len() as u64;
-    stats.run_lengths = runs.iter().map(|r| r.len() as u64).collect();
-    stats.records = runs.iter().map(|r| r.len() as u64).sum();
+    let (runs, pool_stats) = pool.finish();
+    stats.merge(&pool_stats);
 
     if stats.records == 0 {
-        let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+            sink.complete()
+        })?;
         stats.elapsed = t_start.elapsed();
         return Ok(SortOutcome {
             stats,
@@ -91,7 +100,7 @@ where
     let mut merger = RunMerger::new(&runs);
     let mut gather = GatherPool::new(cfg.workers, Arc::clone(&runs));
     loop {
-        let ptrs = timed(&mut stats.merge_time, || {
+        let ptrs = timed_phase(obs::phase::MERGE, &mut stats.merge_time, || {
             take_ptrs(&mut merger, cfg.gather_batch)
         });
         if ptrs.is_empty() {
@@ -100,15 +109,21 @@ where
         gather.submit(ptrs);
         while gather.in_flight() > GATHER_PIPELINE {
             let buf = gather.next_buffer().expect("in-flight batch vanished");
-            timed(&mut stats.write_wait, || sink.push(&buf))?;
+            timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.push(&buf))?;
         }
     }
     while let Some(buf) = gather.next_buffer() {
-        timed(&mut stats.write_wait, || sink.push(&buf))?;
+        timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.push(&buf))?;
     }
-    let bytes = timed(&mut stats.write_wait, || sink.complete())?;
-    stats.gather_time = gather.gather_cpu;
+    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+        sink.complete()
+    })?;
+    stats.merge(gather.stats());
     stats.elapsed = t_start.elapsed();
+    obs::metrics::counter_add("sort.records", stats.records);
+    obs::metrics::counter_add("sort.bytes", stats.bytes_sorted);
+    top.attr("records", stats.records);
+    top.attr("bytes", stats.bytes_sorted);
     Ok(SortOutcome {
         stats,
         bytes,

@@ -12,6 +12,7 @@ use std::io;
 use std::time::Instant;
 
 use alphasort_dmgen::RECORD_LEN;
+use alphasort_obs as obs;
 
 use crate::driver::scratch::{BufferedRunStream, ScratchStore};
 use crate::driver::{SortConfig, SortOutcome};
@@ -20,7 +21,7 @@ use crate::merge::StreamMerger;
 use crate::parallel::SortPool;
 use crate::planner::PassPlan;
 use crate::runform::SortedRun;
-use crate::stats::{timed, SortStats};
+use crate::stats::{timed_phase, SortStats};
 
 /// Sort `source` into `sink`, staging runs in `scratch`.
 pub fn two_pass<Src, Snk, Scr>(
@@ -35,6 +36,7 @@ where
     Scr: ScratchStore,
 {
     assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
+    let mut top = obs::span(obs::phase::TWO_PASS);
     let t_start = Instant::now();
     let mut stats = SortStats {
         one_pass: false,
@@ -53,7 +55,7 @@ where
         stats.runs += 1;
         stats.run_lengths.push(run.len() as u64);
         stats.records += run.len() as u64;
-        timed(&mut stats.spill_time, || -> io::Result<()> {
+        timed_phase(obs::phase::SPILL, &mut stats.spill_time, || -> io::Result<()> {
             let mut writer = scratch.create_run((run.len() * RECORD_LEN) as u64)?;
             // Stream the run out in gather-batch sized pieces so the spill
             // writer's pipeline stays busy without a whole-run staging copy.
@@ -73,8 +75,16 @@ where
     };
 
     loop {
-        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
-        let Some(chunk) = chunk else { break };
+        let mut rd = obs::span(obs::phase::READ);
+        let t0 = Instant::now();
+        let chunk = source.next_chunk();
+        stats.read_wait += t0.elapsed();
+        if let Ok(Some(c)) = &chunk {
+            rd.attr("bytes", c.len() as u64);
+        }
+        drop(rd);
+        let Some(chunk) = chunk? else { break };
+        stats.bytes_sorted += chunk.len() as u64;
         let mut off = 0;
         while off < chunk.len() {
             let take = (run_bytes - cur.len()).min(chunk.len() - off);
@@ -110,7 +120,9 @@ where
     drop(pool.finish()); // joins worker threads (no runs remain)
 
     if stats.records == 0 {
-        let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+            sink.complete()
+        })?;
         stats.elapsed = t_start.elapsed();
         return Ok(SortOutcome {
             stats,
@@ -126,7 +138,9 @@ where
     // (Knuth's cascade merge). Each extra level costs one more full
     // read+write of the data — the same bandwidth arithmetic as §6.
     let fanin = cfg.max_fanin.max(2);
-    let mut sources = timed(&mut stats.spill_time, || scratch.open_runs())?;
+    let mut sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
+        scratch.open_runs()
+    })?;
     while sources.len() > fanin {
         stats.merge_passes += 1;
         let level = std::mem::take(&mut sources);
@@ -141,7 +155,7 @@ where
                 streams.push(BufferedRunStream::new(s)?);
             }
             let mut merger = StreamMerger::new(streams);
-            timed(&mut stats.spill_time, || -> io::Result<()> {
+            timed_phase(obs::phase::SPILL, &mut stats.spill_time, || -> io::Result<()> {
                 let mut writer = scratch.create_run(group_bytes)?;
                 let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
                 while let Some(r) = merger.next_record()? {
@@ -157,7 +171,9 @@ where
                 scratch.seal_run(writer)
             })?;
         }
-        sources = timed(&mut stats.spill_time, || scratch.open_runs())?;
+        sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
+            scratch.open_runs()
+        })?;
     }
 
     // ---- final merge into the sink -----------------------------------------
@@ -167,24 +183,42 @@ where
     }
     let mut merger = StreamMerger::new(streams);
     let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+    let batch_bytes = cfg.gather_batch * RECORD_LEN;
     loop {
-        let rec = timed(&mut stats.merge_time, || merger.next_record())?;
-        match rec {
-            Some(r) => {
-                staging.extend_from_slice(r.as_bytes());
-                if staging.len() >= cfg.gather_batch * RECORD_LEN {
-                    timed(&mut stats.write_wait, || sink.push(&staging))?;
-                    staging.clear();
+        // Merge a whole output batch per timing/span window: per-record
+        // clock reads (and per-record spans) would dominate the merge
+        // itself at 10M records.
+        let done = timed_phase(
+            obs::phase::MERGE,
+            &mut stats.merge_time,
+            || -> io::Result<bool> {
+                while staging.len() < batch_bytes {
+                    match merger.next_record()? {
+                        Some(r) => staging.extend_from_slice(r.as_bytes()),
+                        None => return Ok(true),
+                    }
                 }
-            }
-            None => break,
+                Ok(false)
+            },
+        )?;
+        if !staging.is_empty() {
+            timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+                sink.push(&staging)
+            })?;
+            staging.clear();
+        }
+        if done {
+            break;
         }
     }
-    if !staging.is_empty() {
-        timed(&mut stats.write_wait, || sink.push(&staging))?;
-    }
-    let bytes = timed(&mut stats.write_wait, || sink.complete())?;
+    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+        sink.complete()
+    })?;
     stats.elapsed = t_start.elapsed();
+    obs::metrics::counter_add("sort.records", stats.records);
+    obs::metrics::counter_add("sort.bytes", stats.bytes_sorted);
+    top.attr("records", stats.records);
+    top.attr("bytes", stats.bytes_sorted);
     Ok(SortOutcome {
         stats,
         bytes,

@@ -10,6 +10,8 @@ use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
+use alphasort_obs as obs;
+
 use crate::io::{RecordSink, RecordSource};
 
 /// Buffered sequential source over a host file.
@@ -43,6 +45,7 @@ impl FileSource {
 
 impl RecordSource for FileSource {
     fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut g = obs::span(obs::phase::FILE_READ);
         let mut buf = vec![0u8; self.chunk];
         let mut filled = 0;
         while filled < buf.len() {
@@ -52,6 +55,8 @@ impl RecordSource for FileSource {
             }
             filled += n;
         }
+        g.attr("bytes", filled as u64);
+        obs::metrics::counter_add("file.read.bytes", filled as u64);
         if filled == 0 {
             return Ok(None);
         }
@@ -83,16 +88,19 @@ impl FileSink {
 
 impl RecordSink for FileSink {
     fn push(&mut self, data: &[u8]) -> io::Result<()> {
+        let _g = obs::span(obs::phase::FILE_WRITE).with("bytes", data.len() as u64);
         self.writer
             .as_mut()
             .expect("sink already completed")
             .write_all(data)?;
         self.written += data.len() as u64;
+        obs::metrics::counter_add("file.write.bytes", data.len() as u64);
         Ok(())
     }
 
     fn complete(&mut self) -> io::Result<u64> {
         if let Some(mut w) = self.writer.take() {
+            let _g = obs::span(obs::phase::FILE_WRITE).with("sync", 1u64);
             w.flush()?;
             w.into_inner()
                 .map_err(|e| io::Error::other(e.to_string()))?

@@ -17,9 +17,37 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use alphasort_obs as obs;
+
 use crate::gather::gather_into;
 use crate::merge::MergedPtr;
 use crate::runform::{form_run, Representation, SortedRun};
+use crate::stats::SortStats;
+
+/// Sort one run buffer under an obs span (whether on a worker or inline).
+fn form_run_traced(id: usize, buf: Vec<u8>, rep: Representation) -> (SortedRun, Duration) {
+    let mut g = obs::span(obs::phase::SORT);
+    g.attr("run", id as u64);
+    let t0 = Instant::now();
+    let run = form_run(buf, rep);
+    let d = t0.elapsed();
+    g.attr("records", run.len() as u64);
+    obs::metrics::observe("sort.run_us", d.as_micros() as u64);
+    (run, d)
+}
+
+/// Gather one pointer batch under an obs span.
+fn gather_traced(id: u64, runs: &[SortedRun], ptrs: &[MergedPtr]) -> (Vec<u8>, Duration) {
+    let mut g = obs::span(obs::phase::GATHER);
+    g.attr("batch", id);
+    g.attr("records", ptrs.len() as u64);
+    let t0 = Instant::now();
+    let mut buf = Vec::new();
+    gather_into(runs, ptrs, &mut buf);
+    let d = t0.elapsed();
+    obs::metrics::observe("gather.batch_us", d.as_micros() as u64);
+    (buf, d)
+}
 
 /// Pool of workers QuickSorting run buffers as they arrive from input.
 pub struct SortPool {
@@ -41,18 +69,24 @@ impl SortPool {
         // mutex, holding the lock only while dequeuing (MPMC work queue).
         let work_rx = Arc::new(Mutex::new(work_rx));
         let (res_tx, rx) = channel();
+        // Workers inherit the submitting thread's trace track so per-node
+        // traces (netsort) keep their pool spans on the right lane.
+        let track = obs::current_track();
         let handles = (0..workers)
             .map(|w| {
                 let work_rx = Arc::clone(&work_rx);
                 let res_tx = res_tx.clone();
+                let track = track.clone();
                 std::thread::Builder::new()
                     .name(format!("sort-worker-{w}"))
-                    .spawn(move || loop {
-                        let msg = work_rx.lock().unwrap().recv();
-                        let Ok((id, buf)) = msg else { break };
-                        let t0 = Instant::now();
-                        let run = form_run(buf, rep);
-                        let _ = res_tx.send((id, run, t0.elapsed()));
+                    .spawn(move || {
+                        obs::adopt_track(track);
+                        loop {
+                            let msg = work_rx.lock().unwrap().recv();
+                            let Ok((id, buf)) = msg else { break };
+                            let (run, d) = form_run_traced(id, buf, rep);
+                            let _ = res_tx.send((id, run, d));
+                        }
                     })
                     .expect("failed to spawn sort worker")
             })
@@ -76,9 +110,8 @@ impl SortPool {
         match &self.tx {
             Some(tx) => tx.send((id, buf)).expect("sort workers gone"),
             None => {
-                let t0 = Instant::now();
-                let run = form_run(buf, self.rep);
-                self.parked.insert(id, (run, t0.elapsed()));
+                let (run, d) = form_run_traced(id, buf, self.rep);
+                self.parked.insert(id, (run, d));
             }
         }
     }
@@ -120,19 +153,25 @@ impl SortPool {
     }
 
     /// Wait for every submitted run. Returns the runs in submission order
-    /// plus the summed CPU time spent sorting.
-    pub fn finish(mut self) -> (Vec<SortedRun>, Duration) {
+    /// plus the pool's stats: per-run fragments (sort CPU, run counts and
+    /// lengths) folded through [`SortStats::merge`].
+    pub fn finish(mut self) -> (Vec<SortedRun>, SortStats) {
         drop(self.tx.take()); // close the queue so workers exit when drained
         let mut runs = Vec::with_capacity(self.outstanding());
-        let mut total = Duration::ZERO;
+        let mut stats = SortStats::neutral();
         while let Some((run, d)) = self.next_in_order() {
+            let mut frag = SortStats::neutral();
+            frag.sort_time = d;
+            frag.runs = 1;
+            frag.records = run.len() as u64;
+            frag.run_lengths.push(run.len() as u64);
+            stats.merge(&frag);
             runs.push(run);
-            total += d;
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        (runs, total)
+        (runs, stats)
     }
 }
 
@@ -160,8 +199,8 @@ pub struct GatherPool {
     parked: BTreeMap<u64, (Vec<u8>, Duration)>,
     next_submit: u64,
     next_deliver: u64,
-    /// Summed gather CPU time.
-    pub gather_cpu: Duration,
+    /// Per-batch fragments folded through [`SortStats::merge`].
+    stats: SortStats,
 }
 
 impl GatherPool {
@@ -171,20 +210,23 @@ impl GatherPool {
         // Shared single receiver behind a mutex, as in `SortPool::new`.
         let work_rx = Arc::new(Mutex::new(work_rx));
         let (res_tx, rx) = channel();
+        let track = obs::current_track();
         let handles = (0..workers)
             .map(|w| {
                 let work_rx = Arc::clone(&work_rx);
                 let res_tx = res_tx.clone();
                 let runs = Arc::clone(&runs);
+                let track = track.clone();
                 std::thread::Builder::new()
                     .name(format!("gather-worker-{w}"))
-                    .spawn(move || loop {
-                        let msg = work_rx.lock().unwrap().recv();
-                        let Ok((id, ptrs)) = msg else { break };
-                        let t0 = Instant::now();
-                        let mut buf = Vec::new();
-                        gather_into(&runs, &ptrs, &mut buf);
-                        let _ = res_tx.send((id, buf, t0.elapsed()));
+                    .spawn(move || {
+                        obs::adopt_track(track);
+                        loop {
+                            let msg = work_rx.lock().unwrap().recv();
+                            let Ok((id, ptrs)) = msg else { break };
+                            let (buf, d) = gather_traced(id, &runs, &ptrs);
+                            let _ = res_tx.send((id, buf, d));
+                        }
                     })
                     .expect("failed to spawn gather worker")
             })
@@ -197,7 +239,7 @@ impl GatherPool {
             parked: BTreeMap::new(),
             next_submit: 0,
             next_deliver: 0,
-            gather_cpu: Duration::ZERO,
+            stats: SortStats::neutral(),
         }
     }
 
@@ -208,12 +250,15 @@ impl GatherPool {
         match &self.tx {
             Some(tx) => tx.send((id, ptrs)).expect("gather workers gone"),
             None => {
-                let t0 = Instant::now();
-                let mut buf = Vec::new();
-                gather_into(&self.runs, &ptrs, &mut buf);
-                self.parked.insert(id, (buf, t0.elapsed()));
+                let (buf, d) = gather_traced(id, &self.runs, &ptrs);
+                self.parked.insert(id, (buf, d));
             }
         }
+    }
+
+    /// Stats accumulated so far (gather CPU across delivered batches).
+    pub fn stats(&self) -> &SortStats {
+        &self.stats
     }
 
     /// Number of batches submitted but not yet delivered.
@@ -230,7 +275,9 @@ impl GatherPool {
         loop {
             if let Some((buf, d)) = self.parked.remove(&self.next_deliver) {
                 self.next_deliver += 1;
-                self.gather_cpu += d;
+                let mut frag = SortStats::neutral();
+                frag.gather_time = d;
+                self.stats.merge(&frag);
                 return Some(buf);
             }
             let (id, buf, d) = self.rx.recv().expect("gather worker died");
@@ -269,9 +316,11 @@ mod tests {
         for b in bufs {
             pool.submit(b);
         }
-        let (runs, sort_cpu) = pool.finish();
+        let (runs, pstats) = pool.finish();
         assert_eq!(runs.len(), 12);
-        assert!(sort_cpu > Duration::ZERO);
+        assert!(pstats.sort_time > Duration::ZERO);
+        assert_eq!(pstats.runs, 12);
+        assert_eq!(pstats.records, 3_000);
 
         let runs = Arc::new(runs);
         let mut merger = RunMerger::new(&runs);

@@ -3,14 +3,27 @@
 //! The paper reports a phase-by-phase walk-through (§7) and a "where the
 //! time goes" breakdown (Figure 7); [`SortStats`] captures the same
 //! decomposition so experiments can print it.
+//!
+//! Timing is accumulated through [`timed_phase`], which both adds the
+//! closure's duration to a stats slot *and* records an `alphasort_obs`
+//! span under the matching [`alphasort_obs::phase`] name. That single
+//! entry point is what keeps the legacy counters and the exported trace
+//! in agreement: [`SortStats::from_trace`] folds a snapshot back into
+//! stats by summing spans per phase.
 
 use std::time::{Duration, Instant};
+
+use alphasort_obs as obs;
 
 /// Timings and counters accumulated over one external sort.
 #[derive(Clone, Debug, Default)]
 pub struct SortStats {
     /// Records sorted.
     pub records: u64,
+    /// Bytes actually read and sorted (the sum of input chunk lengths).
+    /// When 0 (older callers), derived figures fall back to assuming
+    /// `records` × `RECORD_LEN`.
+    pub bytes_sorted: u64,
     /// Number of runs formed.
     pub runs: u64,
     /// Lengths of the formed runs, in records.
@@ -49,6 +62,92 @@ pub struct SortStats {
 }
 
 impl SortStats {
+    /// The identity element of [`SortStats::merge`]: all-zero except
+    /// `one_pass`, which must start `true` so ANDing worker flags works.
+    /// Fold worker stats starting from this, never from `Default`.
+    pub fn neutral() -> SortStats {
+        SortStats {
+            one_pass: true,
+            ..Default::default()
+        }
+    }
+
+    /// Combine stats from another worker (a pool thread or a cluster
+    /// node) into `self`.
+    ///
+    /// Field policy, chosen so the result reads like one sort:
+    /// * **compute phases** (`sort_time`, `merge_time`, `gather_time`)
+    ///   *sum* — they are CPU busy time and can legitimately exceed the
+    ///   wall clock on a multiprocessor (that excess is Figure 7's
+    ///   overlap);
+    /// * **waits and wall clock** (`read_wait`, `write_wait`,
+    ///   `spill_time`, `exchange_wait`, `elapsed`, `merge_passes`)
+    ///   *max* — workers wait concurrently, so the critical path is the
+    ///   slowest worker, not the total;
+    /// * **counters** (`records`, `bytes_sorted`, `runs`,
+    ///   `exchange_bytes_*`) *sum*; run/partition vectors concatenate;
+    /// * `one_pass` ANDs: the combined sort was one-pass only if every
+    ///   worker's was.
+    pub fn merge(&mut self, other: &SortStats) {
+        self.records += other.records;
+        self.bytes_sorted += other.bytes_sorted;
+        self.runs += other.runs;
+        self.run_lengths.extend_from_slice(&other.run_lengths);
+        self.sort_time += other.sort_time;
+        self.merge_time += other.merge_time;
+        self.gather_time += other.gather_time;
+        self.read_wait = self.read_wait.max(other.read_wait);
+        self.write_wait = self.write_wait.max(other.write_wait);
+        self.spill_time = self.spill_time.max(other.spill_time);
+        self.exchange_wait = self.exchange_wait.max(other.exchange_wait);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.merge_passes = self.merge_passes.max(other.merge_passes);
+        self.one_pass = self.one_pass && other.one_pass;
+        self.exchange_bytes_out += other.exchange_bytes_out;
+        self.exchange_bytes_in += other.exchange_bytes_in;
+        self.partition_sizes.extend_from_slice(&other.partition_sizes);
+    }
+
+    /// Derive stats from a recorded trace: the inverse of instrumenting
+    /// with [`timed_phase`]. Phase spans sum into the matching slots,
+    /// `elapsed` is the longest top-level driver span, counters come from
+    /// span attributes (`records` on sort spans, `bytes` on read spans).
+    pub fn from_trace(snap: &obs::TraceSnapshot) -> SortStats {
+        let totals = obs::phase_totals(snap);
+        let get = |name: &str| totals.get(name).map(|&(d, _)| d).unwrap_or_default();
+        let mut st = SortStats {
+            read_wait: get(obs::phase::READ),
+            sort_time: get(obs::phase::SORT),
+            merge_time: get(obs::phase::MERGE),
+            gather_time: get(obs::phase::GATHER),
+            write_wait: get(obs::phase::WRITE),
+            spill_time: get(obs::phase::SPILL),
+            exchange_wait: get(obs::phase::EXCHANGE),
+            elapsed: obs::elapsed_of(snap),
+            one_pass: totals.contains_key(obs::phase::ONE_PASS)
+                && !totals.contains_key(obs::phase::TWO_PASS),
+            ..Default::default()
+        };
+        for e in &snap.events {
+            if e.name == obs::phase::SORT {
+                st.runs += 1;
+                for (k, v) in &e.attrs {
+                    if let ("records", obs::AttrValue::U64(n)) = (*k, v) {
+                        st.records += n;
+                        st.run_lengths.push(*n);
+                    }
+                }
+            } else if e.name == obs::phase::READ {
+                for (k, v) in &e.attrs {
+                    if let ("bytes", obs::AttrValue::U64(n)) = (*k, v) {
+                        st.bytes_sorted += n;
+                    }
+                }
+            }
+        }
+        st
+    }
+
     /// Average run length in records (0 when no runs).
     pub fn avg_run_len(&self) -> f64 {
         if self.runs == 0 {
@@ -70,18 +169,41 @@ impl SortStats {
         max / ideal
     }
 
-    /// Sort throughput in MB/s over total elapsed time.
+    /// Bytes this sort actually processed: `bytes_sorted` when counted,
+    /// else the historical estimate of `records` fixed-length records.
+    pub fn bytes_processed(&self) -> u64 {
+        if self.bytes_sorted > 0 {
+            self.bytes_sorted
+        } else {
+            self.records * alphasort_dmgen::RECORD_LEN as u64
+        }
+    }
+
+    /// Sort throughput in MB/s over total elapsed time, based on bytes
+    /// actually processed (not an assumed record size).
     pub fn throughput_mbps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs == 0.0 {
             return 0.0;
         }
-        self.records as f64 * alphasort_dmgen::RECORD_LEN as f64 / 1e6 / secs
+        self.bytes_processed() as f64 / 1e6 / secs
     }
 }
 
 /// Tiny helper: time a closure, adding its duration to `slot`.
 pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    *slot += t0.elapsed();
+    out
+}
+
+/// Time a closure, adding its duration to `slot` *and* recording an obs
+/// span named `name` over the same interval. The single timing point for
+/// pipeline phases: stats and trace cannot drift apart because they are
+/// measured by the same call.
+pub fn timed_phase<T>(name: &'static str, slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let _g = obs::span(name);
     let t0 = Instant::now();
     let out = f();
     *slot += t0.elapsed();
@@ -106,6 +228,18 @@ mod tests {
     }
 
     #[test]
+    fn timed_phase_accumulates_like_timed() {
+        // Recorder disabled: must still time correctly (span is a no-op).
+        let mut d = Duration::ZERO;
+        let x = timed_phase(obs::phase::SORT, &mut d, || {
+            std::thread::sleep(Duration::from_millis(5));
+            7
+        });
+        assert_eq!(x, 7);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
     fn derived_metrics() {
         let st = SortStats {
             records: 1000,
@@ -115,6 +249,21 @@ mod tests {
         };
         assert_eq!(st.avg_run_len(), 100.0);
         assert!((st.throughput_mbps() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_uses_actual_bytes_when_counted() {
+        // 1000 records but only 50 kB actually processed (e.g. a future
+        // variable-length format): throughput must follow real bytes, not
+        // records × RECORD_LEN.
+        let st = SortStats {
+            records: 1000,
+            bytes_sorted: 50_000,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert!((st.throughput_mbps() - 0.05).abs() < 1e-9);
+        assert_eq!(st.bytes_processed(), 50_000);
     }
 
     #[test]
@@ -133,5 +282,87 @@ mod tests {
         };
         // Ideal share is 150; the largest partition holds 300.
         assert!((st.exchange_skew() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_compute_maxes_waits() {
+        let a = SortStats {
+            records: 100,
+            bytes_sorted: 10_000,
+            runs: 2,
+            run_lengths: vec![60, 40],
+            sort_time: Duration::from_millis(5),
+            merge_time: Duration::from_millis(2),
+            gather_time: Duration::from_millis(1),
+            read_wait: Duration::from_millis(7),
+            write_wait: Duration::from_millis(3),
+            exchange_wait: Duration::from_millis(9),
+            elapsed: Duration::from_millis(20),
+            one_pass: true,
+            exchange_bytes_out: 11,
+            partition_sizes: vec![100],
+            ..Default::default()
+        };
+        let b = SortStats {
+            records: 50,
+            bytes_sorted: 5_000,
+            runs: 1,
+            run_lengths: vec![50],
+            sort_time: Duration::from_millis(8),
+            merge_time: Duration::from_millis(1),
+            gather_time: Duration::from_millis(4),
+            read_wait: Duration::from_millis(2),
+            write_wait: Duration::from_millis(6),
+            exchange_wait: Duration::from_millis(4),
+            elapsed: Duration::from_millis(30),
+            spill_time: Duration::from_millis(12),
+            one_pass: false,
+            merge_passes: 1,
+            exchange_bytes_in: 7,
+            partition_sizes: vec![50],
+            ..Default::default()
+        };
+        let mut m = SortStats::neutral();
+        m.merge(&a);
+        m.merge(&b);
+        // Counters sum, vectors concatenate.
+        assert_eq!(m.records, 150);
+        assert_eq!(m.bytes_sorted, 15_000);
+        assert_eq!(m.runs, 3);
+        assert_eq!(m.run_lengths, vec![60, 40, 50]);
+        assert_eq!(m.partition_sizes, vec![100, 50]);
+        assert_eq!(m.exchange_bytes_out, 11);
+        assert_eq!(m.exchange_bytes_in, 7);
+        // Compute phases sum (CPU busy time across workers)...
+        assert_eq!(m.sort_time, Duration::from_millis(13));
+        assert_eq!(m.merge_time, Duration::from_millis(3));
+        assert_eq!(m.gather_time, Duration::from_millis(5));
+        // ...waits and wall clock take the critical path (max).
+        assert_eq!(m.read_wait, Duration::from_millis(7));
+        assert_eq!(m.write_wait, Duration::from_millis(6));
+        assert_eq!(m.exchange_wait, Duration::from_millis(9));
+        assert_eq!(m.spill_time, Duration::from_millis(12));
+        assert_eq!(m.elapsed, Duration::from_millis(30));
+        assert_eq!(m.merge_passes, 1);
+        // one_pass only if every worker was one-pass.
+        assert!(!m.one_pass);
+    }
+
+    #[test]
+    fn neutral_is_merge_identity() {
+        let a = SortStats {
+            records: 9,
+            one_pass: true,
+            elapsed: Duration::from_millis(4),
+            ..Default::default()
+        };
+        let mut m = SortStats::neutral();
+        m.merge(&a);
+        assert_eq!(m.records, a.records);
+        assert_eq!(m.elapsed, a.elapsed);
+        assert!(m.one_pass);
+        // Folding nothing keeps the identity's one_pass=true, matching the
+        // historical "empty cluster is trivially one-pass" behavior.
+        assert!(SortStats::neutral().one_pass);
     }
 }

@@ -9,8 +9,14 @@
 //! in-process `partition_sort` and single-node AlphaSort references.
 //!
 //! Usage: `exp_netsort [RECORDS]` (default 500_000 = 50 MB).
+//!
+//! The 4-node loopback run is traced: one Chrome `trace_event` file per
+//! node (each node's spans live on its own `nodeK` track) lands in the
+//! system temp directory, ready for Perfetto / `chrome://tracing`.
 
 use std::time::Instant;
+
+use alphasort_obs as obs;
 
 use alphasort_core::baseline::{partition_sort, PartitionSortConfig};
 use alphasort_core::driver::one_pass;
@@ -63,10 +69,28 @@ fn main() {
         sort: cfg.clone(),
         ..Default::default()
     };
+    let mut traced = Vec::new();
     for nodes in [1usize, 2, 4, 8] {
+        // Trace the 4-node run: one Chrome trace file per node, split by track.
+        let trace_this = nodes == 4;
+        if trace_this {
+            obs::enable(obs::DEFAULT_CAPACITY);
+        }
         let t0 = Instant::now();
         let (out, st) = netsort_loopback(&input, nodes, &ncfg).unwrap();
         let s = t0.elapsed().as_secs_f64();
+        if trace_this {
+            obs::disable();
+            let snap = obs::snapshot();
+            for node in 0..nodes {
+                let track = format!("node{node}");
+                let per = snap.filter_track(Some(&track));
+                let path = std::env::temp_dir().join(format!("exp_netsort.{track}.trace.json"));
+                std::fs::write(&path, obs::export::chrome_trace(&per).dump()).unwrap();
+                traced.push((track, per.events.len(), path));
+            }
+            obs::reset();
+        }
         validate_records(&out, cs).unwrap();
         t.row([
             format!("netsort loopback, {nodes} node(s)"),
@@ -112,6 +136,13 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+
+    if !traced.is_empty() {
+        println!("\nper-node traces from the 4-node loopback run (Perfetto / chrome://tracing):");
+        for (track, events, path) in &traced {
+            println!("  {track}: {events} events -> {}", path.display());
+        }
+    }
 
     println!(
         "\nnetsort pays for real exchange (sampling, framing, {}-record data \

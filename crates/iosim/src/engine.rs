@@ -14,6 +14,9 @@ use std::io;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use alphasort_obs as obs;
 
 use crate::disk::SimDisk;
 
@@ -21,14 +24,17 @@ enum Request {
     Read {
         offset: u64,
         len: usize,
+        issued: Instant,
         reply: SyncSender<io::Result<Vec<u8>>>,
     },
     Write {
         offset: u64,
         data: Vec<u8>,
+        issued: Instant,
         reply: SyncSender<io::Result<usize>>,
     },
     Sync {
+        issued: Instant,
         reply: SyncSender<io::Result<usize>>,
     },
 }
@@ -131,20 +137,45 @@ impl IoEngine {
     }
 
     fn run_worker(disk: &SimDisk, rx: &Receiver<Request>) {
+        // The service span starts when the disk thread dequeues the request;
+        // `queue_us` carries the issue→service delay so a trace still shows
+        // the full issue→complete life of every request.
         while let Ok(req) = rx.recv() {
+            obs::metrics::gauge_add("io.queue_depth", -1);
             match req {
-                Request::Read { offset, len, reply } => {
+                Request::Read {
+                    offset,
+                    len,
+                    issued,
+                    reply,
+                } => {
+                    let _g = obs::span(obs::phase::IO_READ)
+                        .with("disk", disk.name())
+                        .with("offset", offset)
+                        .with("bytes", len as u64)
+                        .with("queue_us", issued.elapsed().as_micros() as u64);
+                    obs::metrics::counter_add("io.read.bytes", len as u64);
                     let _ = reply.send(disk.read(offset, len));
                 }
                 Request::Write {
                     offset,
                     data,
+                    issued,
                     reply,
                 } => {
                     let n = data.len();
+                    let _g = obs::span(obs::phase::IO_WRITE)
+                        .with("disk", disk.name())
+                        .with("offset", offset)
+                        .with("bytes", n as u64)
+                        .with("queue_us", issued.elapsed().as_micros() as u64);
+                    obs::metrics::counter_add("io.write.bytes", n as u64);
                     let _ = reply.send(disk.write(offset, &data).map(|()| n));
                 }
-                Request::Sync { reply } => {
+                Request::Sync { issued, reply } => {
+                    let _g = obs::span(obs::phase::IO_SYNC)
+                        .with("disk", disk.name())
+                        .with("queue_us", issued.elapsed().as_micros() as u64);
                     let _ = reply.send(disk.sync().map(|()| 0));
                 }
             }
@@ -165,9 +196,15 @@ impl IoEngine {
     /// `disk_idx`. Blocks only if that disk's queue is full.
     pub fn read(&self, disk_idx: usize, offset: u64, len: usize) -> IoHandle<Vec<u8>> {
         let (reply, rx) = sync_channel(1);
+        obs::metrics::gauge_add("io.queue_depth", 1);
         self.workers[disk_idx]
             .tx
-            .send(Request::Read { offset, len, reply })
+            .send(Request::Read {
+                offset,
+                len,
+                issued: Instant::now(),
+                reply,
+            })
             .expect("IO worker exited");
         IoHandle::new(rx)
     }
@@ -176,11 +213,13 @@ impl IoEngine {
     /// The completed value is the byte count written.
     pub fn write(&self, disk_idx: usize, offset: u64, data: Vec<u8>) -> IoHandle<usize> {
         let (reply, rx) = sync_channel(1);
+        obs::metrics::gauge_add("io.queue_depth", 1);
         self.workers[disk_idx]
             .tx
             .send(Request::Write {
                 offset,
                 data,
+                issued: Instant::now(),
                 reply,
             })
             .expect("IO worker exited");
@@ -190,9 +229,13 @@ impl IoEngine {
     /// Submit an asynchronous flush on disk `disk_idx`.
     pub fn sync(&self, disk_idx: usize) -> IoHandle<usize> {
         let (reply, rx) = sync_channel(1);
+        obs::metrics::gauge_add("io.queue_depth", 1);
         self.workers[disk_idx]
             .tx
-            .send(Request::Sync { reply })
+            .send(Request::Sync {
+                issued: Instant::now(),
+                reply,
+            })
             .expect("IO worker exited");
         IoHandle::new(rx)
     }

@@ -20,9 +20,10 @@ use std::io;
 use std::time::Instant;
 
 use alphasort_core::io::{MemSink, MemSource, RecordSink, RecordSource};
-use alphasort_core::stats::timed;
+use alphasort_core::stats::timed_phase;
 use alphasort_core::{driver::one_pass, SortConfig, SortStats};
 use alphasort_dmgen::RECORD_LEN;
+use alphasort_obs as obs;
 
 use crate::frame::Frame;
 use crate::splitter::{
@@ -91,10 +92,17 @@ where
     let me = node as u32;
     let mut stats = SortStats::default();
 
+    // Tag everything this worker (and the pools it spawns) records onto a
+    // per-node track, so one process's trace splits into one per node.
+    obs::set_track(&format!("node{node}"));
+    let mut top = obs::span(obs::phase::NET_WORKER).with("node", node as u64);
+
     // ---- read the local input ---------------------------------------------
     let mut input: Vec<u8> = Vec::new();
     loop {
-        let chunk = timed(&mut stats.read_wait, || source.next_chunk())?;
+        let chunk = timed_phase(obs::phase::READ, &mut stats.read_wait, || {
+            source.next_chunk()
+        })?;
         let Some(chunk) = chunk else { break };
         input.extend_from_slice(&chunk);
     }
@@ -109,6 +117,7 @@ where
     }
 
     // ---- sample + splitters -----------------------------------------------
+    let sample_span = obs::span(obs::phase::NET_SAMPLE);
     transport.send(
         COORDINATOR,
         Frame::Sample {
@@ -119,7 +128,9 @@ where
     if node == COORDINATOR {
         let mut samples = Vec::with_capacity(nodes);
         while samples.len() < nodes {
-            let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+            let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
+                transport.recv()
+            })?;
             match frame {
                 Frame::Sample { keys, .. } => samples.push(keys),
                 other => return Err(protocol_error("Sample", &other)),
@@ -140,13 +151,16 @@ where
     // splitters, stashing early exchange traffic from faster peers.
     let mut pending: Vec<Frame> = Vec::new();
     let splitters = loop {
-        let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+        let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
+            transport.recv()
+        })?;
         match frame {
             Frame::Splitters { keys, .. } => break decode_splitters(&keys),
             data @ (Frame::Data { .. } | Frame::Done { .. }) => pending.push(data),
             other => return Err(protocol_error("Splitters", &other)),
         }
     };
+    drop(sample_span);
 
     // ---- exchange: scatter ours, gather ours ------------------------------
     let mut partitions = partition_records(&input, &splitters);
@@ -164,7 +178,12 @@ where
         }
         for batch in part.chunks(cfg.batch_records * RECORD_LEN) {
             stats.exchange_bytes_out += batch.len() as u64;
-            timed(&mut stats.exchange_wait, || {
+            let _send = obs::span(obs::phase::NET_SEND)
+                .with("peer", target as u64)
+                .with("bytes", batch.len() as u64);
+            obs::metrics::observe("net.frame.bytes", batch.len() as u64);
+            obs::metrics::counter_add("net.bytes_out", batch.len() as u64);
+            timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
                 transport.send(
                     target,
                     Frame::Data {
@@ -186,6 +205,11 @@ where
                     format!("Data frame from unknown node {sender}"),
                 ));
             }
+            let _recv = obs::span(obs::phase::NET_RECV)
+                .with("peer", sender as u64)
+                .with("bytes", records.len() as u64);
+            obs::metrics::observe("net.frame.bytes", records.len() as u64);
+            obs::metrics::counter_add("net.bytes_in", records.len() as u64);
             stats.exchange_bytes_in += records.len() as u64;
             gather[sender].extend_from_slice(&records);
             Ok(false)
@@ -197,7 +221,9 @@ where
         done += usize::from(absorb(frame, &mut gather, &mut stats)?);
     }
     while done < nodes - 1 {
-        let frame = timed(&mut stats.exchange_wait, || transport.recv())?;
+        let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
+            transport.recv()
+        })?;
         done += usize::from(absorb(frame, &mut gather, &mut stats)?);
     }
     transport.shutdown()?;
@@ -206,7 +232,10 @@ where
     // ---- local AlphaSort pipeline over what we now own --------------------
     stats.partition_sizes = vec![(local.len() / RECORD_LEN) as u64];
     let mut local_source = MemSource::new(local, 1 << 20);
-    let outcome = one_pass(&mut local_source, sink, &cfg.sort)?;
+    let outcome = {
+        let _local = obs::span(obs::phase::NET_LOCAL);
+        one_pass(&mut local_source, sink, &cfg.sort)?
+    };
 
     // Fold the local pipeline's stats into the worker-level ones.
     let exchange = stats;
@@ -217,6 +246,9 @@ where
     stats.exchange_wait = exchange.exchange_wait;
     stats.partition_sizes = exchange.partition_sizes;
     stats.elapsed = t_start.elapsed();
+    top.attr("records", stats.records);
+    top.attr("bytes_in", stats.exchange_bytes_in);
+    top.attr("bytes_out", stats.exchange_bytes_out);
     Ok(WorkerOutcome {
         stats,
         bytes: outcome.bytes,
@@ -235,29 +267,17 @@ pub fn split_shares(input: &[u8], nodes: usize) -> Vec<Vec<u8>> {
     shares
 }
 
-/// Combine per-node worker stats into one cluster-level view: counters sum,
-/// phase times take the per-node maximum (the critical path), and
-/// `partition_sizes` lists every node's post-exchange share in node order.
+/// Combine per-node worker stats into one cluster-level view — a fold over
+/// [`SortStats::merge`], so the field policy is identical to the in-process
+/// pools: counters sum, compute phases (sort/merge/gather) sum into cluster
+/// CPU-busy totals, waits and elapsed take the per-node maximum (the
+/// critical path), and `partition_sizes` lists every node's post-exchange
+/// share in node order.
 pub fn merge_cluster_stats(per_node: &[SortStats]) -> SortStats {
-    let mut out = SortStats::default();
+    let mut out = SortStats::neutral();
     for st in per_node {
-        out.records += st.records;
-        out.runs += st.runs;
-        out.run_lengths.extend_from_slice(&st.run_lengths);
-        out.read_wait = out.read_wait.max(st.read_wait);
-        out.sort_time = out.sort_time.max(st.sort_time);
-        out.merge_time = out.merge_time.max(st.merge_time);
-        out.gather_time = out.gather_time.max(st.gather_time);
-        out.write_wait = out.write_wait.max(st.write_wait);
-        out.elapsed = out.elapsed.max(st.elapsed);
-        out.spill_time = out.spill_time.max(st.spill_time);
-        out.merge_passes = out.merge_passes.max(st.merge_passes);
-        out.exchange_bytes_out += st.exchange_bytes_out;
-        out.exchange_bytes_in += st.exchange_bytes_in;
-        out.exchange_wait = out.exchange_wait.max(st.exchange_wait);
-        out.partition_sizes.extend_from_slice(&st.partition_sizes);
+        out.merge(st);
     }
-    out.one_pass = per_node.iter().all(|st| st.one_pass);
     out
 }
 
@@ -398,7 +418,7 @@ mod tests {
     }
 
     #[test]
-    fn merged_stats_take_critical_path_times() {
+    fn merged_stats_sum_compute_and_take_critical_path_waits() {
         use std::time::Duration;
         let a = SortStats {
             records: 10,
@@ -418,9 +438,13 @@ mod tests {
         };
         let m = merge_cluster_stats(&[a, b]);
         assert_eq!(m.records, 30);
-        assert_eq!(m.sort_time, Duration::from_millis(8));
+        // Compute time is CPU-busy across the cluster: it sums.
+        assert_eq!(m.sort_time, Duration::from_millis(13));
+        // Waits are concurrent: the cluster waits as long as the slowest node.
         assert_eq!(m.exchange_wait, Duration::from_millis(9));
         assert_eq!(m.partition_sizes, vec![10, 20]);
         assert!(m.one_pass);
+        // The empty cluster is the fold identity (trivially one-pass).
+        assert!(merge_cluster_stats(&[]).one_pass);
     }
 }

@@ -1,0 +1,330 @@
+//! Metrics: counters, gauges and log-scale histograms.
+//!
+//! Like the span recorder, the metrics store is process-global and gated by
+//! the same enabled flag, so instrumented sites are one relaxed load when no
+//! observability was requested. Names are `&'static str` — the set of
+//! metrics is fixed at compile time, per-entity detail (disk, peer, run)
+//! belongs in span attributes, not metric names.
+//!
+//! Histograms use power-of-two buckets: bucket 0 holds exactly the value 0
+//! and bucket *k* ≥ 1 holds `[2^(k−1), 2^k)`, so a boundary value `2^k` is
+//! always the *lowest* value of bucket `k+1`. That gives a fixed 65-slot
+//! footprint covering the full `u64` range — per-run sort latencies in
+//! microseconds and per-frame exchange sizes in bytes both fit without
+//! configuration.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::recorder::is_enabled;
+
+/// Number of histogram buckets: the zero bucket plus one per bit of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-footprint, log2-bucketed histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, else `64 − leading_zeros`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Half-open `[lo, hi)` range of bucket `i` (bucket 0 is `[0, 1)`).
+    pub fn bucket_bounds(i: usize) -> (u64, u128) {
+        assert!(i < HISTOGRAM_BUCKETS);
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), 1u128 << i)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u128, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// This histogram minus an earlier one (per-bucket saturating).
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for i in 0..HISTOGRAM_BUCKETS {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        // min/max cannot be un-merged; keep the later window's extremes.
+        out.min = if out.count > 0 { self.min } else { u64::MAX };
+        out.max = if out.count > 0 { self.max } else { 0 };
+        out
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+pub(crate) fn reset_store() {
+    let mut s = store().lock().unwrap();
+    *s = Store::default();
+}
+
+/// Add `delta` to the named monotonic counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    *store().lock().unwrap().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Set the named gauge to `value`.
+#[inline]
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    store().lock().unwrap().gauges.insert(name, value);
+}
+
+/// Adjust the named gauge by `delta` (e.g. queue depth up/down).
+#[inline]
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !is_enabled() {
+        return;
+    }
+    *store().lock().unwrap().gauges.entry(name).or_insert(0) += delta;
+}
+
+/// Record `value` in the named log-scale histogram.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    store()
+        .lock()
+        .unwrap()
+        .histograms
+        .entry(name)
+        .or_default()
+        .record(value);
+}
+
+/// A copy of every metric at one moment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counters and histogram counts since `earlier`; gauges keep their
+    /// current value (a gauge has no meaningful delta).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let out = match earlier.histograms.get(k) {
+                    Some(prev) => h.diff(prev),
+                    None => h.clone(),
+                };
+                (k.clone(), out)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+/// Copy out every metric recorded so far.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let s = store().lock().unwrap();
+    MetricsSnapshot {
+        counters: s.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        gauges: s.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: s
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 2^k must be the lowest value of bucket k+1, never the top of
+        // bucket k — the satellite's exactness requirement.
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            let idx = Histogram::bucket_index(v);
+            assert_eq!(idx, k as usize + 1, "2^{k}");
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert_eq!(lo, v, "2^{k} opens its bucket");
+            assert_eq!(hi, (v as u128) * 2);
+            if v > 1 {
+                // One less lands in the previous bucket.
+                assert_eq!(Histogram::bucket_index(v - 1), k as usize);
+            }
+        }
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2, 3
+        assert_eq!(h.bucket_count(3), 1); // 4
+        assert_eq!(h.bucket_count(11), 1); // 1024
+        assert_eq!(h.nonzero_buckets().len(), 5);
+    }
+
+    #[test]
+    fn store_roundtrip_and_diff() {
+        let _l = test_lock();
+        crate::recorder::enable(64);
+        counter_add("bytes", 100);
+        gauge_set("depth", 3);
+        observe("lat_us", 8);
+        let first = metrics_snapshot();
+        counter_add("bytes", 50);
+        gauge_add("depth", -1);
+        observe("lat_us", 16);
+        let second = metrics_snapshot();
+        crate::recorder::disable();
+
+        assert_eq!(first.counters["bytes"], 100);
+        assert_eq!(second.counters["bytes"], 150);
+        assert_eq!(second.gauges["depth"], 2);
+        let d = second.diff(&first);
+        assert_eq!(d.counters["bytes"], 50);
+        assert_eq!(d.histograms["lat_us"].count(), 1);
+        assert_eq!(d.histograms["lat_us"].bucket_count(5), 1); // 16 → [16,32)
+    }
+
+    #[test]
+    fn disabled_metrics_are_noops() {
+        let _l = test_lock();
+        crate::recorder::disable();
+        crate::recorder::reset();
+        counter_add("bytes", 1);
+        observe("lat", 1);
+        gauge_set("g", 1);
+        let s = metrics_snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+}

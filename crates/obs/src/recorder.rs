@@ -1,0 +1,466 @@
+//! The span recorder: a process-global, thread-safe event sink.
+//!
+//! Instrumentation sites call [`span`] (RAII interval), [`instant`] (point
+//! event) or the metrics helpers; everything funnels into one bounded ring
+//! buffer behind a mutex. The recorder is **disabled by default**: every
+//! entry point first does a single relaxed atomic load and returns a dead
+//! guard, so instrumented hot paths cost ~1 ns when no trace is requested.
+//!
+//! Events carry a monotonic timestamp (nanoseconds since the recorder
+//! epoch), a small per-thread id, an optional *track* label (netsort tags
+//! worker threads `node0`, `node1`, … so one process can export one trace
+//! per node), and a handful of typed attributes. The ring buffer keeps the
+//! most recent `capacity` events and counts what it had to drop, so a 10M
+//! record sort cannot OOM the recorder no matter how long it runs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Default ring capacity: enough for coarse (batch-granular) spans of a
+/// multi-gigabyte sort at well under 1 GB of recorder memory.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// One recorded attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (byte counts, ids, offsets).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Free-form text (disk names, peer addresses).
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// What kind of event was recorded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A named interval with a duration.
+    Span {
+        /// Interval length in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Site name (a phase constant from [`crate::phase`] or a layer name).
+    pub name: &'static str,
+    /// Span-with-duration or instant marker.
+    pub kind: EventKind,
+    /// Start time in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Small stable id of the recording thread.
+    pub tid: u32,
+    /// Logical track label (e.g. `node2` for a netsort worker and the
+    /// pool threads it spawned); `None` for the main/untracked threads.
+    pub track: Option<Arc<str>>,
+    /// Typed key/value attributes attached at the call site.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Event {
+    /// Span duration, zero for instants.
+    pub fn duration(&self) -> Duration {
+        match self.kind {
+            EventKind::Span { dur_ns } => Duration::from_nanos(dur_ns),
+            EventKind::Instant => Duration::ZERO,
+        }
+    }
+
+    /// End time in nanoseconds since the epoch (== start for instants).
+    pub fn end_ns(&self) -> u64 {
+        match self.kind {
+            EventKind::Span { dur_ns } => self.start_ns + dur_ns,
+            EventKind::Instant => self.start_ns,
+        }
+    }
+}
+
+/// A thread the recorder has seen, for trace metadata.
+#[derive(Clone, Debug)]
+pub struct ThreadInfo {
+    /// The small id events carry.
+    pub tid: u32,
+    /// The OS thread name at registration time.
+    pub name: String,
+}
+
+/// A copy of the recorder state at one moment.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Recorded events, oldest first.
+    pub events: Vec<Event>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+    /// Threads that recorded at least one event, ever.
+    pub threads: Vec<ThreadInfo>,
+}
+
+impl TraceSnapshot {
+    /// The subset of events on `track` (`None` keeps untracked events),
+    /// with the thread table restricted to threads that still appear.
+    pub fn filter_track(&self, track: Option<&str>) -> TraceSnapshot {
+        let events: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|e| e.track.as_deref() == track)
+            .cloned()
+            .collect();
+        let tids: std::collections::BTreeSet<u32> = events.iter().map(|e| e.tid).collect();
+        TraceSnapshot {
+            events,
+            dropped: self.dropped,
+            threads: self
+                .threads
+                .iter()
+                .filter(|t| tids.contains(&t.tid))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Distinct track labels present, sorted (`None` excluded).
+    pub fn tracks(&self) -> Vec<String> {
+        let set: std::collections::BTreeSet<&str> =
+            self.events.iter().filter_map(|e| e.track.as_deref()).collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Wall-clock extent of the snapshot: `last end − first start`.
+    pub fn extent(&self) -> Duration {
+        let lo = self.events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+        let hi = self.events.iter().map(Event::end_ns).max().unwrap_or(0);
+        Duration::from_nanos(hi.saturating_sub(lo))
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+fn threads() -> &'static Mutex<BTreeMap<u32, String>> {
+    static THREADS: OnceLock<Mutex<BTreeMap<u32, String>>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+    static TRACK: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Whether the recorder is currently collecting events.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on with the given ring capacity, clearing prior events
+/// and metrics. Fixes the epoch on first call.
+pub fn enable(capacity: usize) {
+    assert!(capacity > 0, "recorder capacity must be positive");
+    let _ = epoch();
+    {
+        let mut r = ring().lock().unwrap();
+        r.events.clear();
+        r.capacity = capacity;
+        r.dropped = 0;
+    }
+    crate::metrics::reset_store();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording (events already collected are kept for [`snapshot`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clear collected events and metrics without changing the enabled state.
+pub fn reset() {
+    let mut r = ring().lock().unwrap();
+    r.events.clear();
+    r.dropped = 0;
+    drop(r);
+    crate::metrics::reset_store();
+}
+
+/// Copy out everything recorded so far.
+pub fn snapshot() -> TraceSnapshot {
+    let r = ring().lock().unwrap();
+    let events: Vec<Event> = r.events.iter().cloned().collect();
+    let dropped = r.dropped;
+    drop(r);
+    let threads = threads()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(&tid, name)| ThreadInfo {
+            tid,
+            name: name.clone(),
+        })
+        .collect();
+    TraceSnapshot {
+        events,
+        dropped,
+        threads,
+    }
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+            let name = std::thread::current()
+                .name()
+                .unwrap_or("unnamed")
+                .to_string();
+            threads().lock().unwrap().insert(id, name);
+        }
+        id
+    })
+}
+
+/// Label this thread's events with `track` (netsort uses `node<K>`).
+pub fn set_track(track: &str) {
+    let arc: Arc<str> = Arc::from(track);
+    TRACK.with(|t| *t.borrow_mut() = Some(arc));
+}
+
+/// This thread's track label, for handing to threads it spawns.
+pub fn current_track() -> Option<Arc<str>> {
+    TRACK.with(|t| t.borrow().clone())
+}
+
+/// Adopt a track label captured on another thread via [`current_track`]
+/// (worker pools inherit the spawning thread's track this way).
+pub fn adopt_track(track: Option<Arc<str>>) {
+    TRACK.with(|t| *t.borrow_mut() = track);
+}
+
+/// RAII guard for a named interval. Created by [`span`]; the interval is
+/// recorded when the guard drops. Dead (no-op) when recording is off.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanGuard {
+    /// Attach an attribute (builder style): `span("io.read").with("bytes", n)`.
+    pub fn with(mut self, key: &'static str, value: impl Into<AttrValue>) -> Self {
+        if self.start.is_some() {
+            self.attrs.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach an attribute after creation (e.g. a result size known late).
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if self.start.is_some() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
+        let event = Event {
+            name: self.name,
+            kind: EventKind::Span { dur_ns },
+            start_ns,
+            tid: current_tid(),
+            track: current_track(),
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        ring().lock().unwrap().push(event);
+    }
+}
+
+/// Open a named interval; it records when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            name,
+            start: None,
+            attrs: Vec::new(),
+        };
+    }
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+        attrs: Vec::new(),
+    }
+}
+
+/// Record a point-in-time marker with attributes.
+pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
+    if !is_enabled() {
+        return;
+    }
+    let start_ns = Instant::now()
+        .saturating_duration_since(epoch())
+        .as_nanos() as u64;
+    let event = Event {
+        name,
+        kind: EventKind::Instant,
+        start_ns,
+        tid: current_tid(),
+        track: current_track(),
+        attrs,
+    };
+    ring().lock().unwrap().push(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _l = test_lock();
+        disable();
+        reset();
+        {
+            let _g = span("sort").with("run", 1u64);
+            instant("marker", vec![]);
+        }
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn spans_carry_name_duration_and_attrs() {
+        let _l = test_lock();
+        enable(1024);
+        {
+            let mut g = span("sort").with("run", 7u64);
+            g.attr("bytes", 100u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        instant("mark", vec![("k", AttrValue::from("v"))]);
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        let s = &snap.events[0];
+        assert_eq!(s.name, "sort");
+        assert!(s.duration() >= Duration::from_millis(1));
+        assert_eq!(s.attrs[0], ("run", AttrValue::U64(7)));
+        assert_eq!(s.attrs[1], ("bytes", AttrValue::U64(100)));
+        assert_eq!(snap.events[1].kind, EventKind::Instant);
+        assert!(!snap.threads.is_empty());
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let _l = test_lock();
+        enable(8);
+        for _ in 0..20 {
+            let _g = span("x");
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 8);
+        assert_eq!(snap.dropped, 12);
+    }
+
+    #[test]
+    fn track_filtering_splits_events() {
+        let _l = test_lock();
+        enable(1024);
+        let t = std::thread::spawn(|| {
+            set_track("nodeA");
+            let _g = span("exchange");
+        });
+        t.join().unwrap();
+        {
+            let _g = span("sort");
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.tracks(), vec!["nodeA".to_string()]);
+        assert_eq!(snap.filter_track(Some("nodeA")).events.len(), 1);
+        let untracked = snap.filter_track(None);
+        assert_eq!(untracked.events.len(), 1);
+        assert_eq!(untracked.events[0].name, "sort");
+    }
+}

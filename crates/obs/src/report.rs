@@ -1,0 +1,169 @@
+//! The terminal "where the time goes" report (paper Figure 7).
+//!
+//! §7 of the paper decomposes one sort's elapsed time phase by phase to
+//! show the CPU, not the disks, is the bottleneck. [`figure7`] derives the
+//! same decomposition from recorded spans: per-phase busy totals (summed
+//! across threads — on a multiprocessor a phase can accumulate more busy
+//! time than the wall clock), each phase's share of elapsed, and the
+//! overall *overlap* — how much phase work was hidden behind other phases
+//! rather than extending the elapsed time.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::phase;
+use crate::recorder::{EventKind, TraceSnapshot};
+
+/// Summed span durations and span counts by name.
+pub fn phase_totals(snap: &TraceSnapshot) -> BTreeMap<&'static str, (Duration, u64)> {
+    let mut out: BTreeMap<&'static str, (Duration, u64)> = BTreeMap::new();
+    for e in &snap.events {
+        if let EventKind::Span { .. } = e.kind {
+            let slot = out.entry(e.name).or_insert((Duration::ZERO, 0));
+            slot.0 += e.duration();
+            slot.1 += 1;
+        }
+    }
+    out
+}
+
+/// The elapsed time the report normalizes against: the longest top-level
+/// driver span if one exists, otherwise the snapshot's wall extent.
+pub fn elapsed_of(snap: &TraceSnapshot) -> Duration {
+    snap.events
+        .iter()
+        .filter(|e| phase::TOP_LEVEL.contains(&e.name))
+        .map(|e| e.duration())
+        .max()
+        .unwrap_or_else(|| snap.extent())
+}
+
+/// Render the Figure 7 ASCII table from a trace snapshot.
+///
+/// Rows are the paper's phases in pipeline order; only phases that actually
+/// recorded spans appear. The closing lines give elapsed, the phase sum,
+/// and the computed overlap percentage (phase sum beyond elapsed, i.e. work
+/// that ran concurrently with other phases).
+pub fn figure7(snap: &TraceSnapshot) -> String {
+    let totals = phase_totals(snap);
+    let elapsed = elapsed_of(snap);
+    let esecs = elapsed.as_secs_f64();
+
+    let mut rows: Vec<(&str, Duration, u64)> = Vec::new();
+    for &(name, label) in phase::FIGURE7_ROWS {
+        if let Some(&(d, n)) = totals.get(name) {
+            rows.push((label, d, n));
+        }
+    }
+
+    let label_w = rows
+        .iter()
+        .map(|(l, _, _)| l.len())
+        .chain(["phase sum".len()])
+        .max()
+        .unwrap_or(10);
+    let mut out = String::new();
+    out.push_str("== where the time goes (Figure 7) ==\n");
+    out.push_str(&format!(
+        "{:<label_w$}  {:>9}  {:>8}  {:>7}\n",
+        "phase", "seconds", "% elaps", "spans"
+    ));
+    let mut busy = Duration::ZERO;
+    for (label, d, n) in &rows {
+        busy += *d;
+        let pct = if esecs > 0.0 {
+            d.as_secs_f64() / esecs * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {:>9.3}  {:>7.1}%  {n:>7}\n",
+            d.as_secs_f64(),
+            pct,
+        ));
+    }
+    let bsecs = busy.as_secs_f64();
+    out.push_str(&format!(
+        "{:<label_w$}  {esecs:>9.3}  {:>7.1}%\n",
+        "elapsed", 100.0
+    ));
+    out.push_str(&format!(
+        "{:<label_w$}  {bsecs:>9.3}  {:>7.1}%\n",
+        "phase sum",
+        if esecs > 0.0 { bsecs / esecs * 100.0 } else { 0.0 }
+    ));
+    let overlap = if esecs > 0.0 && bsecs > esecs {
+        (bsecs - esecs) / esecs * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "overlap: {overlap:.1}% of elapsed was phase work hidden behind other phases\n"
+    ));
+    if snap.dropped > 0 {
+        out.push_str(&format!(
+            "(ring buffer dropped {} oldest events; totals undercount)\n",
+            snap.dropped
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Event;
+
+    fn span(name: &'static str, start_ns: u64, dur_ns: u64, tid: u32) -> Event {
+        Event {
+            name,
+            kind: EventKind::Span { dur_ns },
+            start_ns,
+            tid,
+            track: None,
+            attrs: vec![],
+        }
+    }
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                span(phase::ONE_PASS, 0, 1_000_000_000, 1),
+                span(phase::READ, 0, 200_000_000, 1),
+                span(phase::SORT, 100_000_000, 600_000_000, 2),
+                span(phase::SORT, 100_000_000, 500_000_000, 3),
+                span(phase::MERGE, 700_000_000, 100_000_000, 1),
+                span(phase::GATHER, 750_000_000, 150_000_000, 2),
+                span(phase::WRITE, 800_000_000, 200_000_000, 1),
+            ],
+            dropped: 0,
+            threads: vec![],
+        }
+    }
+
+    #[test]
+    fn totals_sum_across_threads() {
+        let t = phase_totals(&sample());
+        assert_eq!(t[phase::SORT], (Duration::from_millis(1100), 2));
+        assert_eq!(t[phase::READ].1, 1);
+    }
+
+    #[test]
+    fn elapsed_prefers_top_level_span() {
+        assert_eq!(elapsed_of(&sample()), Duration::from_secs(1));
+        let mut no_top = sample();
+        no_top.events.remove(0);
+        // Falls back to wall extent: first start 0 → last end 1.0 s.
+        assert_eq!(elapsed_of(&no_top), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn figure7_reports_phases_and_overlap() {
+        let text = figure7(&sample());
+        assert!(text.contains("sort"), "{text}");
+        assert!(text.contains("read wait"), "{text}");
+        assert!(text.contains("elapsed"), "{text}");
+        // busy = 0.2+1.1+0.1+0.15+0.2 = 1.75 s over 1.0 s elapsed → 75%.
+        assert!(text.contains("overlap: 75.0%"), "{text}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the obs crate's hard guarantees: concurrent span
+//! recording from many threads preserves per-thread nesting and loses
+//! nothing while under the ring-buffer cap, and the exported Chrome trace
+//! round-trips through the workspace JSON parser.
+//!
+//! The recorder is process-global, so this file keeps everything in one
+//! `#[test]` (cargo runs separate integration-test *files* in one process
+//! but separate functions on separate threads).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use alphasort_minijson::Json;
+use alphasort_obs as obs;
+use obs::EventKind;
+
+const THREADS: usize = 6;
+const SPANS_PER_THREAD: usize = 200;
+
+fn record_nested(depth_left: usize, idx: usize) {
+    let _g = obs::span("outer").with("idx", idx as u64);
+    if depth_left > 0 {
+        let _inner = obs::span("inner").with("idx", idx as u64);
+        record_nested(depth_left - 1, idx);
+        std::hint::black_box(());
+    }
+}
+
+#[test]
+fn concurrent_recording_preserves_nesting_and_loses_nothing() {
+    obs::enable(1 << 20); // far above what the test records: nothing may drop
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                obs::set_track(if t % 2 == 0 { "even" } else { "odd" });
+                for i in 0..SPANS_PER_THREAD {
+                    record_nested(2, t * SPANS_PER_THREAD + i);
+                }
+            });
+        }
+    });
+    obs::disable();
+    let snap = obs::snapshot();
+
+    // --- nothing lost under the cap -----------------------------------------
+    assert_eq!(snap.dropped, 0);
+    // Each call records 1 "outer" + 2 "inner" + 2 nested "outer" spans:
+    // record_nested(2) = outer + inner + record_nested(1)
+    //                  = outer + inner + outer + inner + record_nested(0)
+    //                  = 3 outer + 2 inner.
+    let expected = THREADS * SPANS_PER_THREAD * 5;
+    assert_eq!(snap.events.len(), expected);
+
+    // --- per-thread nesting is preserved ------------------------------------
+    // On any one thread, RAII guards guarantee spans either nest or are
+    // disjoint; verify from timestamps that no two spans partially overlap.
+    let mut by_tid: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for e in &snap.events {
+        if let EventKind::Span { .. } = e.kind {
+            by_tid.entry(e.tid).or_default().push((e.start_ns, e.end_ns()));
+        }
+    }
+    assert!(by_tid.len() >= 4, "expected ≥4 recording threads");
+    for (tid, spans) in &by_tid {
+        for (i, &(s1, e1)) in spans.iter().enumerate() {
+            for &(s2, e2) in &spans[i + 1..] {
+                let disjoint = e1 <= s2 || e2 <= s1;
+                let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                assert!(
+                    disjoint || nested,
+                    "thread {tid}: spans [{s1},{e1}) and [{s2},{e2}) partially overlap"
+                );
+            }
+        }
+    }
+
+    // --- tracks split the threads -------------------------------------------
+    assert_eq!(snap.tracks(), vec!["even".to_string(), "odd".to_string()]);
+    let even = snap.filter_track(Some("even"));
+    let odd = snap.filter_track(Some("odd"));
+    assert_eq!(even.events.len() + odd.events.len(), expected);
+
+    // --- the exported Chrome trace round-trips through minijson -------------
+    let doc = obs::export::chrome_trace(&snap);
+    let parsed = Json::parse(&doc.dump()).expect("exported trace parses");
+    assert_eq!(parsed, doc, "dump → parse must be lossless");
+    let events = parsed.field_arr("traceEvents").unwrap();
+    let span_count = events
+        .iter()
+        .filter(|e| e.field_str("ph") == Ok("X"))
+        .count();
+    assert_eq!(span_count, expected);
+
+    // Phase totals derived from the trace match a direct fold.
+    let totals = obs::phase_totals(&snap);
+    let outer = totals["outer"];
+    assert_eq!(outer.1, (THREADS * SPANS_PER_THREAD * 3) as u64);
+    assert!(outer.0 > Duration::ZERO);
+
+    // --- overflow behavior: the ring keeps the newest, counts the rest ------
+    obs::enable(64);
+    for i in 0..100u64 {
+        let _g = obs::span("x").with("i", i);
+    }
+    obs::disable();
+    let small = obs::snapshot();
+    assert_eq!(small.events.len(), 64);
+    assert_eq!(small.dropped, 36);
+    // The survivors are the newest 36..100.
+    let first_kept = match &small.events[0].attrs[0].1 {
+        obs::AttrValue::U64(v) => *v,
+        other => panic!("unexpected attr {other:?}"),
+    };
+    assert_eq!(first_kept, 36);
+}

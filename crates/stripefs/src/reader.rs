@@ -8,6 +8,8 @@ use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::sync::Arc;
 
+use alphasort_obs as obs;
+
 use crate::file::{StripedFile, StripedRead};
 
 /// Sequential reader over a [`StripedFile`] with N-deep read-ahead.
@@ -70,8 +72,17 @@ impl StripedReader {
     /// Strides arrive in order; while the caller processes one, up to
     /// `depth - 1` more are already moving on the disks.
     pub fn next_stride(&mut self) -> Option<io::Result<Vec<u8>>> {
-        let (_, rd) = self.inflight.pop_front()?;
+        let (off, rd) = self.inflight.pop_front()?;
+        // The span covers only the wait for the already-issued read to
+        // land — with read-ahead working, it should be near zero.
+        let mut g = obs::span(obs::phase::STRIPE_READ);
+        g.attr("offset", off);
         let data = rd.wait();
+        if let Ok(d) = &data {
+            g.attr("bytes", d.len() as u64);
+            obs::metrics::counter_add("stripe.read.bytes", d.len() as u64);
+        }
+        drop(g);
         self.pump();
         Some(data)
     }

@@ -9,6 +9,8 @@ use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::Arc;
 
+use alphasort_obs as obs;
+
 use crate::file::{StripedFile, StripedWrite};
 
 /// Sequential writer over a [`StripedFile`] with N-deep write-behind.
@@ -50,10 +52,20 @@ impl StripedWriter {
     }
 
     fn reap(&mut self, down_to: usize) -> io::Result<()> {
+        if self.inflight.len() <= down_to {
+            return Ok(());
+        }
+        // The span is the write-behind back-pressure wait: how long the
+        // caller stalls for issued strides to drain below `down_to`.
+        let mut g = obs::span(obs::phase::STRIPE_WRITE);
+        let mut reaped = 0u64;
         while self.inflight.len() > down_to {
             let w = self.inflight.pop_front().expect("inflight not empty");
             w.wait()?;
+            reaped += 1;
         }
+        g.attr("writes", reaped);
+        obs::metrics::counter_add("stripe.writes.reaped", reaped);
         Ok(())
     }
 
@@ -65,6 +77,7 @@ impl StripedWriter {
             self.reap(self.depth - 1)?;
             let chunk = &self.staging[issued..issued + stride];
             let w = self.file.write_at_async(self.pos, chunk);
+            obs::metrics::counter_add("stripe.write.bytes", stride as u64);
             self.inflight.push_back(w);
             self.pos += stride as u64;
             issued += stride;
@@ -90,6 +103,7 @@ impl StripedWriter {
         if !self.staging.is_empty() {
             let tail = std::mem::take(&mut self.staging);
             let w = self.file.write_at_async(self.pos, &tail);
+            obs::metrics::counter_add("stripe.write.bytes", tail.len() as u64);
             self.pos += tail.len() as u64;
             self.inflight.push_back(w);
         }

@@ -10,12 +10,15 @@
 //! ```text
 //! netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]]
 //!         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N]
-//!         [--verify] [--keep]
+//!         [--verify] [--keep] [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! ```
 //!
 //! `--gen` first writes a Datamation-style input file; with `--verify` the
 //! output is checked to be a sorted permutation of the input (checksummed
 //! while splitting, so `--verify` also works on pre-existing inputs).
+//! `--trace-out` writes one Chrome trace covering every node (each worker's
+//! spans sit on a `nodeK` track) plus the cluster Figure 7 table on stderr;
+//! `--metrics-out` writes the metrics snapshot as JSON.
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -24,6 +27,7 @@ use std::process::ExitCode;
 use alphasort_suite::dmgen::{
     validate_reader, GenConfig, Generator, RunningChecksum, RECORD_LEN,
 };
+use alphasort_suite::obs;
 use alphasort_suite::netsort::{
     bind_cluster, loopback_cluster, merge_cluster_stats, run_worker, NetsortConfig, RetryPolicy,
     TcpTransport, Transport,
@@ -43,12 +47,15 @@ struct Args {
     samples: usize,
     verify: bool,
     keep: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]] \
-         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N] [--verify] [--keep]"
+         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N] [--verify] [--keep] \
+         [--trace-out TRACE.json] [--metrics-out METRICS.json]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +74,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         samples: 256,
         verify: false,
         keep: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -96,6 +105,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--samples" => args.samples = value("--samples")?.parse().map_err(|_| usage())?,
             "--verify" => args.verify = true,
             "--keep" => args.keep = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
                 return Err(usage());
@@ -241,6 +252,13 @@ fn main() -> ExitCode {
         },
     };
 
+    // Start recording after generation + splitting so the trace covers only
+    // the distributed sort itself; each worker tags its own `nodeK` track.
+    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    if tracing {
+        obs::enable(obs::DEFAULT_CAPACITY);
+    }
+
     let per_node = if args.tcp {
         bind_cluster(args.nodes).and_then(|(listeners, addrs)| {
             let addrs = &addrs;
@@ -305,6 +323,33 @@ fn main() -> ExitCode {
         st.gather_time.as_secs_f64(),
         if st.one_pass { "one" } else { "two" },
     );
+
+    if tracing {
+        obs::disable();
+        let snap = obs::snapshot();
+        eprint!("{}", obs::figure7(&snap));
+        if let Some(path) = &args.trace_out {
+            let doc = obs::export::chrome_trace(&snap);
+            if let Err(e) = std::fs::write(path, doc.dump()) {
+                eprintln!("cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace: {} events across {} node(s) -> {path} \
+                 (open in Perfetto / chrome://tracing)",
+                snap.events.len(),
+                args.nodes
+            );
+        }
+        if let Some(path) = &args.metrics_out {
+            let doc = obs::export::metrics_json(&obs::metrics_snapshot());
+            if let Err(e) = std::fs::write(path, doc.dump_pretty()) {
+                eprintln!("cannot write metrics {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics: -> {path}");
+        }
+    }
 
     if args.verify {
         let result = File::open(&args.output)

@@ -10,14 +10,20 @@
 //! sortcli <input> <output> [--mem BYTES] [--workers N] [--run RECORDS]
 //!         [--rep record|pointer|key|key-prefix|codeword] [--two-pass]
 //!         [--gen RECORDS[:SEED]] [--verify]
+//!         [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! ```
 //!
 //! `--gen` first writes a Datamation-style input file (and with `--verify`
-//! checks the output is a sorted permutation of it).
+//! checks the output is a sorted permutation of it). `--trace-out` records
+//! spans across every pipeline layer and writes a Chrome `trace_event` file
+//! (load it in Perfetto / `chrome://tracing`), printing the paper's
+//! Figure 7 "where the time goes" table to stderr; `--metrics-out` writes
+//! the counter/gauge/histogram snapshot as JSON.
 
 use std::process::ExitCode;
 
 use alphasort_suite::dmgen::{validate_reader, GenConfig, Generator, RECORD_LEN};
+use alphasort_suite::obs;
 use alphasort_suite::sort::driver::{one_pass, two_pass, MemScratch};
 use alphasort_suite::sort::io::RecordSink;
 use alphasort_suite::sort::io_file::{FileSink, FileSource};
@@ -33,12 +39,15 @@ struct Args {
     two_pass: bool,
     gen: Option<(u64, u64)>,
     verify: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sortcli <input> <output> [--mem BYTES] [--workers N] \
-         [--run RECORDS] [--rep NAME] [--two-pass] [--gen RECORDS[:SEED]] [--verify]"
+         [--run RECORDS] [--rep NAME] [--two-pass] [--gen RECORDS[:SEED]] [--verify] \
+         [--trace-out TRACE.json] [--metrics-out METRICS.json]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +64,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         two_pass: false,
         gen: None,
         verify: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +91,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--two-pass" => args.two_pass = true,
             "--verify" => args.verify = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--gen" => {
                 let v = value("--gen")?;
                 let (n, seed) = match v.split_once(':') {
@@ -159,6 +172,12 @@ fn main() -> ExitCode {
         max_fanin: 128,
     };
 
+    // Start recording after generation so the trace covers only the sort.
+    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    if tracing {
+        obs::enable(obs::DEFAULT_CAPACITY);
+    }
+
     let mut source = match FileSource::open(&args.input) {
         Ok(s) => s,
         Err(e) => {
@@ -200,6 +219,31 @@ fn main() -> ExitCode {
         st.gather_time.as_secs_f64(),
         if st.one_pass { "one" } else { "two" },
     );
+
+    if tracing {
+        obs::disable();
+        let snap = obs::snapshot();
+        eprint!("{}", obs::figure7(&snap));
+        if let Some(path) = &args.trace_out {
+            let doc = obs::export::chrome_trace(&snap);
+            if let Err(e) = std::fs::write(path, doc.dump()) {
+                eprintln!("cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace: {} events -> {path} (open in Perfetto / chrome://tracing)",
+                snap.events.len()
+            );
+        }
+        if let Some(path) = &args.metrics_out {
+            let doc = obs::export::metrics_json(&obs::metrics_snapshot());
+            if let Err(e) = std::fs::write(path, doc.dump_pretty()) {
+                eprintln!("cannot write metrics {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics: -> {path}");
+        }
+    }
 
     if args.verify {
         let Some(checksum) = checksum else {

@@ -10,11 +10,13 @@
 //! * [`sort`] — the AlphaSort algorithms and external-sort drivers
 //! * [`perfmodel`] — 1993 price catalog, analytic phase model, metrics
 //! * [`netsort`] — distributed shared-nothing sort over the local pipeline
+//! * [`obs`] — tracing + metrics (spans, Figure 7 report, Chrome traces)
 
 pub use alphasort_cachesim as cachesim;
 pub use alphasort_core as sort;
 pub use alphasort_dmgen as dmgen;
 pub use alphasort_iosim as iosim;
 pub use alphasort_netsort as netsort;
+pub use alphasort_obs as obs;
 pub use alphasort_perfmodel as perfmodel;
 pub use alphasort_stripefs as stripefs;
