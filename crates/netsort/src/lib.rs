@@ -17,7 +17,16 @@
 //! - a **per-node AlphaSort pipeline** ([`worker`]): after the exchange,
 //!   each node runs the ordinary cache-conscious one-pass sort over the
 //!   records it owns, so concatenating node outputs in node order yields
-//!   the globally sorted dataset.
+//!   the globally sorted dataset,
+//! - **fault tolerance**: every frame carries a CRC32C trailer (verified
+//!   on receive — corruption is an `InvalidData` error naming the peer,
+//!   never silently mis-sorted output), every blocking receive runs under
+//!   the configurable [`NetsortConfig::recv_timeout`] deadline (a hung or
+//!   crashed peer surfaces as `TimedOut` naming the phase and node), and a
+//!   worker that fails locally broadcasts [`Frame::Abort`] so the rest of
+//!   the cluster stops promptly with a [`RemoteAbort`] error. The
+//!   [`faulty`] module's [`FaultyTransport`] injects drop/delay/corrupt/
+//!   crash faults to prove all of this under test.
 //!
 //! Exchange-phase counters (bytes shipped, wait time, partition skew) land
 //! in the shared [`SortStats`](alphasort_core::SortStats).
@@ -33,16 +42,18 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod faulty;
 pub mod frame;
 pub mod splitter;
 pub mod tcp;
 pub mod transport;
 pub mod worker;
 
-pub use frame::Frame;
+pub use faulty::{FaultyTransport, NetFault, NetFaultPlan};
+pub use frame::{crc32c, Frame, MAX_PAYLOAD};
 pub use tcp::{bind_cluster, connect_with_retry, RetryPolicy, TcpTransport};
 pub use transport::{loopback_cluster, LoopbackTransport, Transport};
 pub use worker::{
-    merge_cluster_stats, netsort_loopback, netsort_tcp, run_worker, split_shares, NetsortConfig,
-    WorkerOutcome, COORDINATOR,
+    merge_cluster_stats, netsort_loopback, netsort_tcp, remote_abort_of, run_worker, split_shares,
+    NetsortConfig, RemoteAbort, WorkerOutcome, COORDINATOR,
 };

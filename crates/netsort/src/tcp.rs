@@ -16,7 +16,9 @@
 
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -113,12 +115,22 @@ impl TcpTransport {
 
         // Accept peers in the background while we dial; reader threads are
         // detached — they exit on Bye, EOF, or error, and hold only a clone
-        // of the inbox sender.
+        // of the inbox sender. The acceptor itself must be joined on *every*
+        // exit path: a thread left parked in `accept()` pins the listener
+        // (and its port) for the life of the process.
         let accept_tx = inbox_tx.clone();
         let expected = nodes - 1;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let wake_addr = listener.local_addr()?;
         let acceptor = thread::spawn(move || -> io::Result<()> {
             for _ in 0..expected {
                 let (stream, _) = listener.accept()?;
+                if stop_seen.load(Ordering::Acquire) {
+                    // The establishing thread gave up and self-connected to
+                    // unpark us; drop the listener and bail.
+                    return Ok(());
+                }
                 stream.set_nodelay(true).ok();
                 let tx = accept_tx.clone();
                 thread::spawn(move || read_loop(stream, tx));
@@ -131,7 +143,18 @@ impl TcpTransport {
             if peer == node {
                 outbound.push(None);
             } else {
-                outbound.push(Some(connect_with_retry(*addr, policy)?));
+                match connect_with_retry(*addr, policy) {
+                    Ok(s) => outbound.push(Some(s)),
+                    Err(e) => {
+                        // Unblock the acceptor (it may still be waiting for
+                        // peers that will never dial) and join it so the
+                        // failed establish leaves no thread on the listener.
+                        stop.store(true, Ordering::Release);
+                        let _ = TcpStream::connect(wake_addr);
+                        let _ = acceptor.join();
+                        return Err(e);
+                    }
+                }
             }
         }
         acceptor
@@ -152,9 +175,19 @@ impl TcpTransport {
     /// network dropped it — no `Bye`, both directions torn down. Later
     /// sends to that peer fail; the peer's `recv` reports
     /// `ConnectionAborted`.
-    pub fn kill_connection(&mut self, peer: usize) {
-        if let Some(stream) = self.outbound[peer].take() {
-            stream.shutdown(Shutdown::Both).ok();
+    ///
+    /// Returns whether a live connection was actually torn down. The chaos
+    /// harness drives this programmatically, so it is total: an
+    /// out-of-range `peer`, `peer == self.node()` (we hold no connection to
+    /// ourselves) and an already-killed connection are all no-ops that
+    /// return `false` instead of panicking.
+    pub fn kill_connection(&mut self, peer: usize) -> bool {
+        match self.outbound.get_mut(peer).and_then(Option::take) {
+            Some(stream) => {
+                stream.shutdown(Shutdown::Both).ok();
+                true
+            }
+            None => false,
         }
     }
 }
@@ -215,6 +248,20 @@ impl Transport for TcpTransport {
         match self.inbox.recv() {
             Ok(event) => event,
             Err(_) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "all peers disconnected",
+            )),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Frame> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no frame within {timeout:?}"),
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
                 io::ErrorKind::ConnectionAborted,
                 "all peers disconnected",
             )),
@@ -324,6 +371,56 @@ mod tests {
         };
         connect_with_retry(addr, &policy).unwrap();
         binder.join().unwrap();
+    }
+
+    #[test]
+    fn failed_establish_leaves_no_thread_on_the_listener() {
+        // Node 0's peer list points at a port nobody will ever bind; the
+        // dial fails fast and `establish` must join its acceptor thread and
+        // release the listener on the way out.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = l0.local_addr().unwrap();
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let t0 = std::time::Instant::now();
+        let err = match TcpTransport::establish(0, l0, &[my_addr, dead_addr], &policy) {
+            Ok(_) => panic!("establish against an unbound peer must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(5), "establish must not hang");
+        // The listener is closed — were the acceptor still parked on it, a
+        // dial would be accepted (or sit in its backlog) instead of being
+        // refused.
+        let e = TcpStream::connect(my_addr).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused, "{e}");
+    }
+
+    #[test]
+    fn kill_connection_is_total() {
+        let (mut listeners, addrs) = bind_cluster(2).unwrap();
+        let l1 = listeners.pop().unwrap();
+        let l0 = listeners.pop().unwrap();
+        let addrs2 = addrs.clone();
+        let policy = RetryPolicy::default();
+        let p2 = policy.clone();
+        let peer = thread::spawn(move || {
+            let mut t = TcpTransport::establish(1, l1, &addrs2, &p2).unwrap();
+            t.shutdown().unwrap();
+        });
+        let mut t = TcpTransport::establish(0, l0, &addrs, &policy).unwrap();
+        assert!(!t.kill_connection(0), "self: no connection to kill");
+        assert!(!t.kill_connection(99), "out of range: no panic, no-op");
+        assert!(t.kill_connection(1), "live peer connection torn down");
+        assert!(!t.kill_connection(1), "second kill is a no-op");
+        peer.join().unwrap();
     }
 
     #[test]

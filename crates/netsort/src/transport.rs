@@ -8,7 +8,8 @@
 //! multi-process clusters.
 
 use std::io;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 use crate::frame::Frame;
 
@@ -33,6 +34,11 @@ pub trait Transport: Send {
     /// Errors when the interconnect is no longer able to deliver (peer died
     /// mid-stream, all peers gone).
     fn recv(&mut self) -> io::Result<Frame>;
+
+    /// Like [`recv`](Transport::recv), but gives up with a `TimedOut` error
+    /// if no frame arrives within `timeout` — the deadline primitive that
+    /// keeps one hung or crashed peer from blocking a node forever.
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Frame>;
 
     /// Graceful shutdown: tell peers this node is done sending and release
     /// whatever the implementation holds. Idempotent.
@@ -89,6 +95,20 @@ impl Transport for LoopbackTransport {
                 "all loopback peers have hung up",
             )
         })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Frame> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no frame within {timeout:?}"),
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "all loopback peers have hung up",
+            )),
+        }
     }
 
     fn shutdown(&mut self) -> io::Result<()> {
@@ -160,6 +180,22 @@ mod tests {
                 from: 0,
                 keys: vec![7; 10]
             }
+        );
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_as_timed_out() {
+        let mut cluster = loopback_cluster(2);
+        let mut a = cluster.remove(0);
+        let t0 = std::time::Instant::now();
+        let err = a.recv_timeout(Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        // A queued frame still arrives instantly under a deadline.
+        a.send(0, Frame::Done { from: 0 }).unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Frame::Done { from: 0 }
         );
     }
 

@@ -15,9 +15,19 @@
 //! 4. **Local sort** — run the ordinary AlphaSort one-pass pipeline over
 //!    the records this node now owns and write them to the local sink.
 //!    Concatenating the node outputs in node order is the sorted dataset.
+//!
+//! Every blocking receive in steps 1–3 runs under the configurable
+//! [`NetsortConfig::recv_timeout`] deadline, so a hung or crashed peer
+//! surfaces as a `TimedOut` error naming the protocol phase and the nodes
+//! still being waited on — never an indefinite hang. A worker that fails
+//! locally broadcasts [`Frame::Abort`] before returning, so the other N−1
+//! nodes stop promptly with a [`RemoteAbort`] error instead of each
+//! riding out its own deadline.
 
+use std::error::Error as StdError;
+use std::fmt;
 use std::io;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use alphasort_core::io::{MemSink, MemSource, RecordSink, RecordSource};
 use alphasort_core::stats::timed_phase;
@@ -42,8 +52,19 @@ pub struct NetsortConfig {
     /// Records per `Data` frame during the exchange (640 records = 64 kB
     /// payloads, large enough to amortize framing, small enough to pipeline).
     pub batch_records: usize,
+    /// Deadline for every blocking receive in the protocol. A peer that
+    /// sends nothing for this long surfaces as a `TimedOut` error naming
+    /// the phase and the missing node(s); `None` waits forever (the
+    /// pre-fault-tolerance behaviour).
+    pub recv_timeout: Option<Duration>,
     /// The local AlphaSort pipeline's configuration.
     pub sort: SortConfig,
+}
+
+impl NetsortConfig {
+    /// Default [`recv_timeout`](Self::recv_timeout): far above any healthy
+    /// exchange stall, far below "operator walks over to check".
+    pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
 }
 
 impl Default for NetsortConfig {
@@ -51,9 +72,42 @@ impl Default for NetsortConfig {
         NetsortConfig {
             samples_per_node: 256,
             batch_records: 640,
+            recv_timeout: Some(Self::DEFAULT_RECV_TIMEOUT),
             sort: SortConfig::default(),
         }
     }
+}
+
+/// The error payload a worker returns when a *peer* reported a local
+/// failure via [`Frame::Abort`]: the cluster is going down because of
+/// `from`'s problem, not ours. Carried inside an `io::Error` of kind
+/// `ConnectionAborted`; use [`remote_abort_of`] to recover it.
+#[derive(Clone, Debug)]
+pub struct RemoteAbort {
+    /// The node that failed and broadcast the abort.
+    pub from: u32,
+    /// Its (already formatted) local error.
+    pub reason: String,
+}
+
+impl fmt::Display for RemoteAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remote abort from node {}: {}", self.from, self.reason)
+    }
+}
+
+impl StdError for RemoteAbort {}
+
+/// The [`RemoteAbort`] inside `err`, if that is what it carries.
+pub fn remote_abort_of(err: &io::Error) -> Option<&RemoteAbort> {
+    err.get_ref().and_then(|e| e.downcast_ref::<RemoteAbort>())
+}
+
+fn remote_abort_err(from: u32, reason: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        RemoteAbort { from, reason },
+    )
 }
 
 /// One worker's result: its share of the sorted output lives in its sink;
@@ -73,9 +127,100 @@ fn protocol_error(what: &str, frame: &Frame) -> io::Error {
     )
 }
 
+/// Render the nodes still being waited on (`present[i] == false`) for a
+/// timeout message.
+fn missing_nodes(present: &[bool]) -> String {
+    let missing: Vec<String> = present
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| !p)
+        .map(|(i, _)| i.to_string())
+        .collect();
+    format!("node(s) [{}]", missing.join(", "))
+}
+
+/// Receive one frame under the configured deadline. A timeout is attributed
+/// to the protocol `phase` and the nodes named by `missing`; a peer's
+/// [`Frame::Abort`] becomes the [`RemoteAbort`] error right here, so no
+/// caller ever has to treat it as data.
+fn recv_in_phase<T: Transport>(
+    transport: &mut T,
+    cfg: &NetsortConfig,
+    stats: &mut SortStats,
+    phase: &str,
+    missing: &dyn Fn() -> String,
+) -> io::Result<Frame> {
+    let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
+        match cfg.recv_timeout {
+            Some(deadline) => transport.recv_timeout(deadline).map_err(|e| {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    obs::metrics::counter_add("net.recv.timeout", 1);
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "{phase} phase timed out after {deadline:?} waiting for {}",
+                            missing()
+                        ),
+                    )
+                } else {
+                    e
+                }
+            }),
+            None => transport.recv(),
+        }
+    })?;
+    if let Frame::Abort { from, reason } = frame {
+        obs::metrics::counter_add("net.frames.abort_received", 1);
+        return Err(remote_abort_err(from, reason));
+    }
+    Ok(frame)
+}
+
 /// Run one node of the distributed sort. Blocks until this node's share of
-/// the output is fully written to `sink`.
+/// the output is fully written to `sink` — or until the configured receive
+/// deadline or a peer's abort ends the run with an error. On a local
+/// failure the worker broadcasts [`Frame::Abort`] (best effort) before
+/// returning, so the rest of the cluster tears down promptly too.
 pub fn run_worker<T, Src, Snk>(
+    transport: &mut T,
+    source: &mut Src,
+    sink: &mut Snk,
+    cfg: &NetsortConfig,
+) -> io::Result<WorkerOutcome>
+where
+    T: Transport,
+    Src: RecordSource,
+    Snk: RecordSink,
+{
+    match run_worker_inner(transport, source, sink, cfg) {
+        Ok(outcome) => Ok(outcome),
+        Err(err) => {
+            // Going down: tell every peer why, unless the failure *is* a
+            // peer's abort (its originator already told the cluster).
+            // Best effort on every send — peers may already be gone.
+            if remote_abort_of(&err).is_none() {
+                let me = transport.node() as u32;
+                let reason = err.to_string();
+                obs::metrics::counter_add("net.frames.abort_sent", 1);
+                for peer in 0..transport.nodes() {
+                    if peer != transport.node() {
+                        let _ = transport.send(
+                            peer,
+                            Frame::Abort {
+                                from: me,
+                                reason: reason.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            let _ = transport.shutdown();
+            Err(err)
+        }
+    }
+}
+
+fn run_worker_inner<T, Src, Snk>(
     transport: &mut T,
     source: &mut Src,
     sink: &mut Snk,
@@ -126,16 +271,31 @@ where
         },
     )?;
     if node == COORDINATOR {
-        let mut samples = Vec::with_capacity(nodes);
-        while samples.len() < nodes {
-            let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
-                transport.recv()
+        let mut samples: Vec<Option<Vec<u8>>> = vec![None; nodes];
+        while samples.iter().any(Option::is_none) {
+            let frame = recv_in_phase(transport, cfg, &mut stats, "sample", &|| {
+                missing_nodes(&samples.iter().map(Option::is_some).collect::<Vec<_>>())
             })?;
             match frame {
-                Frame::Sample { keys, .. } => samples.push(keys),
+                Frame::Sample { from, keys } => {
+                    let sender = from as usize;
+                    if sender >= nodes {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("Sample frame from unknown node {sender}"),
+                        ));
+                    }
+                    if samples[sender].replace(keys).is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("duplicate Sample from node {sender}"),
+                        ));
+                    }
+                }
                 other => return Err(protocol_error("Sample", &other)),
             }
         }
+        let samples: Vec<Vec<u8>> = samples.into_iter().flatten().collect();
         let payload = encode_splitters(&compute_splitters(&samples, nodes));
         for peer in 0..nodes {
             transport.send(
@@ -151,8 +311,8 @@ where
     // splitters, stashing early exchange traffic from faster peers.
     let mut pending: Vec<Frame> = Vec::new();
     let splitters = loop {
-        let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
-            transport.recv()
+        let frame = recv_in_phase(transport, cfg, &mut stats, "splitter", &|| {
+            format!("the coordinator (node {COORDINATOR})")
         })?;
         match frame {
             Frame::Splitters { keys, .. } => break decode_splitters(&keys),
@@ -195,36 +355,52 @@ where
         }
         transport.send(target, Frame::Done { from: me })?;
     }
-    let mut done = 0usize;
-    let absorb = |frame: Frame, gather: &mut Vec<Vec<u8>>, stats: &mut SortStats| match frame {
-        Frame::Data { from, records } => {
-            let sender = from as usize;
-            if sender >= nodes {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("Data frame from unknown node {sender}"),
-                ));
+    // `done[i]` once node i said it has no more Data for us; we never send
+    // Done to ourselves, so our own slot starts satisfied.
+    let mut done = vec![false; nodes];
+    done[node] = true;
+    let absorb = |frame: Frame,
+                  gather: &mut Vec<Vec<u8>>,
+                  done: &mut Vec<bool>,
+                  stats: &mut SortStats| {
+        match frame {
+            Frame::Data { from, records } => {
+                let sender = from as usize;
+                if sender >= nodes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("Data frame from unknown node {sender}"),
+                    ));
+                }
+                let _recv = obs::span(obs::phase::NET_RECV)
+                    .with("peer", sender as u64)
+                    .with("bytes", records.len() as u64);
+                obs::metrics::observe("net.frame.bytes", records.len() as u64);
+                obs::metrics::counter_add("net.bytes_in", records.len() as u64);
+                stats.exchange_bytes_in += records.len() as u64;
+                gather[sender].extend_from_slice(&records);
             }
-            let _recv = obs::span(obs::phase::NET_RECV)
-                .with("peer", sender as u64)
-                .with("bytes", records.len() as u64);
-            obs::metrics::observe("net.frame.bytes", records.len() as u64);
-            obs::metrics::counter_add("net.bytes_in", records.len() as u64);
-            stats.exchange_bytes_in += records.len() as u64;
-            gather[sender].extend_from_slice(&records);
-            Ok(false)
+            Frame::Done { from } => {
+                let sender = from as usize;
+                if sender >= nodes || done[sender] {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected Done from node {sender}"),
+                    ));
+                }
+                done[sender] = true;
+            }
+            other => return Err(protocol_error("Data or Done", &other)),
         }
-        Frame::Done { .. } => Ok(true),
-        other => Err(protocol_error("Data or Done", &other)),
+        Ok(())
     };
     for frame in pending {
-        done += usize::from(absorb(frame, &mut gather, &mut stats)?);
+        absorb(frame, &mut gather, &mut done, &mut stats)?;
     }
-    while done < nodes - 1 {
-        let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
-            transport.recv()
-        })?;
-        done += usize::from(absorb(frame, &mut gather, &mut stats)?);
+    while done.iter().any(|d| !d) {
+        let frame =
+            recv_in_phase(transport, cfg, &mut stats, "exchange", &|| missing_nodes(&done))?;
+        absorb(frame, &mut gather, &mut done, &mut stats)?;
     }
     transport.shutdown()?;
     let local = gather.concat();

@@ -1,0 +1,418 @@
+//! Chaos matrix for the distributed sort: 2/4-node clusters, loopback and
+//! TCP transports, one fault class per test. Every case must end in one of
+//! exactly two ways — a correct sorted output, or a prompt and correctly
+//! attributed error on every node. Never a hang (each cluster runs under a
+//! watchdog), never silently mis-sorted output.
+//!
+//! Fault injection comes from two layers: [`FaultyTransport`] wraps any
+//! transport with a [`NetFaultPlan`] (drop/delay/corrupt/crash the N-th
+//! frame, mirroring iosim's `FaultPlan` builder), and
+//! `TcpTransport::kill_connection` cuts a live socket mid-protocol.
+
+use std::io;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use alphasort_core::io::{MemSink, MemSource};
+use alphasort_core::SortConfig;
+use alphasort_dmgen::{generate, validate_records, GenConfig};
+use alphasort_netsort::{
+    bind_cluster, remote_abort_of, run_worker, split_shares, FaultyTransport, NetFaultPlan,
+    NetsortConfig, RetryPolicy, TcpTransport, Transport,
+};
+
+/// Watchdog ceiling: no single chaos cluster may run longer than this.
+const WATCHDOG: Duration = Duration::from_secs(20);
+
+/// The deadline the faulty clusters run under; "prompt" in the assertions
+/// below means within 2× this (the acceptance bound) plus scheduling slack.
+const DEADLINE: Duration = Duration::from_millis(500);
+
+fn chaos_cfg(recv_timeout: Option<Duration>) -> NetsortConfig {
+    NetsortConfig {
+        samples_per_node: 32,
+        batch_records: 64,
+        recv_timeout,
+        sort: SortConfig {
+            run_records: 500,
+            gather_batch: 200,
+            ..Default::default()
+        },
+    }
+}
+
+/// One node's fate after a chaos run.
+struct NodeResult {
+    node: usize,
+    result: io::Result<Vec<u8>>,
+    elapsed: Duration,
+}
+
+/// Run an N-node cluster where node `i` uses `transports[i]` (already
+/// wrapped in whatever fault injection the case wants), under a watchdog:
+/// a node that neither finishes nor errors within [`WATCHDOG`] fails the
+/// test instead of hanging it.
+fn run_cluster<T: Transport + 'static>(
+    transports: Vec<T>,
+    shares: Vec<Vec<u8>>,
+    cfg: &NetsortConfig,
+) -> Vec<NodeResult> {
+    let (tx, rx) = mpsc::channel();
+    for (node, (mut transport, share)) in transports.into_iter().zip(shares).enumerate() {
+        let tx = tx.clone();
+        let cfg = cfg.clone();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut source = MemSource::new(share, 1 << 20);
+            let mut sink = MemSink::new();
+            let result = run_worker(&mut transport, &mut source, &mut sink, &cfg)
+                .map(|_| sink.into_inner());
+            let _ = tx.send(NodeResult {
+                node,
+                result,
+                elapsed: t0.elapsed(),
+            });
+        });
+    }
+    drop(tx);
+    let mut results = Vec::new();
+    let deadline = Instant::now() + WATCHDOG;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(r) => results.push(r),
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let done: Vec<usize> = results.iter().map(|r| r.node).collect();
+                panic!("cluster hung: only nodes {done:?} finished within {WATCHDOG:?}");
+            }
+        }
+    }
+    results.sort_by_key(|r| r.node);
+    results
+}
+
+fn loopback_faulty(
+    nodes: usize,
+    mut plans: Vec<(usize, NetFaultPlan)>,
+) -> Vec<FaultyTransport<alphasort_netsort::LoopbackTransport>> {
+    alphasort_netsort::loopback_cluster(nodes)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let plan = plans
+                .iter()
+                .position(|(n, _)| *n == i)
+                .map(|at| plans.swap_remove(at).1)
+                .unwrap_or_default();
+            FaultyTransport::new(t, plan)
+        })
+        .collect()
+}
+
+fn tcp_cluster(nodes: usize) -> Vec<TcpTransport> {
+    let (listeners, addrs) = bind_cluster(nodes).unwrap();
+    let policy = RetryPolicy::default();
+    std::thread::scope(|scope| {
+        let addrs = &addrs;
+        let policy = &policy;
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(node, l)| scope.spawn(move || TcpTransport::establish(node, l, addrs, policy)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect()
+    })
+}
+
+/// Is `err` one of the clean teardown kinds the acceptance criteria allow?
+fn is_clean_teardown(err: &io::Error) -> bool {
+    remote_abort_of(err).is_some()
+        || matches!(
+            err.kind(),
+            io::ErrorKind::TimedOut
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+        )
+}
+
+fn assert_all_fail_promptly(results: &[NodeResult], survivors: &[usize]) {
+    for r in results {
+        if !survivors.contains(&r.node) {
+            continue;
+        }
+        let err = match &r.result {
+            Err(e) => e,
+            Ok(_) => panic!("node {} must not succeed under this fault", r.node),
+        };
+        assert!(is_clean_teardown(err), "node {}: {err}", r.node);
+        // Pre-exchange work (read/sample) runs before the deadline clock
+        // can start; the bound is 2× the deadline plus that lead-in.
+        assert!(
+            r.elapsed < 2 * DEADLINE + Duration::from_secs(2),
+            "node {} took {:?} to fail (deadline {DEADLINE:?})",
+            r.node,
+            r.elapsed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: none (control) — both transports, both node counts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn control_no_faults_sorts_correctly() {
+    for nodes in [2usize, 4] {
+        let (input, cs) = generate(GenConfig::datamation(2_000, 0xC0_u64 + nodes as u64));
+        // Success-path cases use a generous deadline: they assert sorting,
+        // not promptness, and must not flake under parallel test load.
+        let results = run_cluster(
+            loopback_faulty(nodes, Vec::new()),
+            split_shares(&input, nodes),
+            &chaos_cfg(Some(Duration::from_secs(10))),
+        );
+        let output: Vec<u8> = results
+            .iter()
+            .flat_map(|r| r.result.as_ref().unwrap().clone())
+            .collect();
+        validate_records(&output, cs).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: crashed node (TCP socket kill + loopback crash emulation).
+// ---------------------------------------------------------------------------
+
+/// Acceptance shape: a 4-node TCP cluster with one node killed mid-exchange
+/// terminates on every surviving node within 2× the deadline — each with a
+/// `TimedOut`/connection/`RemoteAbort` error, never a hang.
+#[test]
+fn tcp_node_killed_mid_exchange_fails_promptly_on_survivors() {
+    for nodes in [2usize, 4] {
+        let (input, _) = generate(GenConfig::datamation(2_000, 0xDEAD));
+        // Node `nodes-1` crashes after its 2nd frame (Sample + one more):
+        // mid-exchange, after splitters went out. On TCP its sockets stay
+        // open (the process "hangs" rather than closing), so survivors hit
+        // the deadline or an abort, not an EOF.
+        let killer = nodes - 1;
+        let transports: Vec<_> = tcp_cluster(nodes)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let plan = if i == killer {
+                    NetFaultPlan::new().kill_after_send(2)
+                } else {
+                    NetFaultPlan::new()
+                };
+                FaultyTransport::new(t, plan)
+            })
+            .collect();
+        let survivors: Vec<usize> = (0..nodes).filter(|&i| i != killer).collect();
+        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        assert_all_fail_promptly(&results, &survivors);
+        // The killed node itself reports its injected crash.
+        assert!(results[killer].result.is_err());
+    }
+}
+
+#[test]
+fn tcp_connection_cut_by_kill_connection_fails_cleanly() {
+    let nodes = 4;
+    let (input, _) = generate(GenConfig::datamation(2_000, 0xC07));
+    let mut transports = tcp_cluster(nodes);
+    // Hard-cut node 3's link to node 0 before the protocol starts: node 0
+    // never hears node 3's Sample on a live connection; the reader sees the
+    // RST as ConnectionAborted, or the sample phase times out.
+    assert!(transports[3].kill_connection(0));
+    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    // Node 3's own failure is a local send error (`NotConnected`); the
+    // others must see a clean teardown: node 0 the EOF-without-Bye from the
+    // cut socket, nodes 1 and 2 node 3's abort broadcast.
+    assert!(results[3].result.is_err());
+    assert_all_fail_promptly(&results, &[0, 1, 2]);
+}
+
+#[test]
+fn loopback_silent_node_times_out_naming_phase_and_node() {
+    for nodes in [2usize, 4] {
+        let (input, _) = generate(GenConfig::datamation(1_000, 0x51_u64));
+        // The last node drops every frame it ever sends — a live process
+        // whose network goes nowhere (grey failure).
+        let mut plan = NetFaultPlan::new();
+        for op in 0..64 {
+            plan = plan.drop_send(op);
+        }
+        let transports = loopback_faulty(nodes, vec![(nodes - 1, plan)]);
+        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        // The coordinator times out collecting samples and names both the
+        // phase and the missing node in its error.
+        let coord_err = results[0].result.as_ref().unwrap_err();
+        if coord_err.kind() == io::ErrorKind::TimedOut {
+            let msg = coord_err.to_string();
+            assert!(msg.contains("sample"), "{msg}");
+            assert!(msg.contains(&format!("{}", nodes - 1)), "{msg}");
+        } else {
+            // It may instead see another survivor's abort first.
+            assert!(remote_abort_of(coord_err).is_some(), "{coord_err}");
+        }
+        assert_all_fail_promptly(&results, &(0..nodes).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: dropped frame.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dropped_done_frame_times_out_in_exchange_phase() {
+    let nodes = 2;
+    let (input, _) = generate(GenConfig::datamation(1_000, 0xD0_u64));
+    // Node 1's op 0 is its Sample, op 1.. are Data batches then Done; with
+    // 1000 records and batch 64 node 1 ships at most 8 batches to node 0,
+    // so dropping every send after the sample guarantees the Done is lost
+    // while node 0 still gets its splitters (coordinator is node 0).
+    let mut plan = NetFaultPlan::new();
+    for op in 1..16 {
+        plan = plan.drop_send(op);
+    }
+    let transports = loopback_faulty(nodes, vec![(1, plan)]);
+    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    let err0 = results[0].result.as_ref().unwrap_err();
+    if err0.kind() == io::ErrorKind::TimedOut {
+        assert!(err0.to_string().contains("exchange"), "{err0}");
+    } else {
+        assert!(remote_abort_of(err0).is_some(), "{err0}");
+    }
+    // Node 1 received everything *it* needed before its sends started
+    // vanishing, so it legitimately completes its own share; only node 0
+    // is starved. The cluster-level driver still reports node 0's error.
+    assert_all_fail_promptly(&results, &[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: delayed frame (slow link, within deadline) — must still sort.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn delay_within_deadline_still_sorts_correctly() {
+    for nodes in [2usize, 4] {
+        let (input, cs) = generate(GenConfig::datamation(1_000, 0xDE1A_u64));
+        let plan = NetFaultPlan::new()
+            .delay_send(0, Duration::from_millis(50))
+            .delay_send(2, Duration::from_millis(50));
+        let transports = loopback_faulty(nodes, vec![(nodes - 1, plan)]);
+        // Deadline well above the injected delay: slow is not dead.
+        let results = run_cluster(
+            transports,
+            split_shares(&input, nodes),
+            &chaos_cfg(Some(Duration::from_secs(10))),
+        );
+        let output: Vec<u8> = results
+            .iter()
+            .flat_map(|r| r.result.as_ref().unwrap().clone())
+            .collect();
+        validate_records(&output, cs).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: corrupted frame — CRC must catch it, naming the sender;
+// never a silently mis-sorted output.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corrupt_frame_is_crc_error_naming_peer_never_bad_output() {
+    for nodes in [2usize, 4] {
+        let (input, _) = generate(GenConfig::datamation(2_000, 0xBAD_u64 + nodes as u64));
+        // Node 0 (the coordinator) sees its 3rd received frame corrupted on
+        // the wire: with `nodes` samples arriving first, frame 2 is a
+        // Sample or early Data either way — always CRC-covered.
+        let transports = loopback_faulty(nodes, vec![(0, NetFaultPlan::new().corrupt_recv(2, 5))]);
+        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        let err0 = results[0].result.as_ref().unwrap_err();
+        assert_eq!(err0.kind(), io::ErrorKind::InvalidData, "{err0}");
+        assert!(err0.to_string().contains("CRC"), "{err0}");
+        assert!(err0.to_string().contains("node"), "{err0}");
+        // No node may emit output sorted from corrupt data; the others tear
+        // down via node 0's abort broadcast (or their own deadline).
+        assert_all_fail_promptly(&results, &(1..nodes).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn tcp_corrupt_frame_is_detected_over_real_sockets() {
+    let nodes = 2;
+    let (input, _) = generate(GenConfig::datamation(1_000, 0x7CB));
+    let transports: Vec<_> = tcp_cluster(nodes)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let plan = if i == 1 {
+                NetFaultPlan::new().corrupt_recv(1, 9)
+            } else {
+                NetFaultPlan::new()
+            };
+            FaultyTransport::new(t, plan)
+        })
+        .collect();
+    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    let err1 = results[1].result.as_ref().unwrap_err();
+    assert_eq!(err1.kind(), io::ErrorKind::InvalidData, "{err1}");
+    assert!(err1.to_string().contains("CRC"), "{err1}");
+    // Node 0 races node 1's abort against its own completion: node 1 sent
+    // its Data and Done before hitting the corrupt frame, so node 0 may
+    // finish cleanly (its share is fine) or see the abort. Both are
+    // acceptable; what is not is a hang (watchdog) or node 1 accepting the
+    // corrupt frame (asserted above).
+    if let Err(e) = &results[0].result {
+        assert!(is_clean_teardown(e), "node 0: {e}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: local failure — abort must propagate well before deadlines.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn local_failure_aborts_whole_cluster_before_any_deadline() {
+    let nodes = 4;
+    let (input, _) = generate(GenConfig::datamation(2_000, 0xAB07_u64));
+    // Node 2's very first send (its Sample) fails locally — a NIC-level
+    // error. With a *long* deadline, the only way the others can stop
+    // quickly is node 2's Abort broadcast.
+    let long = Duration::from_secs(15);
+    let transports = loopback_faulty(
+        nodes,
+        vec![(2, NetFaultPlan::new().fail_send(0, io::ErrorKind::Other))],
+    );
+    let t0 = Instant::now();
+    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(long)));
+    let wall = t0.elapsed();
+    assert!(
+        wall < long,
+        "survivors must stop via abort propagation, not deadline ({wall:?})"
+    );
+    for r in &results {
+        let err = match &r.result {
+            Err(e) => e,
+            Ok(_) => panic!("node {} must not succeed", r.node),
+        };
+        // Survivors either see node 2's abort or the cascade teardown of an
+        // already-stopped peer's transport — both clean, both prompt.
+        if r.node != 2 {
+            assert!(is_clean_teardown(err), "node {}: {err}", r.node);
+        }
+    }
+    // The coordinator is guaranteed the attributed form: node 2's Abort sits
+    // in its inbox and its sample gather can only end by pulling it.
+    let err0 = results[0].result.as_ref().unwrap_err();
+    let abort = remote_abort_of(err0)
+        .unwrap_or_else(|| panic!("coordinator: expected remote abort, got {err0}"));
+    assert_eq!(abort.from, 2, "abort must name the failed node");
+    assert!(abort.reason.contains("injected send fault"), "{}", abort.reason);
+}

@@ -69,6 +69,7 @@ fn distributed_output_is_byte_identical_to_single_node() {
             samples_per_node: 1 + r.next_below(256) as usize,
             batch_records: 1 + r.next_below(640) as usize,
             sort: small_sort_cfg(&mut r),
+            ..Default::default()
         };
         let (output, stats) = netsort_loopback(&input, nodes, &cfg).unwrap();
         assert_eq!(
@@ -146,7 +147,11 @@ fn tcp_loopback_two_workers_match_single_node() {
 }
 
 /// Kill one TCP connection mid-exchange: the surviving worker must fail
-/// with a clean `ConnectionAborted` (never hang, never emit bad output).
+/// with a clean connection error (never hang, never emit bad output).
+/// Whether the cut surfaces on the receive side (`ConnectionAborted` from
+/// the reader seeing EOF-without-Bye) or the send side (`BrokenPipe`/
+/// `ConnectionReset` writing into the dead socket) depends on timing; both
+/// are prompt, correctly attributed failures.
 #[test]
 fn connection_cut_mid_exchange_fails_cleanly() {
     let (listeners, addrs) = bind_cluster(2).unwrap();
@@ -197,6 +202,14 @@ fn connection_cut_mid_exchange_fails_cleanly() {
         &NetsortConfig::default(),
     )
     .unwrap_err();
-    assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted, "{err}");
+    assert!(
+        matches!(
+            err.kind(),
+            io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+        ),
+        "{err}"
+    );
     saboteur.join().unwrap();
 }

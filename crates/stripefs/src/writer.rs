@@ -112,6 +112,25 @@ impl StripedWriter {
     }
 }
 
+/// Dropping without [`finish`](StripedWriter::finish) must not leave
+/// already-issued strides dangling: in-flight writes are reaped (waited
+/// for, errors swallowed — there is nobody left to report them to) so the
+/// data the caller was told is "behind the call" actually lands. A
+/// non-empty staging buffer at that point is a partial tail the caller
+/// abandoned; it is counted in `stripe.write.abandoned_bytes` rather than
+/// silently discarded without trace. After a successful `finish` both
+/// queues are empty and this is a no-op.
+impl Drop for StripedWriter {
+    fn drop(&mut self) {
+        for w in self.inflight.drain(..) {
+            let _ = w.wait();
+        }
+        if !self.staging.is_empty() {
+            obs::metrics::counter_add("stripe.write.abandoned_bytes", self.staging.len() as u64);
+        }
+    }
+}
+
 impl Write for StripedWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.push(buf)?;
@@ -210,6 +229,40 @@ mod tests {
         std::io::Write::flush(&mut w).unwrap();
         w.finish().unwrap();
         assert_eq!(f.read_at(0, 300).unwrap(), vec![5u8; 300]);
+    }
+
+    #[test]
+    fn drop_without_finish_keeps_issued_strides() {
+        // Regression: dropping the writer mid-stream used to abandon its
+        // in-flight strides (and silently discard the staged tail). The
+        // full strides were issued behind `push` — they must be durable
+        // even if the caller forgets `finish`.
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("dropped", 100, 4_000));
+        let data: Vec<u8> = (0..1_250).map(|i| (i % 241) as u8).collect();
+        {
+            let mut w = StripedWriter::new(Arc::clone(&f));
+            w.push(&data).unwrap(); // 6 full 200-byte strides + 50-byte tail
+        } // dropped without finish
+        let strides = (data.len() / 200) * 200;
+        assert_eq!(f.read_at(0, strides).unwrap(), data[..strides]);
+        // The abandoned tail is visible in metrics, not silently lost.
+        alphasort_obs::enable(alphasort_obs::DEFAULT_CAPACITY);
+        let before = abandoned_bytes();
+        {
+            let mut w = StripedWriter::new(Arc::clone(&f));
+            w.push(&[7u8; 30]).unwrap(); // all tail, nothing issued
+        }
+        assert_eq!(abandoned_bytes() - before, 30);
+        alphasort_obs::disable();
+    }
+
+    fn abandoned_bytes() -> u64 {
+        alphasort_obs::metrics_snapshot()
+            .counters
+            .get("stripe.write.abandoned_bytes")
+            .copied()
+            .unwrap_or(0)
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //! ```text
 //! netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]]
 //!         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N]
-//!         [--verify] [--keep] [--trace-out TRACE.json] [--metrics-out METRICS.json]
+//!         [--recv-timeout-ms MS] [--verify] [--keep]
+//!         [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! ```
 //!
 //! `--gen` first writes a Datamation-style input file; with `--verify` the
 //! output is checked to be a sorted permutation of the input (checksummed
 //! while splitting, so `--verify` also works on pre-existing inputs).
+//! `--recv-timeout-ms` sets the per-receive deadline every worker applies
+//! while waiting on peers (default 30000; a vanished node surfaces as a
+//! `TimedOut` error naming the phase and node instead of a hang; `0` waits
+//! forever).
 //! `--trace-out` writes one Chrome trace covering every node (each worker's
 //! spans sit on a `nodeK` track) plus the cluster Figure 7 table on stderr;
 //! `--metrics-out` writes the metrics snapshot as JSON.
@@ -45,6 +50,8 @@ struct Args {
     workers: usize,
     batch_records: usize,
     samples: usize,
+    /// Per-receive deadline in ms; 0 = wait forever.
+    recv_timeout_ms: u64,
     verify: bool,
     keep: bool,
     trace_out: Option<String>,
@@ -54,7 +61,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: netsort <input> <output> [--nodes N] [--tcp] [--gen RECORDS[:SEED]] \
-         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N] [--verify] [--keep] \
+         [--run RECORDS] [--workers N] [--batch RECORDS] [--samples N] \
+         [--recv-timeout-ms MS] [--verify] [--keep] \
          [--trace-out TRACE.json] [--metrics-out METRICS.json]"
     );
     ExitCode::from(2)
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         workers: 0,
         batch_records: 640,
         samples: 256,
+        recv_timeout_ms: NetsortConfig::DEFAULT_RECV_TIMEOUT.as_millis() as u64,
         verify: false,
         keep: false,
         trace_out: None,
@@ -103,6 +112,9 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--workers" => args.workers = value("--workers")?.parse().map_err(|_| usage())?,
             "--batch" => args.batch_records = value("--batch")?.parse().map_err(|_| usage())?,
             "--samples" => args.samples = value("--samples")?.parse().map_err(|_| usage())?,
+            "--recv-timeout-ms" => {
+                args.recv_timeout_ms = value("--recv-timeout-ms")?.parse().map_err(|_| usage())?
+            }
             "--verify" => args.verify = true,
             "--keep" => args.keep = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
@@ -245,6 +257,10 @@ fn main() -> ExitCode {
     let cfg = NetsortConfig {
         samples_per_node: args.samples,
         batch_records: args.batch_records,
+        recv_timeout: match args.recv_timeout_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
         sort: SortConfig {
             run_records: args.run_records,
             workers: args.workers,
