@@ -10,7 +10,9 @@ mod scratch;
 mod twopass;
 
 pub use onepass::one_pass;
-pub use scratch::{BufferedRunStream, MemScratch, ScratchStore, StripeScratch};
+pub use scratch::{
+    BufferedRunStream, MemScratch, RecoveredRun, ResumeReport, ScratchStore, StripeScratch,
+};
 pub use twopass::two_pass;
 
 use std::io;

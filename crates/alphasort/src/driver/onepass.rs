@@ -84,9 +84,7 @@ where
     stats.merge(&pool_stats);
 
     if stats.records == 0 {
-        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
-            sink.complete()
-        })?;
+        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())?;
         stats.elapsed = t_start.elapsed();
         return Ok(SortOutcome {
             stats,
@@ -115,9 +113,7 @@ where
     while let Some(buf) = gather.next_buffer() {
         timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.push(&buf))?;
     }
-    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
-        sink.complete()
-    })?;
+    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())?;
     stats.merge(gather.stats());
     stats.elapsed = t_start.elapsed();
     obs::metrics::counter_add("sort.records", stats.records);

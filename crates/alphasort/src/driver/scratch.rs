@@ -6,15 +6,43 @@
 //! formation and per-run sources during the merge; [`StripeScratch`] puts
 //! runs on striped simulated disks, [`MemScratch`] keeps them in memory for
 //! tests.
+//!
+//! # Crash safety
+//!
+//! A [`StripeScratch`] created with [`StripeScratch::with_manifest`]
+//! persists a *run manifest* (JSON, written atomically via temp-file +
+//! rename) recording every sealed run: its input position, record count,
+//! stripe geometry and per-stride CRC32C fingerprints. After a crash,
+//! [`StripeScratch::resume`] reloads the manifest, re-opens each run,
+//! verifies it end to end against the recorded checksums, and discards
+//! anything corrupt. The driver then consults
+//! [`ScratchStore::recovered_runs`] and re-forms only the input ranges that
+//! are missing — pass-1 work completed before the crash is not repeated.
+//! Cascade-merge outputs are not manifested: recovery granularity is the
+//! pass-1 run, and merge progress is redone on resume.
 
+use std::collections::VecDeque;
 use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use alphasort_dmgen::{Record, RECORD_LEN};
-use alphasort_stripefs::Volume;
+use alphasort_minijson::Json;
+use alphasort_obs as obs;
+use alphasort_stripefs::{RunChecksums, StripeDef, StripedFile, StripedReader, Volume};
 
 use crate::io::{MemSink, MemSource, RecordSink, RecordSource, StripeSink, StripeSource};
 use crate::merge::RunStream;
+
+/// A scratch run surviving from a previous attempt, described by the input
+/// range it covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveredRun {
+    /// Absolute record index (within the input) where the run starts.
+    pub start_record: u64,
+    /// Records the run holds.
+    pub records: u64,
+}
 
 /// Where a two-pass sort parks its runs between the passes.
 pub trait ScratchStore: Send {
@@ -29,8 +57,15 @@ pub trait ScratchStore: Send {
     /// Finish a run's writer, recording it for the merge pass.
     fn seal_run(&mut self, writer: Self::Writer) -> io::Result<()>;
 
-    /// Open every sealed run for reading, in creation order.
+    /// Open every sealed run for reading, in input order.
     fn open_runs(&mut self) -> io::Result<Vec<Self::Source>>;
+
+    /// Runs already present from a previous attempt (a resumed scratch).
+    /// The driver skips their input ranges during run formation instead of
+    /// re-sorting them. Default: none — only resumable stores override.
+    fn recovered_runs(&mut self) -> io::Result<Vec<RecoveredRun>> {
+        Ok(Vec::new())
+    }
 }
 
 /// In-memory scratch (tests, small sorts).
@@ -84,21 +119,67 @@ impl ScratchStore for MemScratch {
     }
 }
 
+/// One sealed (or recovered) run living on the scratch volume.
+struct RunMeta {
+    file: Arc<StripedFile>,
+    /// Absolute record index where this run starts (within the input for
+    /// pass-1 runs; within the level for cascade outputs).
+    start: u64,
+    records: u64,
+    checks: RunChecksums,
+}
+
+/// Host-side persistence for the run manifest.
+struct ManifestState {
+    path: PathBuf,
+    input_bytes: u64,
+    run_records: u64,
+    /// Rendered entries for runs still live on the volume, keyed by the
+    /// run's file name so deletions can drop them.
+    entries: Vec<(String, Json)>,
+}
+
+/// What [`StripeScratch::resume`] found in a previous attempt's scratch.
+#[derive(Clone, Debug, Default)]
+pub struct ResumeReport {
+    /// Runs that verified end to end and will be reused, in input order.
+    pub recovered: Vec<RecoveredRun>,
+    /// Runs discarded as corrupt or unreadable (name plus the reason).
+    pub corrupt: Vec<String>,
+    /// Input length the manifest was written for.
+    pub input_bytes: u64,
+    /// Run size (in records) the manifest was written for.
+    pub run_records: u64,
+}
+
 /// Scratch on striped simulated disks: each run is its own striped file
-/// across the scratch volume's disks.
+/// across the scratch volume's disks, fingerprinted at write-behind and
+/// verified at merge read-ahead.
 pub struct StripeScratch {
     volume: Arc<Volume>,
     chunk: u64,
-    runs: Vec<Arc<alphasort_stripefs::StripedFile>>,
+    runs: Vec<RunMeta>,
     next_id: usize,
-    open_writers: Vec<(usize, Arc<alphasort_stripefs::StripedFile>)>,
+    open_writers: Vec<(usize, Arc<StripedFile>)>,
     /// Runs handed out by `open_runs`, freed when the next level creates.
-    pending_free: Vec<Arc<alphasort_stripefs::StripedFile>>,
+    pending_free: Vec<Arc<StripedFile>>,
+    /// Present when the scratch persists a run manifest.
+    manifest: Option<ManifestState>,
+    /// Record cursor assigning start offsets to sealed runs.
+    cursor: u64,
+    /// Recovered spans the cursor has not passed yet, sorted by start:
+    /// freshly formed runs pack the gaps between them.
+    pending_spans: VecDeque<RecoveredRun>,
+    /// Runs inherited from a previous attempt via [`resume`](Self::resume).
+    recovered: Vec<RecoveredRun>,
+    /// Flipped at the first `open_runs`: later seals are cascade outputs
+    /// and are not manifested.
+    merging: bool,
 }
 
 impl StripeScratch {
     /// Scratch over `volume`, striping each run across all its disks with
-    /// the given chunk size.
+    /// the given chunk size. No manifest: a crash loses the scratch.
     pub fn new(volume: Arc<Volume>, chunk: u64) -> Self {
         StripeScratch {
             volume,
@@ -107,7 +188,190 @@ impl StripeScratch {
             next_id: 0,
             open_writers: Vec::new(),
             pending_free: Vec::new(),
+            manifest: None,
+            cursor: 0,
+            pending_spans: VecDeque::new(),
+            recovered: Vec::new(),
+            merging: false,
         }
+    }
+
+    /// Like [`new`](Self::new), additionally persisting a run manifest at
+    /// `path` (host file system) after every sealed pass-1 run, so a
+    /// crashed sort can [`resume`](Self::resume). `input_bytes` and
+    /// `run_records` describe the sort the manifest belongs to; resume
+    /// callers check them against the retry's parameters.
+    pub fn with_manifest(
+        volume: Arc<Volume>,
+        chunk: u64,
+        path: impl Into<PathBuf>,
+        input_bytes: u64,
+        run_records: u64,
+    ) -> io::Result<Self> {
+        let mut s = Self::new(volume, chunk);
+        s.manifest = Some(ManifestState {
+            path: path.into(),
+            input_bytes,
+            run_records,
+            entries: Vec::new(),
+        });
+        // Write the empty manifest up front: a crash before the first seal
+        // must still resume (recovering nothing) rather than error.
+        s.write_manifest()?;
+        Ok(s)
+    }
+
+    /// Reload a previous attempt's scratch from its manifest at `path`.
+    ///
+    /// Every manifested run is re-opened on `volume` (which must sit over
+    /// the same disks) and read end to end against its recorded checksums.
+    /// Intact runs are kept and later skipped by the driver; corrupt or
+    /// truncated runs are deleted, counted in `run.corrupt`, and re-formed
+    /// from the input. Returns the scratch plus a [`ResumeReport`].
+    pub fn resume(volume: Arc<Volume>, path: &Path) -> io::Result<(Self, ResumeReport)> {
+        let bad = |e: &dyn std::fmt::Display| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("scratch manifest '{}': {e}", path.display()),
+            )
+        };
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| bad(&e))?;
+        let version = doc.field_u64("version").map_err(|e| bad(&e))?;
+        if version != 1 {
+            return Err(bad(&format!("unsupported manifest version {version}")));
+        }
+        let input_bytes = doc.field_u64("input_bytes").map_err(|e| bad(&e))?;
+        let run_records = doc.field_u64("run_records").map_err(|e| bad(&e))?;
+        let chunk = doc.field_u64("chunk").map_err(|e| bad(&e))?;
+        let mut s = Self::new(volume, chunk);
+        let mut report = ResumeReport {
+            input_bytes,
+            run_records,
+            ..Default::default()
+        };
+        for entry in doc.field_arr("runs").map_err(|e| bad(&e))? {
+            let start = entry.field_u64("start").map_err(|e| bad(&e))?;
+            let records = entry.field_u64("records").map_err(|e| bad(&e))?;
+            let def = entry
+                .get("def")
+                .ok_or_else(|| bad(&"run entry missing `def`"))
+                .and_then(|v| StripeDef::from_json(v).map_err(|e| bad(&e)))?;
+            let checks = entry
+                .get("checks")
+                .ok_or_else(|| bad(&"run entry missing `checks`"))
+                .and_then(|v| RunChecksums::from_json(v).map_err(|e| bad(&e)))?;
+            let name = def.name.clone();
+            let file = Arc::new(s.volume.open(def));
+            match Self::validate_run(&file, &checks, records) {
+                Ok(()) => {
+                    // Keep fresh run ids clear of every surviving name.
+                    if let Some(id) = name
+                        .strip_prefix("scratch-run-")
+                        .and_then(|n| n.parse::<usize>().ok())
+                    {
+                        s.next_id = s.next_id.max(id + 1);
+                    }
+                    report.recovered.push(RecoveredRun {
+                        start_record: start,
+                        records,
+                    });
+                    s.runs.push(RunMeta {
+                        file,
+                        start,
+                        records,
+                        checks,
+                    });
+                }
+                Err(e) => {
+                    obs::metrics::counter_add("run.corrupt", 1);
+                    s.volume.delete(&file);
+                    report.corrupt.push(format!("{name}: {e}"));
+                }
+            }
+        }
+        s.runs.sort_by_key(|r| r.start);
+        report.recovered.sort_by_key(|r| r.start_record);
+        s.pending_spans = report.recovered.iter().copied().collect();
+        s.recovered = report.recovered.clone();
+        s.manifest = Some(ManifestState {
+            path: path.to_path_buf(),
+            input_bytes,
+            run_records,
+            entries: s
+                .runs
+                .iter()
+                .map(|m| (m.file.def().name.clone(), Self::render_entry(m)))
+                .collect(),
+        });
+        // Drop corrupt entries (and any stale "merging" phase) right away.
+        s.write_manifest()?;
+        Ok((s, report))
+    }
+
+    /// Read a recovered run end to end through its checksums.
+    fn validate_run(
+        file: &Arc<StripedFile>,
+        checks: &RunChecksums,
+        records: u64,
+    ) -> io::Result<()> {
+        if checks.bytes != records * RECORD_LEN as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "manifest claims {records} records but checksums cover {} bytes",
+                    checks.bytes
+                ),
+            ));
+        }
+        let mut r = StripedReader::verified(Arc::clone(file), checks.clone())?;
+        let mut total = 0u64;
+        while let Some(stride) = r.next_stride() {
+            total += stride?.len() as u64;
+        }
+        if total != checks.bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("run delivered {total} bytes, expected {}", checks.bytes),
+            ));
+        }
+        Ok(())
+    }
+
+    fn render_entry(meta: &RunMeta) -> Json {
+        Json::Obj(vec![
+            ("start".into(), Json::from(meta.start)),
+            ("records".into(), Json::from(meta.records)),
+            ("def".into(), meta.file.def_snapshot().to_json()),
+            ("checks".into(), meta.checks.to_json()),
+        ])
+    }
+
+    /// Persist the manifest atomically (temp file + rename): readers see
+    /// either the previous state or the new one, never a torn write.
+    fn write_manifest(&self) -> io::Result<()> {
+        let Some(m) = &self.manifest else {
+            return Ok(());
+        };
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::from(1u64)),
+            (
+                "phase".into(),
+                Json::from(if self.merging { "merging" } else { "forming" }),
+            ),
+            ("input_bytes".into(), Json::from(m.input_bytes)),
+            ("run_records".into(), Json::from(m.run_records)),
+            ("chunk".into(), Json::from(self.chunk)),
+            (
+                "runs".into(),
+                Json::Arr(m.entries.iter().map(|(_, j)| j.clone()).collect()),
+            ),
+        ]);
+        let mut tmp = m.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, doc.dump_pretty())?;
+        std::fs::rename(&tmp, &m.path)
     }
 }
 
@@ -118,20 +382,71 @@ impl ScratchStore for StripeScratch {
     fn create_run(&mut self, size_hint: u64) -> io::Result<StripeSink> {
         let id = self.next_id;
         self.next_id += 1;
-        let file = Arc::new(self.volume.create_across_all(
+        let file = match self.volume.try_create_across_all(
             format!("scratch-run-{id}"),
             self.chunk,
             size_hint,
-        ));
+        ) {
+            Ok(f) => Arc::new(f),
+            Err(e) if e.kind() == io::ErrorKind::StorageFull => {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    format!("scratch volume full (needed {size_hint} bytes for run {id}): {e}"),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
         self.open_writers.push((id, Arc::clone(&file)));
-        Ok(StripeSink::new(file))
+        Ok(StripeSink::checksummed(file))
     }
 
     fn seal_run(&mut self, mut writer: StripeSink) -> io::Result<()> {
         writer.complete()?;
+        let checks = writer.take_checksums().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sealed writer was not created by this scratch store",
+            )
+        })?;
         // Writers seal in creation order in the two-pass driver.
+        if self.open_writers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seal_run without a matching create_run",
+            ));
+        }
         let (_, file) = self.open_writers.remove(0);
-        self.runs.push(file);
+        let records = checks.bytes / RECORD_LEN as u64;
+        // Freshly formed runs pack the gaps between recovered spans: when
+        // the cursor reaches a recovered run's start, that range is already
+        // covered — jump over it.
+        while let Some(s) = self.pending_spans.front() {
+            if s.start_record == self.cursor {
+                self.cursor += s.records;
+                self.pending_spans.pop_front();
+            } else {
+                break;
+            }
+        }
+        let meta = RunMeta {
+            file,
+            start: self.cursor,
+            records,
+            checks,
+        };
+        self.cursor += records;
+        if !self.merging {
+            if let Some(m) = &mut self.manifest {
+                m.entries
+                    .push((meta.file.def().name.clone(), Self::render_entry(&meta)));
+            }
+            self.runs.push(meta);
+            // Persisting after every pass-1 seal is the crash-safety point:
+            // everything the manifest lists survives a kill right here.
+            self.write_manifest()?;
+        } else {
+            self.runs.push(meta);
+        }
         Ok(())
     }
 
@@ -142,16 +457,40 @@ impl ScratchStore for StripeScratch {
         // runs the coming level will create. Freeing any earlier — while a
         // level is still reading them — would let create_run() hand live
         // extents to a new writer.
+        let mut manifest_dirty = !self.merging; // phase flips below
         for f in self.pending_free.drain(..) {
+            if let Some(m) = &mut self.manifest {
+                let name = &f.def().name;
+                let before = m.entries.len();
+                m.entries.retain(|(n, _)| n != name);
+                manifest_dirty |= m.entries.len() != before;
+            }
             self.volume.delete(&f);
         }
-        let sources: Vec<StripeSource> = self
+        self.merging = true;
+        // Cascade outputs restart the ordering cursor per level.
+        self.cursor = 0;
+        self.pending_spans.clear();
+        // Input order, not creation order: a resumed pass 1 seals re-formed
+        // runs after the recovered ones even though they interleave in the
+        // input, and the merge's tie-break (stream index) must follow input
+        // order for the sort to stay stable.
+        self.runs.sort_by_key(|r| r.start);
+        let sources = self
             .runs
             .iter()
-            .map(|f| StripeSource::new(Arc::clone(f)))
-            .collect();
-        self.pending_free.append(&mut self.runs);
+            .map(|r| StripeSource::verified(Arc::clone(&r.file), r.checks.clone()))
+            .collect::<io::Result<Vec<_>>>()?;
+        self.pending_free
+            .extend(self.runs.drain(..).map(|r| r.file));
+        if manifest_dirty {
+            self.write_manifest()?;
+        }
         Ok(sources)
+    }
+
+    fn recovered_runs(&mut self) -> io::Result<Vec<RecoveredRun>> {
+        Ok(self.recovered.clone())
     }
 }
 
@@ -230,6 +569,38 @@ mod tests {
     use alphasort_dmgen::{generate, records_of_mut, GenConfig};
     use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
 
+    fn striped_volume(n: usize, storages: Option<&[Arc<MemStorage>]>) -> Arc<Volume> {
+        let disks = (0..n)
+            .map(|i| {
+                let storage = match storages {
+                    Some(s) => Arc::clone(&s[i]),
+                    None => Arc::new(MemStorage::new()),
+                };
+                SimDisk::new(
+                    format!("s{i}"),
+                    catalog::uncapped(),
+                    storage,
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        Arc::new(Volume::new(Arc::new(IoEngine::new(disks))))
+    }
+
+    fn tmp_manifest(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "alphasort-scratch-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("scratch.manifest")
+    }
+
     #[test]
     fn mem_scratch_roundtrip() {
         let mut s = MemScratch::new(250);
@@ -240,6 +611,7 @@ mod tests {
         w2.push(b"XY").unwrap();
         s.seal_run(w2).unwrap();
         assert_eq!(s.run_count(), 2);
+        assert!(s.recovered_runs().unwrap().is_empty());
         let mut sources = s.open_runs().unwrap();
         assert_eq!(sources.len(), 2);
         assert_eq!(sources[0].next_chunk().unwrap().unwrap(), b"abcde");
@@ -248,18 +620,7 @@ mod tests {
 
     #[test]
     fn stripe_scratch_roundtrip() {
-        let disks = (0..4)
-            .map(|i| {
-                SimDisk::new(
-                    format!("s{i}"),
-                    catalog::uncapped(),
-                    Arc::new(MemStorage::new()),
-                    Pacing::Modeled,
-                    None,
-                )
-            })
-            .collect();
-        let volume = Arc::new(Volume::new(Arc::new(IoEngine::new(disks))));
+        let volume = striped_volume(4, None);
         let mut s = StripeScratch::new(volume, 512);
 
         let payload: Vec<u8> = (0..3_000).map(|i| (i % 7) as u8).collect();
@@ -273,6 +634,135 @@ mod tests {
             got.extend_from_slice(&c);
         }
         assert_eq!(got, payload);
+    }
+
+    /// One sorted run of `records` records with predictable payloads.
+    fn run_payload(records: usize, salt: u8) -> Vec<u8> {
+        let (mut data, _) = generate(GenConfig::datamation(records as u64, salt as u64));
+        records_of_mut(&mut data).sort_by_key(|r| r.key);
+        data
+    }
+
+    #[test]
+    fn manifest_resume_recovers_intact_runs() {
+        let storages: Vec<Arc<MemStorage>> = (0..2).map(|_| Arc::new(MemStorage::new())).collect();
+        let path = tmp_manifest("resume");
+        let run_a = run_payload(40, 1);
+        let run_b = run_payload(40, 2);
+        {
+            let volume = striped_volume(2, Some(&storages));
+            let mut s = StripeScratch::with_manifest(
+                volume,
+                256,
+                &path,
+                (run_a.len() + run_b.len()) as u64,
+                40,
+            )
+            .unwrap();
+            for payload in [&run_a, &run_b] {
+                let mut w = s.create_run(payload.len() as u64).unwrap();
+                w.push(payload).unwrap();
+                s.seal_run(w).unwrap();
+            }
+            // "Crash": scratch dropped without open_runs; storages survive.
+        }
+        let volume = striped_volume(2, Some(&storages));
+        let (mut s, report) = StripeScratch::resume(volume, &path).unwrap();
+        assert_eq!(report.run_records, 40);
+        assert!(report.corrupt.is_empty());
+        assert_eq!(
+            report.recovered,
+            vec![
+                RecoveredRun {
+                    start_record: 0,
+                    records: 40
+                },
+                RecoveredRun {
+                    start_record: 40,
+                    records: 40
+                },
+            ]
+        );
+        assert_eq!(s.recovered_runs().unwrap(), report.recovered);
+        let mut sources = s.open_runs().unwrap();
+        assert_eq!(sources.len(), 2);
+        for (src, want) in sources.iter_mut().zip([&run_a, &run_b]) {
+            let mut got = Vec::new();
+            while let Some(c) = src.next_chunk().unwrap() {
+                got.extend_from_slice(&c);
+            }
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn resume_discards_corrupt_run_and_reforms_its_slot() {
+        let storages: Vec<Arc<MemStorage>> = (0..2).map(|_| Arc::new(MemStorage::new())).collect();
+        let path = tmp_manifest("corrupt");
+        let run_a = run_payload(30, 3);
+        let run_b = run_payload(30, 4);
+        let b_base;
+        {
+            let volume = striped_volume(2, Some(&storages));
+            let mut s =
+                StripeScratch::with_manifest(volume.clone(), 128, &path, 6_000, 30).unwrap();
+            for payload in [&run_a, &run_b] {
+                let mut w = s.create_run(payload.len() as u64).unwrap();
+                w.push(payload).unwrap();
+                s.seal_run(w).unwrap();
+            }
+            // Corrupt run B (second file) on disk 0 behind the stripe layer.
+            b_base = s.runs[1].file.def().members[0].base;
+        }
+        {
+            let volume = striped_volume(2, Some(&storages));
+            volume.engine().write(0, b_base, vec![0xAB]).wait().unwrap();
+        }
+        let volume = striped_volume(2, Some(&storages));
+        let (mut s, report) = StripeScratch::resume(volume, &path).unwrap();
+        assert_eq!(report.recovered.len(), 1);
+        assert_eq!(report.recovered[0].start_record, 0);
+        assert_eq!(report.corrupt.len(), 1);
+        assert!(
+            report.corrupt[0].contains("scratch-run-1"),
+            "{:?}",
+            report.corrupt
+        );
+        // The driver re-forms the gap: seal a replacement run; it must land
+        // at start 30 (after the recovered run 0..30).
+        let mut w = s.create_run(run_b.len() as u64).unwrap();
+        w.push(&run_b).unwrap();
+        s.seal_run(w).unwrap();
+        let starts: Vec<u64> = s.runs.iter().map(|r| r.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 30]);
+    }
+
+    #[test]
+    fn scratch_full_names_the_shortfall() {
+        let storages: Vec<Arc<MemStorage>> = (0..2).map(|_| Arc::new(MemStorage::new())).collect();
+        let disks = (0..2)
+            .map(|i| {
+                SimDisk::new(
+                    format!("s{i}"),
+                    catalog::uncapped(),
+                    storages[i].clone(),
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect();
+        let volume = Arc::new(Volume::new(Arc::new(IoEngine::new(disks))).with_disk_limit(256));
+        let mut s = StripeScratch::new(volume, 128);
+        let err = match s.create_run(1 << 20) {
+            Ok(_) => panic!("expected StorageFull"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let msg = err.to_string();
+        assert!(msg.contains("scratch volume full (needed"), "{msg}");
+        assert!(msg.contains("had"), "{msg}");
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! Memory use is one run buffer in pass 1 and one read-ahead buffer per run
 //! in pass 2, regardless of input size.
 
+use std::collections::VecDeque;
 use std::io;
 use std::time::Instant;
 
 use alphasort_dmgen::RECORD_LEN;
 use alphasort_obs as obs;
 
-use crate::driver::scratch::{BufferedRunStream, ScratchStore};
+use crate::driver::scratch::{BufferedRunStream, RecoveredRun, ScratchStore};
 use crate::driver::{SortConfig, SortOutcome};
 use crate::io::{RecordSink, RecordSource};
 use crate::merge::StreamMerger;
@@ -49,29 +50,49 @@ where
     // completed runs — the §5 chore decomposition applied to the spill pass
     // (runs must reach scratch in submission order, so the pool hands them
     // back in order).
+    //
+    // A resumed scratch reports the input ranges its surviving runs cover;
+    // those bytes are read and discarded (the sorted records already sit in
+    // scratch) and only the gaps are re-sorted and re-spilled.
+    let mut pending: VecDeque<RecoveredRun> = {
+        let mut spans = scratch.recovered_runs()?;
+        spans.sort_by_key(|r| r.start_record);
+        spans.into()
+    };
+    let resuming = !pending.is_empty();
+    // Absolute byte position within the input.
+    let mut abs: u64 = 0;
     let mut cur: Vec<u8> = Vec::with_capacity(run_bytes);
     let mut pool = SortPool::new(cfg.workers, cfg.representation);
     let spill = |run: &SortedRun, stats: &mut SortStats, scratch: &mut Scr| -> io::Result<()> {
         stats.runs += 1;
         stats.run_lengths.push(run.len() as u64);
         stats.records += run.len() as u64;
-        timed_phase(obs::phase::SPILL, &mut stats.spill_time, || -> io::Result<()> {
-            let mut writer = scratch.create_run((run.len() * RECORD_LEN) as u64)?;
-            // Stream the run out in gather-batch sized pieces so the spill
-            // writer's pipeline stays busy without a whole-run staging copy.
-            let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
-            for rec in run.iter_sorted() {
-                staging.extend_from_slice(rec.as_bytes());
-                if staging.len() >= cfg.gather_batch * RECORD_LEN {
-                    writer.push(&staging)?;
-                    staging.clear();
+        if resuming {
+            stats.runs_reformed += 1;
+            obs::metrics::counter_add("run.reformed", 1);
+        }
+        timed_phase(
+            obs::phase::SPILL,
+            &mut stats.spill_time,
+            || -> io::Result<()> {
+                let mut writer = scratch.create_run((run.len() * RECORD_LEN) as u64)?;
+                // Stream the run out in gather-batch sized pieces so the spill
+                // writer's pipeline stays busy without a whole-run staging copy.
+                let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+                for rec in run.iter_sorted() {
+                    staging.extend_from_slice(rec.as_bytes());
+                    if staging.len() >= cfg.gather_batch * RECORD_LEN {
+                        writer.push(&staging)?;
+                        staging.clear();
+                    }
                 }
-            }
-            if !staging.is_empty() {
-                writer.push(&staging)?;
-            }
-            scratch.seal_run(writer)
-        })
+                if !staging.is_empty() {
+                    writer.push(&staging)?;
+                }
+                scratch.seal_run(writer)
+            },
+        )
     };
 
     loop {
@@ -87,10 +108,42 @@ where
         stats.bytes_sorted += chunk.len() as u64;
         let mut off = 0;
         while off < chunk.len() {
-            let take = (run_bytes - cur.len()).min(chunk.len() - off);
+            // Inside a recovered span: these records already sit in scratch,
+            // sorted and checksummed. Account the run when its span is fully
+            // passed; nothing is re-sorted.
+            if let Some(r) = pending.front() {
+                let span_start = r.start_record * RECORD_LEN as u64;
+                let span_end = span_start + r.records * RECORD_LEN as u64;
+                if abs >= span_start {
+                    let skip = ((span_end - abs) as usize).min(chunk.len() - off);
+                    off += skip;
+                    abs += skip as u64;
+                    if abs == span_end {
+                        stats.runs += 1;
+                        stats.run_lengths.push(r.records);
+                        stats.records += r.records;
+                        stats.runs_recovered += 1;
+                        obs::metrics::counter_add("run.recovered", 1);
+                        pending.pop_front();
+                    }
+                    continue;
+                }
+            }
+            // Take at most up to the next recovered span: a gap run must
+            // end exactly at the span boundary so the re-formed runs cover
+            // precisely the records the recovered ones do not.
+            let until_span = pending
+                .front()
+                .map(|r| r.start_record * RECORD_LEN as u64 - abs)
+                .unwrap_or(u64::MAX);
+            let take = (run_bytes - cur.len())
+                .min(chunk.len() - off)
+                .min(until_span.min(usize::MAX as u64) as usize);
             cur.extend_from_slice(&chunk[off..off + take]);
             off += take;
-            if cur.len() == run_bytes {
+            abs += take as u64;
+            let at_span_boundary = take as u64 == until_span;
+            if cur.len() == run_bytes || (at_span_boundary && !cur.is_empty()) {
                 let full = std::mem::replace(&mut cur, Vec::with_capacity(run_bytes));
                 pool.submit(full);
             }
@@ -119,10 +172,23 @@ where
     }
     drop(pool.finish()); // joins worker threads (no runs remain)
 
+    if let Some(r) = pending.front() {
+        // The scratch thinks it holds runs past the end of the input: the
+        // resume was pointed at a different (or truncated) input file.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "recovered run covering records {}..{} extends past the input \
+                 ({} bytes read); wrong or truncated input for this scratch manifest",
+                r.start_record,
+                r.start_record + r.records,
+                abs,
+            ),
+        ));
+    }
+
     if stats.records == 0 {
-        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
-            sink.complete()
-        })?;
+        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())?;
         stats.elapsed = t_start.elapsed();
         return Ok(SortOutcome {
             stats,
@@ -155,21 +221,25 @@ where
                 streams.push(BufferedRunStream::new(s)?);
             }
             let mut merger = StreamMerger::new(streams);
-            timed_phase(obs::phase::SPILL, &mut stats.spill_time, || -> io::Result<()> {
-                let mut writer = scratch.create_run(group_bytes)?;
-                let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
-                while let Some(r) = merger.next_record()? {
-                    staging.extend_from_slice(r.as_bytes());
-                    if staging.len() >= cfg.gather_batch * RECORD_LEN {
-                        writer.push(&staging)?;
-                        staging.clear();
+            timed_phase(
+                obs::phase::SPILL,
+                &mut stats.spill_time,
+                || -> io::Result<()> {
+                    let mut writer = scratch.create_run(group_bytes)?;
+                    let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
+                    while let Some(r) = merger.next_record()? {
+                        staging.extend_from_slice(r.as_bytes());
+                        if staging.len() >= cfg.gather_batch * RECORD_LEN {
+                            writer.push(&staging)?;
+                            staging.clear();
+                        }
                     }
-                }
-                if !staging.is_empty() {
-                    writer.push(&staging)?;
-                }
-                scratch.seal_run(writer)
-            })?;
+                    if !staging.is_empty() {
+                        writer.push(&staging)?;
+                    }
+                    scratch.seal_run(writer)
+                },
+            )?;
         }
         sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
             scratch.open_runs()
@@ -211,9 +281,7 @@ where
             break;
         }
     }
-    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
-        sink.complete()
-    })?;
+    let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())?;
     stats.elapsed = t_start.elapsed();
     obs::metrics::counter_add("sort.records", stats.records);
     obs::metrics::counter_add("sort.bytes", stats.bytes_sorted);

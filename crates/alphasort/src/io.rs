@@ -7,7 +7,7 @@
 use std::io;
 use std::sync::Arc;
 
-use alphasort_stripefs::{StripedFile, StripedReader, StripedWriter};
+use alphasort_stripefs::{RunChecksums, StripedFile, StripedReader, StripedWriter};
 
 /// A sequential supplier of whole-record byte chunks.
 pub trait RecordSource: Send {
@@ -118,6 +118,15 @@ impl StripeSource {
             reader: StripedReader::with_depth(file, depth),
         }
     }
+
+    /// Read `file` sequentially, verifying every delivered stride against
+    /// `checks`; a corrupt segment surfaces as `InvalidData` naming the
+    /// member disk and offsets.
+    pub fn verified(file: Arc<StripedFile>, checks: RunChecksums) -> io::Result<Self> {
+        Ok(StripeSource {
+            reader: StripedReader::verified(file, checks)?,
+        })
+    }
 }
 
 impl RecordSource for StripeSource {
@@ -134,6 +143,10 @@ impl RecordSource for StripeSource {
 pub struct StripeSink {
     writer: Option<StripedWriter>,
     written: u64,
+    /// Whether the writer fingerprints strides as they go out.
+    checksummed: bool,
+    /// Fingerprints collected by `complete()` on a checksummed sink.
+    checks: Option<RunChecksums>,
 }
 
 impl StripeSink {
@@ -142,6 +155,8 @@ impl StripeSink {
         StripeSink {
             writer: Some(StripedWriter::new(file)),
             written: 0,
+            checksummed: false,
+            checks: None,
         }
     }
 
@@ -150,21 +165,50 @@ impl StripeSink {
         StripeSink {
             writer: Some(StripedWriter::with_depth(file, depth)),
             written: 0,
+            checksummed: false,
+            checks: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but every issued stride is fingerprinted;
+    /// after `complete()`, [`take_checksums`](Self::take_checksums) yields
+    /// the recorded [`RunChecksums`].
+    pub fn checksummed(file: Arc<StripedFile>) -> Self {
+        StripeSink {
+            writer: Some(StripedWriter::with_checksums(file)),
+            written: 0,
+            checksummed: true,
+            checks: None,
+        }
+    }
+
+    /// The fingerprints recorded by a [`checksummed`](Self::checksummed)
+    /// sink, available once after `complete()`.
+    pub fn take_checksums(&mut self) -> Option<RunChecksums> {
+        self.checks.take()
     }
 }
 
 impl RecordSink for StripeSink {
     fn push(&mut self, data: &[u8]) -> io::Result<()> {
-        self.writer
-            .as_mut()
-            .expect("sink already completed")
-            .push(data)
+        match self.writer.as_mut() {
+            Some(w) => w.push(data),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "push on a stripe sink that was already completed",
+            )),
+        }
     }
 
     fn complete(&mut self) -> io::Result<u64> {
         if let Some(w) = self.writer.take() {
-            self.written = w.finish()?;
+            if self.checksummed {
+                let (n, checks) = w.finish_checksummed()?;
+                self.written = n;
+                self.checks = Some(checks);
+            } else {
+                self.written = w.finish()?;
+            }
         }
         Ok(self.written)
     }

@@ -89,10 +89,13 @@ impl FileSink {
 impl RecordSink for FileSink {
     fn push(&mut self, data: &[u8]) -> io::Result<()> {
         let _g = obs::span(obs::phase::FILE_WRITE).with("bytes", data.len() as u64);
-        self.writer
-            .as_mut()
-            .expect("sink already completed")
-            .write_all(data)?;
+        let Some(w) = self.writer.as_mut() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "push on a file sink that was already completed",
+            ));
+        };
+        w.write_all(data)?;
         self.written += data.len() as u64;
         obs::metrics::counter_add("file.write.bytes", data.len() as u64);
         Ok(())

@@ -59,6 +59,12 @@ pub struct SortStats {
     /// For distributed sorts: records each node owned after the exchange
     /// (empty for single-node sorts). Feed [`SortStats::exchange_skew`].
     pub partition_sizes: Vec<u64>,
+    /// For resumed two-pass sorts: runs recovered intact from a previous
+    /// attempt's scratch manifest (counted in `runs` too).
+    pub runs_recovered: u64,
+    /// For resumed two-pass sorts: runs re-formed from the input because
+    /// they were missing or corrupt in the previous attempt's scratch.
+    pub runs_reformed: u64,
 }
 
 impl SortStats {
@@ -105,7 +111,10 @@ impl SortStats {
         self.one_pass = self.one_pass && other.one_pass;
         self.exchange_bytes_out += other.exchange_bytes_out;
         self.exchange_bytes_in += other.exchange_bytes_in;
-        self.partition_sizes.extend_from_slice(&other.partition_sizes);
+        self.partition_sizes
+            .extend_from_slice(&other.partition_sizes);
+        self.runs_recovered += other.runs_recovered;
+        self.runs_reformed += other.runs_reformed;
     }
 
     /// Derive stats from a recorded trace: the inverse of instrumenting

@@ -119,7 +119,10 @@ fn replacement_selection_invariants() {
             assert!(run.windows(2).all(|w| w[0].key <= w[1].key), "case {case}");
         }
         // Multiset equality via sorted key+seq list.
-        let mut a: Vec<(Vec<u8>, u64)> = input.iter().map(|rec| (rec.key.to_vec(), rec.seq())).collect();
+        let mut a: Vec<(Vec<u8>, u64)> = input
+            .iter()
+            .map(|rec| (rec.key.to_vec(), rec.seq()))
+            .collect();
         let mut b: Vec<(Vec<u8>, u64)> = runs
             .iter()
             .flatten()

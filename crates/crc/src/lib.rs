@@ -1,0 +1,155 @@
+//! CRC32C (Castagnoli) — the workspace's shared integrity checksum.
+//!
+//! One polynomial, one table, two faces:
+//!
+//! * [`crc32c`] — one-shot checksum of a byte slice (the RFC 3720 / iSCSI
+//!   CRC, as used by the `netsort` wire frames).
+//! * [`Crc32c`] — incremental state for streams that arrive in pieces (the
+//!   `stripefs` write-behind path folds each issued stride in as it goes).
+//!
+//! The implementation is software table-driven and `const`-built, keeping
+//! the workspace std-only and offline. Hardware CRC32C instructions would
+//! be ~10× faster, but every consumer here checksums data it is about to
+//! push through a (simulated or real) disk or socket, so the table lookup
+//! is never the bottleneck.
+//!
+//! ```
+//! use alphasort_crc::{crc32c, Crc32c};
+//!
+//! // RFC 3720 §B.4 test vector.
+//! assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+//!
+//! // Incremental state matches the one-shot form across any split.
+//! let mut inc = Crc32c::new();
+//! inc.update(b"1234");
+//! inc.update(b"56789");
+//! assert_eq!(inc.finish(), crc32c(b"123456789"));
+//! ```
+
+/// CRC32C (Castagnoli) polynomial, bit-reflected.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+const fn crc32c_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32C_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32c_table();
+
+/// Fold `data` into a running (pre-inverted) CRC32C state.
+#[inline]
+fn update_raw(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// CRC32C of `data` (the RFC 3720 / iSCSI checksum), software table-driven.
+pub fn crc32c(data: &[u8]) -> u32 {
+    !update_raw(!0, data)
+}
+
+/// Incremental CRC32C state for data that arrives in pieces.
+///
+/// `Crc32c::new()` → any number of [`update`](Self::update) calls →
+/// [`finish`](Self::finish). Splitting the input differently never changes
+/// the result. `finish` does not consume the state, so a stream can be
+/// fingerprinted at checkpoints and continue.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Fresh state (checksum of the empty stream is 0).
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = update_raw(self.state, data);
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3720_vectors() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(&[]), 0);
+        assert_eq!(Crc32c::new().finish(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_every_split() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = crc32c(&data);
+        for cut in [0, 1, 7, 99, 500, 999, 1000] {
+            let mut inc = Crc32c::new();
+            inc.update(&data[..cut]);
+            inc.update(&data[cut..]);
+            assert_eq!(inc.finish(), whole, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn finish_is_a_checkpoint_not_a_terminator() {
+        let mut inc = Crc32c::new();
+        inc.update(b"abc");
+        let mid = inc.finish();
+        assert_eq!(mid, crc32c(b"abc"));
+        inc.update(b"def");
+        assert_eq!(inc.finish(), crc32c(b"abcdef"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = vec![0x5Au8; 64];
+        let base = crc32c(&data);
+        for i in 0..64 {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

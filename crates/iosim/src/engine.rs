@@ -57,6 +57,18 @@ impl<T> IoHandle<T> {
         }
     }
 
+    /// A handle that is already complete. Used when submission itself fails
+    /// (the disk's IO thread is gone): the error travels through the normal
+    /// `wait`/`try_wait` path instead of panicking the submitter.
+    fn ready(res: io::Result<T>) -> Self {
+        let (tx, rx) = sync_channel(1);
+        drop(tx); // never used; `polled` already holds the result
+        IoHandle {
+            rx,
+            polled: RefCell::new(Some(res)),
+        }
+    }
+
     /// Block until the operation completes and return its result.
     pub fn wait(self) -> io::Result<T> {
         if let Some(res) = self.polled.into_inner() {
@@ -192,21 +204,32 @@ impl IoEngine {
         self.disks.len()
     }
 
+    /// Error for a request whose disk worker is no longer accepting work.
+    fn dead_worker<T>(&self, disk_idx: usize) -> IoHandle<T> {
+        obs::metrics::gauge_add("io.queue_depth", -1);
+        IoHandle::ready(Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!(
+                "IO thread for disk {disk_idx} ({}) exited; request dropped",
+                self.disks[disk_idx].name()
+            ),
+        )))
+    }
+
     /// Submit an asynchronous read of `len` bytes at `offset` on disk
     /// `disk_idx`. Blocks only if that disk's queue is full.
     pub fn read(&self, disk_idx: usize, offset: u64, len: usize) -> IoHandle<Vec<u8>> {
         let (reply, rx) = sync_channel(1);
         obs::metrics::gauge_add("io.queue_depth", 1);
-        self.workers[disk_idx]
-            .tx
-            .send(Request::Read {
-                offset,
-                len,
-                issued: Instant::now(),
-                reply,
-            })
-            .expect("IO worker exited");
-        IoHandle::new(rx)
+        match self.workers[disk_idx].tx.send(Request::Read {
+            offset,
+            len,
+            issued: Instant::now(),
+            reply,
+        }) {
+            Ok(()) => IoHandle::new(rx),
+            Err(_) => self.dead_worker(disk_idx),
+        }
     }
 
     /// Submit an asynchronous write of `data` at `offset` on disk `disk_idx`.
@@ -214,30 +237,28 @@ impl IoEngine {
     pub fn write(&self, disk_idx: usize, offset: u64, data: Vec<u8>) -> IoHandle<usize> {
         let (reply, rx) = sync_channel(1);
         obs::metrics::gauge_add("io.queue_depth", 1);
-        self.workers[disk_idx]
-            .tx
-            .send(Request::Write {
-                offset,
-                data,
-                issued: Instant::now(),
-                reply,
-            })
-            .expect("IO worker exited");
-        IoHandle::new(rx)
+        match self.workers[disk_idx].tx.send(Request::Write {
+            offset,
+            data,
+            issued: Instant::now(),
+            reply,
+        }) {
+            Ok(()) => IoHandle::new(rx),
+            Err(_) => self.dead_worker(disk_idx),
+        }
     }
 
     /// Submit an asynchronous flush on disk `disk_idx`.
     pub fn sync(&self, disk_idx: usize) -> IoHandle<usize> {
         let (reply, rx) = sync_channel(1);
         obs::metrics::gauge_add("io.queue_depth", 1);
-        self.workers[disk_idx]
-            .tx
-            .send(Request::Sync {
-                issued: Instant::now(),
-                reply,
-            })
-            .expect("IO worker exited");
-        IoHandle::new(rx)
+        match self.workers[disk_idx].tx.send(Request::Sync {
+            issued: Instant::now(),
+            reply,
+        }) {
+            Ok(()) => IoHandle::new(rx),
+            Err(_) => self.dead_worker(disk_idx),
+        }
     }
 }
 

@@ -30,12 +30,41 @@ pub enum Fault {
     },
 }
 
-/// When faults fire: on the `op`-th read or write (0-based, counted
-/// separately for reads and writes).
+/// When a fault rule fires, against a 0-based per-kind operation counter
+/// (reads and writes counted separately).
+#[derive(Clone, Copy, Debug)]
+enum When {
+    /// Exactly the `n`-th operation; the rule is consumed when it fires.
+    Nth(u64),
+    /// Every `n`-th operation (ops `n-1`, `2n-1`, …); never consumed.
+    Every(u64),
+    /// Every operation from the `n`-th onward; never consumed.
+    After(u64),
+}
+
+impl When {
+    fn fires(self, op: u64) -> bool {
+        match self {
+            When::Nth(n) => op == n,
+            When::Every(n) => (op + 1).is_multiple_of(n),
+            When::After(n) => op >= n,
+        }
+    }
+
+    fn recurring(self) -> bool {
+        !matches!(self, When::Nth(_))
+    }
+}
+
+/// When faults fire: one-shot on the `op`-th read or write (0-based, counted
+/// separately for reads and writes), or recurring — every `n`-th operation,
+/// or every operation past the `n`-th. One-shot rules are consumed when they
+/// fire; recurring rules persist, which is what retry-budget tests need (a
+/// disk that *keeps* failing, not one that hiccups once).
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
-    read_faults: Vec<(u64, Fault)>,
-    write_faults: Vec<(u64, Fault)>,
+    read_faults: Vec<(When, Fault)>,
+    write_faults: Vec<(When, Fault)>,
 }
 
 impl FaultPlan {
@@ -46,25 +75,66 @@ impl FaultPlan {
 
     /// Fail the `n`-th read with `kind`.
     pub fn fail_read(mut self, n: u64, kind: io::ErrorKind) -> Self {
-        self.read_faults.push((n, Fault::ReadError(kind)));
+        self.read_faults
+            .push((When::Nth(n), Fault::ReadError(kind)));
         self
     }
 
     /// Fail the `n`-th write with `kind`.
     pub fn fail_write(mut self, n: u64, kind: io::ErrorKind) -> Self {
-        self.write_faults.push((n, Fault::WriteError(kind)));
+        self.write_faults
+            .push((When::Nth(n), Fault::WriteError(kind)));
+        self
+    }
+
+    /// Fail every `n`-th read with `kind`, forever (reads `n-1`, `2n-1`, …).
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn fail_read_every(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        assert!(n > 0, "fail_read_every period must be positive");
+        self.read_faults
+            .push((When::Every(n), Fault::ReadError(kind)));
+        self
+    }
+
+    /// Fail every `n`-th write with `kind`, forever (writes `n-1`, `2n-1`, …).
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn fail_write_every(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        assert!(n > 0, "fail_write_every period must be positive");
+        self.write_faults
+            .push((When::Every(n), Fault::WriteError(kind)));
+        self
+    }
+
+    /// Fail every read from the `n`-th onward with `kind` (a disk that dies
+    /// and stays dead).
+    pub fn fail_read_after(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        self.read_faults
+            .push((When::After(n), Fault::ReadError(kind)));
+        self
+    }
+
+    /// Fail every write from the `n`-th onward with `kind`.
+    pub fn fail_write_after(mut self, n: u64, kind: io::ErrorKind) -> Self {
+        self.write_faults
+            .push((When::After(n), Fault::WriteError(kind)));
         self
     }
 
     /// Silently corrupt byte `byte` of the `n`-th read.
     pub fn corrupt_read(mut self, n: u64, byte: usize) -> Self {
-        self.read_faults.push((n, Fault::CorruptRead { byte }));
+        self.read_faults
+            .push((When::Nth(n), Fault::CorruptRead { byte }));
         self
     }
 
     /// Silently corrupt byte `byte` of the `n`-th write.
     pub fn corrupt_write(mut self, n: u64, byte: usize) -> Self {
-        self.write_faults.push((n, Fault::CorruptWrite { byte }));
+        self.write_faults
+            .push((When::Nth(n), Fault::CorruptWrite { byte }));
         self
     }
 }
@@ -90,14 +160,22 @@ impl FaultyStorage {
 
     fn take_read_fault(&self, op: u64) -> Option<Fault> {
         let mut plan = self.plan.lock().unwrap();
-        let idx = plan.read_faults.iter().position(|(n, _)| *n == op)?;
-        Some(plan.read_faults.remove(idx).1)
+        let idx = plan.read_faults.iter().position(|(w, _)| w.fires(op))?;
+        if plan.read_faults[idx].0.recurring() {
+            Some(plan.read_faults[idx].1.clone())
+        } else {
+            Some(plan.read_faults.remove(idx).1)
+        }
     }
 
     fn take_write_fault(&self, op: u64) -> Option<Fault> {
         let mut plan = self.plan.lock().unwrap();
-        let idx = plan.write_faults.iter().position(|(n, _)| *n == op)?;
-        Some(plan.write_faults.remove(idx).1)
+        let idx = plan.write_faults.iter().position(|(w, _)| w.fires(op))?;
+        if plan.write_faults[idx].0.recurring() {
+            Some(plan.write_faults[idx].1.clone())
+        } else {
+            Some(plan.write_faults.remove(idx).1)
+        }
     }
 }
 
@@ -210,6 +288,56 @@ mod tests {
         s.read_at(0, &mut buf).unwrap();
         assert_eq!(buf[0], b'z' ^ 0xFF);
         assert_eq!(buf[1], b'z');
+    }
+
+    #[test]
+    fn every_nth_read_fails_forever() {
+        let s = faulty(FaultPlan::new().fail_read_every(3, io::ErrorKind::TimedOut));
+        s.write_at(0, b"abcd").unwrap();
+        let mut buf = [0u8; 4];
+        // Every 3rd read fails, i.e. ops where (op + 1) % 3 == 0.
+        let mut failures = Vec::new();
+        for op in 0..10 {
+            if s.read_at(0, &mut buf).is_err() {
+                failures.push(op);
+            }
+        }
+        assert_eq!(failures, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn every_first_means_all_ops_fail() {
+        let s = faulty(FaultPlan::new().fail_write_every(1, io::ErrorKind::WriteZero));
+        for _ in 0..5 {
+            assert_eq!(
+                s.write_at(0, b"x").unwrap_err().kind(),
+                io::ErrorKind::WriteZero
+            );
+        }
+    }
+
+    #[test]
+    fn after_n_the_disk_stays_dead() {
+        let s = faulty(FaultPlan::new().fail_write_after(2, io::ErrorKind::PermissionDenied));
+        s.write_at(0, b"a").unwrap(); // op 0
+        s.write_at(0, b"b").unwrap(); // op 1
+        for _ in 0..4 {
+            // ops 2.. all fail, forever
+            assert_eq!(
+                s.write_at(0, b"c").unwrap_err().kind(),
+                io::ErrorKind::PermissionDenied
+            );
+        }
+    }
+
+    #[test]
+    fn recurring_read_after() {
+        let s = faulty(FaultPlan::new().fail_read_after(1, io::ErrorKind::TimedOut));
+        s.write_at(0, b"zz").unwrap();
+        let mut buf = [0u8; 2];
+        s.read_at(0, &mut buf).unwrap(); // op 0 fine
+        assert!(s.read_at(0, &mut buf).is_err());
+        assert!(s.read_at(0, &mut buf).is_err());
     }
 
     #[test]

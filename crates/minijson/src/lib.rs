@@ -205,7 +205,9 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
-        i64::try_from(n).map(Json::Int).unwrap_or(Json::Float(n as f64))
+        i64::try_from(n)
+            .map(Json::Int)
+            .unwrap_or(Json::Float(n as f64))
     }
 }
 
@@ -442,8 +444,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.err("bad low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                             } else {
                                 char::from_u32(code)
@@ -567,7 +568,10 @@ mod tests {
                     ]),
                 ]),
             ),
-            ("rates".into(), Json::Arr(vec![Json::Float(4.5), Json::Float(3.5)])),
+            (
+                "rates".into(),
+                Json::Arr(vec![Json::Float(4.5), Json::Float(3.5)]),
+            ),
             ("empty_arr".into(), Json::Arr(vec![])),
             ("empty_obj".into(), Json::Obj(vec![])),
         ]);
@@ -590,8 +594,19 @@ mod tests {
     #[test]
     fn malformed_documents_are_rejected() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "\"unterminated",
-            "{\"a\":1,}", "[1, ]", "nulll", "--1", "\"\\q\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1, ]",
+            "nulll",
+            "--1",
+            "\"\\q\"",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
         }

@@ -276,7 +276,10 @@ mod tests {
             a.send(1, Frame::Bye { from: 0 }).unwrap_err().kind(),
             io::ErrorKind::ConnectionAborted
         );
-        assert_eq!(a.recv().unwrap_err().kind(), io::ErrorKind::ConnectionAborted);
+        assert_eq!(
+            a.recv().unwrap_err().kind(),
+            io::ErrorKind::ConnectionAborted
+        );
         a.shutdown().unwrap(); // crashed shutdown is silent, not Bye
     }
 

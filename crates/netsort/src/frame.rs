@@ -18,8 +18,9 @@
 //! `InvalidData` so a corrupt length cannot trigger a multi-gigabyte
 //! allocation.
 //!
-//! The trailer is a CRC32C (Castagnoli, software table-driven) over the
-//! header and payload. A frame that arrives framed correctly but with any
+//! The trailer is a CRC32C over the header and payload — the workspace's
+//! shared [`alphasort_crc`] checksum, the same one `stripefs` stamps on
+//! scratch-run strides. A frame that arrives framed correctly but with any
 //! flipped bit fails verification in [`Frame::read_from`] with an
 //! `InvalidData` error naming the claimed sender — sorted garbage is never
 //! silently produced. Mismatches also bump the `net.frames.crc_error`
@@ -28,6 +29,9 @@
 use std::io::{self, Read, Write};
 
 use alphasort_obs as obs;
+
+pub use alphasort_crc::crc32c;
+use alphasort_crc::Crc32c;
 
 /// Upper bound on a single frame's payload (16 MB — far above the batch
 /// sizes the exchange actually uses).
@@ -39,43 +43,12 @@ pub const HEADER_LEN: usize = 9;
 /// Bytes after the payload: the CRC32C trailer.
 pub const TRAILER_LEN: usize = 4;
 
-/// CRC32C (Castagnoli) polynomial, bit-reflected.
-const CRC32C_POLY: u32 = 0x82F6_3B78;
-
-const fn crc32c_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ CRC32C_POLY
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32c_table();
-
-/// Fold `data` into a running (pre-inverted) CRC32C state.
-#[inline]
-fn crc32c_update(mut crc: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    crc
-}
-
-/// CRC32C of `data` (the RFC 3720 / iSCSI checksum), software table-driven.
-pub fn crc32c(data: &[u8]) -> u32 {
-    !crc32c_update(!0, data)
+/// CRC32C of `header` followed by `payload` without concatenating them.
+fn frame_crc(header: &[u8], payload: &[u8]) -> u32 {
+    let mut crc = Crc32c::new();
+    crc.update(header);
+    crc.update(payload);
+    crc.finish()
 }
 
 /// Protocol messages. `Sample` and `Splitters` run the coordinator phase;
@@ -160,7 +133,7 @@ impl Frame {
         header[0] = self.tag();
         header[1..5].copy_from_slice(&self.from().to_be_bytes());
         header[5..9].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-        let crc = !crc32c_update(crc32c_update(!0, &header), payload);
+        let crc = frame_crc(&header, payload);
         w.write_all(&header)?;
         w.write_all(payload)?;
         w.write_all(&crc.to_be_bytes())
@@ -208,7 +181,7 @@ impl Frame {
         let mut trailer = [0u8; TRAILER_LEN];
         r.read_exact(&mut trailer)?;
         let expect = u32::from_be_bytes(trailer);
-        let got = !crc32c_update(crc32c_update(!0, &header), &payload);
+        let got = frame_crc(&header, &payload);
         if got != expect {
             obs::metrics::counter_add("net.frames.crc_error", 1);
             return Err(io::Error::new(

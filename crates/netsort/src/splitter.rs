@@ -45,9 +45,7 @@ pub fn compute_splitters(samples: &[Vec<u8>], nodes: usize) -> Vec<[u8; KEY_LEN]
         // No data anywhere: any splitters partition nothing correctly.
         return vec![[0u8; KEY_LEN]; nodes - 1];
     }
-    (1..nodes)
-        .map(|k| pool[k * pool.len() / nodes])
-        .collect()
+    (1..nodes).map(|k| pool[k * pool.len() / nodes]).collect()
 }
 
 /// Serialize splitters for a `Frame::Splitters` payload.

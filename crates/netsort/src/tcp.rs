@@ -230,9 +230,10 @@ impl Transport for TcpTransport {
 
     fn send(&mut self, to: usize, frame: Frame) -> io::Result<()> {
         if to == self.node {
-            return self.inbox_tx.send(Ok(frame)).map_err(|_| {
-                io::Error::new(io::ErrorKind::ConnectionAborted, "own inbox closed")
-            });
+            return self
+                .inbox_tx
+                .send(Ok(frame))
+                .map_err(|_| io::Error::new(io::ErrorKind::ConnectionAborted, "own inbox closed"));
         }
         let stream = self.outbound[to].as_mut().ok_or_else(|| {
             io::Error::new(
@@ -395,7 +396,10 @@ mod tests {
             Err(e) => e,
         };
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
-        assert!(t0.elapsed() < Duration::from_secs(5), "establish must not hang");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "establish must not hang"
+        );
         // The listener is closed — were the acceptor still parked on it, a
         // dial would be accepted (or sit in its backlog) instead of being
         // refused.

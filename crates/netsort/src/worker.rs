@@ -123,7 +123,10 @@ pub struct WorkerOutcome {
 fn protocol_error(what: &str, frame: &Frame) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("protocol error: expected {what}, got {frame:?} from node {}", frame.from()),
+        format!(
+            "protocol error: expected {what}, got {frame:?} from node {}",
+            frame.from()
+        ),
     )
 }
 
@@ -150,24 +153,24 @@ fn recv_in_phase<T: Transport>(
     phase: &str,
     missing: &dyn Fn() -> String,
 ) -> io::Result<Frame> {
-    let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || {
-        match cfg.recv_timeout {
-            Some(deadline) => transport.recv_timeout(deadline).map_err(|e| {
-                if e.kind() == io::ErrorKind::TimedOut {
-                    obs::metrics::counter_add("net.recv.timeout", 1);
-                    io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        format!(
-                            "{phase} phase timed out after {deadline:?} waiting for {}",
-                            missing()
-                        ),
-                    )
-                } else {
-                    e
-                }
-            }),
-            None => transport.recv(),
-        }
+    let frame = timed_phase(obs::phase::EXCHANGE, &mut stats.exchange_wait, || match cfg
+        .recv_timeout
+    {
+        Some(deadline) => transport.recv_timeout(deadline).map_err(|e| {
+            if e.kind() == io::ErrorKind::TimedOut {
+                obs::metrics::counter_add("net.recv.timeout", 1);
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "{phase} phase timed out after {deadline:?} waiting for {}",
+                        missing()
+                    ),
+                )
+            } else {
+                e
+            }
+        }),
+        None => transport.recv(),
     })?;
     if let Frame::Abort { from, reason } = frame {
         obs::metrics::counter_add("net.frames.abort_received", 1);
@@ -359,47 +362,46 @@ where
     // Done to ourselves, so our own slot starts satisfied.
     let mut done = vec![false; nodes];
     done[node] = true;
-    let absorb = |frame: Frame,
-                  gather: &mut Vec<Vec<u8>>,
-                  done: &mut Vec<bool>,
-                  stats: &mut SortStats| {
-        match frame {
-            Frame::Data { from, records } => {
-                let sender = from as usize;
-                if sender >= nodes {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("Data frame from unknown node {sender}"),
-                    ));
+    let absorb =
+        |frame: Frame, gather: &mut Vec<Vec<u8>>, done: &mut Vec<bool>, stats: &mut SortStats| {
+            match frame {
+                Frame::Data { from, records } => {
+                    let sender = from as usize;
+                    if sender >= nodes {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("Data frame from unknown node {sender}"),
+                        ));
+                    }
+                    let _recv = obs::span(obs::phase::NET_RECV)
+                        .with("peer", sender as u64)
+                        .with("bytes", records.len() as u64);
+                    obs::metrics::observe("net.frame.bytes", records.len() as u64);
+                    obs::metrics::counter_add("net.bytes_in", records.len() as u64);
+                    stats.exchange_bytes_in += records.len() as u64;
+                    gather[sender].extend_from_slice(&records);
                 }
-                let _recv = obs::span(obs::phase::NET_RECV)
-                    .with("peer", sender as u64)
-                    .with("bytes", records.len() as u64);
-                obs::metrics::observe("net.frame.bytes", records.len() as u64);
-                obs::metrics::counter_add("net.bytes_in", records.len() as u64);
-                stats.exchange_bytes_in += records.len() as u64;
-                gather[sender].extend_from_slice(&records);
-            }
-            Frame::Done { from } => {
-                let sender = from as usize;
-                if sender >= nodes || done[sender] {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected Done from node {sender}"),
-                    ));
+                Frame::Done { from } => {
+                    let sender = from as usize;
+                    if sender >= nodes || done[sender] {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected Done from node {sender}"),
+                        ));
+                    }
+                    done[sender] = true;
                 }
-                done[sender] = true;
+                other => return Err(protocol_error("Data or Done", &other)),
             }
-            other => return Err(protocol_error("Data or Done", &other)),
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     for frame in pending {
         absorb(frame, &mut gather, &mut done, &mut stats)?;
     }
     while done.iter().any(|d| !d) {
-        let frame =
-            recv_in_phase(transport, cfg, &mut stats, "exchange", &|| missing_nodes(&done))?;
+        let frame = recv_in_phase(transport, cfg, &mut stats, "exchange", &|| {
+            missing_nodes(&done)
+        })?;
         absorb(frame, &mut gather, &mut done, &mut stats)?;
     }
     transport.shutdown()?;

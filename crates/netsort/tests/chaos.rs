@@ -65,8 +65,8 @@ fn run_cluster<T: Transport + 'static>(
             let t0 = Instant::now();
             let mut source = MemSource::new(share, 1 << 20);
             let mut sink = MemSink::new();
-            let result = run_worker(&mut transport, &mut source, &mut sink, &cfg)
-                .map(|_| sink.into_inner());
+            let result =
+                run_worker(&mut transport, &mut source, &mut sink, &cfg).map(|_| sink.into_inner());
             let _ = tx.send(NodeResult {
                 node,
                 result,
@@ -213,7 +213,11 @@ fn tcp_node_killed_mid_exchange_fails_promptly_on_survivors() {
             })
             .collect();
         let survivors: Vec<usize> = (0..nodes).filter(|&i| i != killer).collect();
-        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        let results = run_cluster(
+            transports,
+            split_shares(&input, nodes),
+            &chaos_cfg(Some(DEADLINE)),
+        );
         assert_all_fail_promptly(&results, &survivors);
         // The killed node itself reports its injected crash.
         assert!(results[killer].result.is_err());
@@ -229,7 +233,11 @@ fn tcp_connection_cut_by_kill_connection_fails_cleanly() {
     // never hears node 3's Sample on a live connection; the reader sees the
     // RST as ConnectionAborted, or the sample phase times out.
     assert!(transports[3].kill_connection(0));
-    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    let results = run_cluster(
+        transports,
+        split_shares(&input, nodes),
+        &chaos_cfg(Some(DEADLINE)),
+    );
     // Node 3's own failure is a local send error (`NotConnected`); the
     // others must see a clean teardown: node 0 the EOF-without-Bye from the
     // cut socket, nodes 1 and 2 node 3's abort broadcast.
@@ -248,7 +256,11 @@ fn loopback_silent_node_times_out_naming_phase_and_node() {
             plan = plan.drop_send(op);
         }
         let transports = loopback_faulty(nodes, vec![(nodes - 1, plan)]);
-        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        let results = run_cluster(
+            transports,
+            split_shares(&input, nodes),
+            &chaos_cfg(Some(DEADLINE)),
+        );
         // The coordinator times out collecting samples and names both the
         // phase and the missing node in its error.
         let coord_err = results[0].result.as_ref().unwrap_err();
@@ -281,7 +293,11 @@ fn dropped_done_frame_times_out_in_exchange_phase() {
         plan = plan.drop_send(op);
     }
     let transports = loopback_faulty(nodes, vec![(1, plan)]);
-    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    let results = run_cluster(
+        transports,
+        split_shares(&input, nodes),
+        &chaos_cfg(Some(DEADLINE)),
+    );
     let err0 = results[0].result.as_ref().unwrap_err();
     if err0.kind() == io::ErrorKind::TimedOut {
         assert!(err0.to_string().contains("exchange"), "{err0}");
@@ -333,7 +349,11 @@ fn corrupt_frame_is_crc_error_naming_peer_never_bad_output() {
         // the wire: with `nodes` samples arriving first, frame 2 is a
         // Sample or early Data either way — always CRC-covered.
         let transports = loopback_faulty(nodes, vec![(0, NetFaultPlan::new().corrupt_recv(2, 5))]);
-        let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+        let results = run_cluster(
+            transports,
+            split_shares(&input, nodes),
+            &chaos_cfg(Some(DEADLINE)),
+        );
         let err0 = results[0].result.as_ref().unwrap_err();
         assert_eq!(err0.kind(), io::ErrorKind::InvalidData, "{err0}");
         assert!(err0.to_string().contains("CRC"), "{err0}");
@@ -360,7 +380,11 @@ fn tcp_corrupt_frame_is_detected_over_real_sockets() {
             FaultyTransport::new(t, plan)
         })
         .collect();
-    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(DEADLINE)));
+    let results = run_cluster(
+        transports,
+        split_shares(&input, nodes),
+        &chaos_cfg(Some(DEADLINE)),
+    );
     let err1 = results[1].result.as_ref().unwrap_err();
     assert_eq!(err1.kind(), io::ErrorKind::InvalidData, "{err1}");
     assert!(err1.to_string().contains("CRC"), "{err1}");
@@ -391,7 +415,11 @@ fn local_failure_aborts_whole_cluster_before_any_deadline() {
         vec![(2, NetFaultPlan::new().fail_send(0, io::ErrorKind::Other))],
     );
     let t0 = Instant::now();
-    let results = run_cluster(transports, split_shares(&input, nodes), &chaos_cfg(Some(long)));
+    let results = run_cluster(
+        transports,
+        split_shares(&input, nodes),
+        &chaos_cfg(Some(long)),
+    );
     let wall = t0.elapsed();
     assert!(
         wall < long,
@@ -414,5 +442,9 @@ fn local_failure_aborts_whole_cluster_before_any_deadline() {
     let abort = remote_abort_of(err0)
         .unwrap_or_else(|| panic!("coordinator: expected remote abort, got {err0}"));
     assert_eq!(abort.from, 2, "abort must name the failed node");
-    assert!(abort.reason.contains("injected send fault"), "{}", abort.reason);
+    assert!(
+        abort.reason.contains("injected send fault"),
+        "{}",
+        abort.reason
+    );
 }

@@ -103,7 +103,11 @@ fn hundred_k_records_across_four_workers() {
     assert_eq!(report.records, n);
     assert_eq!(stats.partition_sizes.iter().sum::<u64>(), n);
     // Random keys + probabilistic splitting: partitions roughly balance.
-    assert!(stats.exchange_skew() < 1.5, "skew {}", stats.exchange_skew());
+    assert!(
+        stats.exchange_skew() < 1.5,
+        "skew {}",
+        stats.exchange_skew()
+    );
     // ~3/4 of all records cross the interconnect on 4 nodes.
     assert!(stats.exchange_bytes_out > n * RECORD_LEN as u64 / 2);
 }
@@ -121,7 +125,11 @@ fn skewed_distribution_is_correct_but_unbalanced() {
     validate_records(&output, cs).unwrap();
     assert_eq!(output, reference_sort(&input));
     // Two distinct keys over 8 nodes: some node owns ≥ 4× its fair share.
-    assert!(stats.exchange_skew() > 3.0, "skew {}", stats.exchange_skew());
+    assert!(
+        stats.exchange_skew() > 3.0,
+        "skew {}",
+        stats.exchange_skew()
+    );
 }
 
 /// Two real-socket workers: same byte-identical contract over TCP.

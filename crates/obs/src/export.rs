@@ -218,7 +218,10 @@ mod tests {
             .filter(|e| e.field_str("ph") == Ok("X"))
             .collect();
         assert_eq!(xs.len(), 3);
-        let read = xs.iter().find(|e| e.field_str("name") == Ok("read")).unwrap();
+        let read = xs
+            .iter()
+            .find(|e| e.field_str("name") == Ok("read"))
+            .unwrap();
         assert_eq!(read.field_f64("ts").unwrap(), 0.1); // 100 ns = 0.1 µs
         assert_eq!(read.field_f64("dur").unwrap(), 2.0);
         assert_eq!(read.field_u64("pid").unwrap(), 0);
@@ -227,10 +230,7 @@ mod tests {
             .find(|e| e.field_str("name") == Ok("exchange"))
             .unwrap();
         assert_eq!(exch.field_u64("pid").unwrap(), 1); // node0 process
-        assert_eq!(
-            exch.get("args").unwrap().field_u64("bytes").unwrap(),
-            4096
-        );
+        assert_eq!(exch.get("args").unwrap().field_u64("bytes").unwrap(), 4096);
         // Metadata names both processes.
         let metas: Vec<&Json> = events
             .iter()
@@ -270,7 +270,11 @@ mod tests {
                 .unwrap(),
             1_048_576
         );
-        let hist = parsed.get("histograms").unwrap().get("net.frame.bytes").unwrap();
+        let hist = parsed
+            .get("histograms")
+            .unwrap()
+            .get("net.frame.bytes")
+            .unwrap();
         assert_eq!(hist.field_u64("count").unwrap(), 2);
         let buckets = hist.field_arr("buckets").unwrap();
         assert_eq!(buckets.len(), 1);

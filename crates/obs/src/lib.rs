@@ -119,5 +119,6 @@ pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
     // The recorder is process-global; unit tests that flip it on and off
     // serialize on this lock so they cannot corrupt each other's state.
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -239,7 +239,11 @@ impl MetricsSnapshot {
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let s = store().lock().unwrap();
     MetricsSnapshot {
-        counters: s.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        counters: s
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
         gauges: s.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
         histograms: s
             .histograms

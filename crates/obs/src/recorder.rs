@@ -165,8 +165,11 @@ impl TraceSnapshot {
 
     /// Distinct track labels present, sorted (`None` excluded).
     pub fn tracks(&self) -> Vec<String> {
-        let set: std::collections::BTreeSet<&str> =
-            self.events.iter().filter_map(|e| e.track.as_deref()).collect();
+        let set: std::collections::BTreeSet<&str> = self
+            .events
+            .iter()
+            .filter_map(|e| e.track.as_deref())
+            .collect();
         set.into_iter().map(str::to_string).collect()
     }
 
@@ -377,9 +380,7 @@ pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
     if !is_enabled() {
         return;
     }
-    let start_ns = Instant::now()
-        .saturating_duration_since(epoch())
-        .as_nanos() as u64;
+    let start_ns = Instant::now().saturating_duration_since(epoch()).as_nanos() as u64;
     let event = Event {
         name,
         kind: EventKind::Instant,

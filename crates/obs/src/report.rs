@@ -90,7 +90,11 @@ pub fn figure7(snap: &TraceSnapshot) -> String {
     out.push_str(&format!(
         "{:<label_w$}  {bsecs:>9.3}  {:>7.1}%\n",
         "phase sum",
-        if esecs > 0.0 { bsecs / esecs * 100.0 } else { 0.0 }
+        if esecs > 0.0 {
+            bsecs / esecs * 100.0
+        } else {
+            0.0
+        }
     ));
     let overlap = if esecs > 0.0 && bsecs > esecs {
         (bsecs - esecs) / esecs * 100.0

@@ -57,7 +57,10 @@ fn concurrent_recording_preserves_nesting_and_loses_nothing() {
     let mut by_tid: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
     for e in &snap.events {
         if let EventKind::Span { .. } = e.kind {
-            by_tid.entry(e.tid).or_default().push((e.start_ns, e.end_ns()));
+            by_tid
+                .entry(e.tid)
+                .or_default()
+                .push((e.start_ns, e.end_ns()));
         }
     }
     assert!(by_tid.len() >= 4, "expected ≥4 recording threads");

@@ -1,12 +1,20 @@
 //! Random-access striped file IO.
+//!
+//! Member operations that fail with a *transient* error kind (see
+//! [`crate::retry::is_transient`]) are reissued up to the file's
+//! [`RetryPolicy`] budget with linear backoff; errors that survive the
+//! budget come back wrapped with the disk, physical offset, file name and
+//! logical offset they happened at, preserving the original error kind.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use alphasort_iosim::{IoEngine, IoHandle};
+use alphasort_obs as obs;
 
 use crate::geometry::{Segment, StripeDef};
+use crate::retry::{is_transient, IoPolicy, RetryPolicy};
 
 /// An open striped file: geometry plus the engine that reaches its disks.
 pub struct StripedFile {
@@ -18,20 +26,144 @@ pub struct StripedFile {
     /// past it fail instead of silently bleeding into a neighbouring
     /// file's extents.
     capacity: Option<u64>,
+    /// Retry budget and per-disk health, shared volume-wide for files a
+    /// [`Volume`](crate::Volume) creates.
+    policy: Arc<IoPolicy>,
+}
+
+/// Completion context one in-flight striped op needs to retry and to
+/// attribute errors: the engine to reissue on, the policy to consult, and
+/// the identity (file name + logical base offset) to name in messages.
+struct OpCtx {
+    engine: Arc<IoEngine>,
+    policy: Arc<IoPolicy>,
+    file: String,
+    base: u64,
+}
+
+impl OpCtx {
+    fn attribute(
+        &self,
+        e: io::Error,
+        verb: &str,
+        seg: &Segment,
+        disk: usize,
+        attempts: u32,
+    ) -> io::Error {
+        let dname = self.engine.disks()[disk].name().to_string();
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{verb} on disk {disk} ({dname}) failed at phys offset {} \
+                 (file '{}', logical offset {}, {attempts} attempt(s)): {e}",
+                seg.phys,
+                self.file,
+                self.base + seg.buf_off as u64,
+            ),
+        )
+    }
+
+    /// Wait for one member read, retrying transient errors in place.
+    fn complete_read(
+        &self,
+        seg: &Segment,
+        disk: usize,
+        h: IoHandle<Vec<u8>>,
+    ) -> io::Result<Vec<u8>> {
+        let max = self.policy.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        let mut res = h.wait();
+        loop {
+            match res {
+                Ok(data) => {
+                    self.policy.record_success(disk);
+                    return Ok(data);
+                }
+                Err(e) => {
+                    self.policy.record_failure(disk);
+                    if is_transient(e.kind()) && attempt < max {
+                        obs::metrics::counter_add("io.retry", 1);
+                        std::thread::sleep(self.policy.retry.backoff.saturating_mul(attempt));
+                        attempt += 1;
+                        res = self.engine.read(disk, seg.phys, seg.len).wait();
+                    } else {
+                        obs::metrics::counter_add("io.giveup", 1);
+                        return Err(self.attribute(e, "read", seg, disk, attempt));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait for one member write, retrying transient errors (including
+    /// short writes) in place. `data` is the op's full logical buffer, kept
+    /// for reissue; `None` means retries were disabled at issue time.
+    fn complete_write(
+        &self,
+        seg: &Segment,
+        disk: usize,
+        h: IoHandle<usize>,
+        data: Option<&[u8]>,
+    ) -> io::Result<usize> {
+        let max = self.policy.retry.max_attempts.max(1);
+        let short = |n: usize| {
+            io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write ({n} of {} bytes)", seg.len),
+            )
+        };
+        let mut attempt = 1u32;
+        let mut res = h.wait();
+        loop {
+            match res {
+                Ok(n) if n == seg.len => {
+                    self.policy.record_success(disk);
+                    return Ok(n);
+                }
+                Ok(n) => res = Err(short(n)),
+                Err(e) => {
+                    self.policy.record_failure(disk);
+                    if let Some(data) = data.filter(|_| is_transient(e.kind()) && attempt < max) {
+                        obs::metrics::counter_add("io.retry", 1);
+                        std::thread::sleep(self.policy.retry.backoff.saturating_mul(attempt));
+                        attempt += 1;
+                        let payload = data[seg.buf_off..seg.buf_off + seg.len].to_vec();
+                        res = self.engine.write(disk, seg.phys, payload).wait();
+                    } else {
+                        obs::metrics::counter_add("io.giveup", 1);
+                        return Err(self.attribute(e, "write", seg, disk, attempt));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// An in-flight striped read: per-segment handles plus assembly information.
 pub struct StripedRead {
-    segs: Vec<(Segment, IoHandle<Vec<u8>>)>,
+    ctx: OpCtx,
+    segs: Vec<(Segment, usize, IoHandle<Vec<u8>>)>,
     total: usize,
+    /// Immediate rejection (e.g. a failed member disk), reported at wait().
+    early_error: Option<io::Error>,
 }
 
 impl StripedRead {
     /// Wait for all member reads and assemble the logical buffer.
+    /// Transient member errors are retried per the file's [`RetryPolicy`].
     pub fn wait(self) -> io::Result<Vec<u8>> {
-        let mut out = vec![0u8; self.total];
-        for (seg, h) in self.segs {
-            let data = h.wait()?;
+        let StripedRead {
+            ctx,
+            segs,
+            total,
+            early_error,
+        } = self;
+        if let Some(e) = early_error {
+            return Err(e);
+        }
+        let mut out = vec![0u8; total];
+        for (seg, disk, h) in segs {
+            let data = ctx.complete_read(&seg, disk, h)?;
             out[seg.buf_off..seg.buf_off + seg.len].copy_from_slice(&data);
         }
         Ok(out)
@@ -39,13 +171,17 @@ impl StripedRead {
 
     /// Whether every member read has completed.
     pub fn is_ready(&self) -> bool {
-        self.segs.iter().all(|(_, h)| h.is_ready())
+        self.segs.iter().all(|(_, _, h)| h.is_ready())
     }
 }
 
 /// An in-flight striped write.
 pub struct StripedWrite {
-    handles: Vec<IoHandle<usize>>,
+    ctx: OpCtx,
+    segs: Vec<(Segment, usize, IoHandle<usize>)>,
+    /// Retained logical buffer for reissuing failed segments; absent when
+    /// the policy allows only one attempt (no copy needed).
+    data: Option<Vec<u8>>,
     total: usize,
     /// Immediate rejection (e.g. capacity overflow), reported at wait().
     early_error: Option<io::Error>,
@@ -53,19 +189,27 @@ pub struct StripedWrite {
 
 impl StripedWrite {
     /// Wait for all member writes; returns the logical byte count written.
+    /// Transient member errors are retried per the file's [`RetryPolicy`].
     pub fn wait(self) -> io::Result<usize> {
-        if let Some(e) = self.early_error {
+        let StripedWrite {
+            ctx,
+            segs,
+            data,
+            total,
+            early_error,
+        } = self;
+        if let Some(e) = early_error {
             return Err(e);
         }
-        for h in self.handles {
-            h.wait()?;
+        for (seg, disk, h) in segs {
+            ctx.complete_write(&seg, disk, h, data.as_deref())?;
         }
-        Ok(self.total)
+        Ok(total)
     }
 
     /// Whether every member write has completed.
     pub fn is_ready(&self) -> bool {
-        self.handles.iter().all(|h| h.is_ready())
+        self.segs.iter().all(|(_, _, h)| h.is_ready())
     }
 }
 
@@ -84,11 +228,13 @@ impl StripedFile {
             );
         }
         let len = AtomicU64::new(def.len);
+        let policy = Arc::new(IoPolicy::new(RetryPolicy::default(), engine.width()));
         StripedFile {
             def,
             engine,
             len,
             capacity: None,
+            policy,
         }
     }
 
@@ -103,6 +249,49 @@ impl StripedFile {
     /// The reserved logical capacity, if known.
     pub fn capacity(&self) -> Option<u64> {
         self.capacity
+    }
+
+    /// Replace this file's retry policy (fresh per-disk health). Files
+    /// opened through a [`Volume`](crate::Volume) share the volume's
+    /// policy instead; prefer configuring retries there.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.policy = Arc::new(IoPolicy::new(retry, self.engine.width()));
+    }
+
+    /// Attach a shared (volume-wide) policy.
+    pub(crate) fn attach_policy(&mut self, policy: Arc<IoPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The engine driving this file's member disks.
+    pub(crate) fn engine(&self) -> &Arc<IoEngine> {
+        &self.engine
+    }
+
+    fn op_ctx(&self, base: u64) -> OpCtx {
+        OpCtx {
+            engine: Arc::clone(&self.engine),
+            policy: Arc::clone(&self.policy),
+            file: self.def.name.clone(),
+            base,
+        }
+    }
+
+    /// If any member disk the planned segments touch has tripped the
+    /// failure latch, the error to fail fast with.
+    fn failed_disk_error(&self, verb: &str, plan: &[Segment], offset: u64) -> Option<io::Error> {
+        for seg in plan {
+            let d = self.def.members[seg.member].disk;
+            if self.policy.is_failed(d) {
+                return Some(io::Error::other(format!(
+                    "{verb} of file '{}' at logical offset {offset} refused: disk {d} ({}) \
+                     marked failed after repeated errors",
+                    self.def.name,
+                    self.engine.disks()[d].name(),
+                )));
+            }
+        }
+        None
     }
 
     /// The stripe definition (geometry).
@@ -141,17 +330,29 @@ impl StripedFile {
     /// Member requests are issued to every involved disk before returning,
     /// so they proceed in parallel (the paper's Figure 5).
     pub fn read_at_async(&self, offset: u64, len: usize) -> StripedRead {
-        let segs = self
-            .def
-            .plan(offset, len)
+        let plan = self.def.plan(offset, len);
+        if let Some(e) = self.failed_disk_error("read", &plan, offset) {
+            return StripedRead {
+                ctx: self.op_ctx(offset),
+                segs: Vec::new(),
+                total: 0,
+                early_error: Some(e),
+            };
+        }
+        let segs = plan
             .into_iter()
             .map(|seg| {
                 let disk = self.def.members[seg.member].disk;
                 let h = self.engine.read(disk, seg.phys, seg.len);
-                (seg, h)
+                (seg, disk, h)
             })
             .collect();
-        StripedRead { segs, total: len }
+        StripedRead {
+            ctx: self.op_ctx(offset),
+            segs,
+            total: len,
+            early_error: None,
+        }
     }
 
     /// Synchronous striped read.
@@ -165,41 +366,51 @@ impl StripedFile {
     /// on the member disks are allocated back-to-back, so overflowing one
     /// file would corrupt its neighbour.
     pub fn write_at_async(&self, offset: u64, data: &[u8]) -> StripedWrite {
+        let reject = |e: io::Error| StripedWrite {
+            ctx: self.op_ctx(offset),
+            segs: Vec::new(),
+            data: None,
+            total: 0,
+            early_error: Some(e),
+        };
         if let Some(cap) = self.capacity {
             let end = offset + data.len() as u64;
             if end > cap {
-                return StripedWrite {
-                    handles: Vec::new(),
-                    total: 0,
-                    early_error: Some(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!(
-                            "write to {} past reserved capacity ({} > {} bytes); \
-                             create the file with a larger size hint",
-                            self.def.name, end, cap
-                        ),
-                    )),
-                };
+                return reject(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "write to {} past reserved capacity ({} > {} bytes); \
+                         create the file with a larger size hint",
+                        self.def.name, end, cap
+                    ),
+                ));
             }
         }
-        let handles = self
-            .def
-            .plan(offset, data.len())
+        let plan = self.def.plan(offset, data.len());
+        if let Some(e) = self.failed_disk_error("write", &plan, offset) {
+            return reject(e);
+        }
+        let segs = plan
             .into_iter()
             .map(|seg| {
                 let disk = self.def.members[seg.member].disk;
-                self.engine.write(
+                let h = self.engine.write(
                     disk,
                     seg.phys,
                     data[seg.buf_off..seg.buf_off + seg.len].to_vec(),
-                )
+                );
+                (seg, disk, h)
             })
             .collect();
         // Extend logical length eagerly; failed writes surface at wait().
         let end = offset + data.len() as u64;
         self.len.fetch_max(end, Ordering::AcqRel);
+        // Keep one copy of the logical buffer only if retries can reissue.
+        let retained = (self.policy.retry.max_attempts > 1).then(|| data.to_vec());
         StripedWrite {
-            handles,
+            ctx: self.op_ctx(offset),
+            segs,
+            data: retained,
             total: data.len(),
             early_error: None,
         }
@@ -311,6 +522,117 @@ mod tests {
         assert_eq!(f.len(), 60);
         f.write_at(0, &[1u8; 5]).unwrap();
         assert_eq!(f.len(), 60); // earlier write does not shrink
+    }
+
+    fn faulty_engine(width: usize, plans: Vec<alphasort_iosim::FaultPlan>) -> Arc<IoEngine> {
+        let disks = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let storage = Arc::new(alphasort_iosim::FaultyStorage::new(
+                    Arc::new(MemStorage::new()),
+                    plan,
+                ));
+                SimDisk::new(
+                    format!("d{i}"),
+                    catalog::uncapped(),
+                    storage,
+                    Pacing::Modeled,
+                    None,
+                )
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(disks.len(), width);
+        Arc::new(IoEngine::new(disks))
+    }
+
+    fn two_disk_file(plans: Vec<alphasort_iosim::FaultPlan>) -> StripedFile {
+        let engine = faulty_engine(2, plans);
+        let members = (0..2).map(|i| Member { disk: i, base: 0 }).collect();
+        StripedFile::new(StripeDef::new("chaos", 16, members), engine)
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried_to_success() {
+        use alphasort_iosim::FaultPlan;
+        let f = two_disk_file(vec![
+            FaultPlan::new().fail_read(0, io::ErrorKind::TimedOut),
+            FaultPlan::new(),
+        ]);
+        let data: Vec<u8> = (0..96u8).collect();
+        f.write_at(0, &data).unwrap();
+        // Disk 0's first read faults transiently; the default policy
+        // reissues and the striped read still completes.
+        assert_eq!(f.read_at(0, 96).unwrap(), data);
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_to_success() {
+        use alphasort_iosim::FaultPlan;
+        let f = two_disk_file(vec![
+            FaultPlan::new().fail_write(0, io::ErrorKind::WriteZero),
+            FaultPlan::new(),
+        ]);
+        let data: Vec<u8> = (0..96u8).collect();
+        f.write_at(0, &data).unwrap();
+        assert_eq!(f.read_at(0, 96).unwrap(), data);
+    }
+
+    #[test]
+    fn recurring_fault_exhausts_budget_with_attribution() {
+        use alphasort_iosim::FaultPlan;
+        let f = two_disk_file(vec![
+            FaultPlan::new().fail_read_every(1, io::ErrorKind::TimedOut),
+            FaultPlan::new(),
+        ]);
+        f.write_at(0, &[7u8; 64]).unwrap();
+        let err = f.read_at(0, 64).unwrap_err();
+        // Original kind preserved; disk, file and offsets named.
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("disk 0 (d0)"), "{msg}");
+        assert!(msg.contains("file 'chaos'"), "{msg}");
+        assert!(msg.contains("3 attempt(s)"), "{msg}");
+    }
+
+    #[test]
+    fn non_transient_fault_is_not_retried() {
+        use alphasort_iosim::FaultPlan;
+        let f = two_disk_file(vec![
+            FaultPlan::new().fail_read(0, io::ErrorKind::PermissionDenied),
+            FaultPlan::new(),
+        ]);
+        f.write_at(0, &[1u8; 64]).unwrap();
+        let err = f.read_at(0, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert!(err.to_string().contains("1 attempt(s)"), "{err}");
+        // The one-shot fault was the only one; an undisturbed reissue
+        // would have succeeded — proof the budget was not spent on it.
+        assert_eq!(f.read_at(0, 64).unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    fn failing_disk_trips_latch_and_fails_fast() {
+        use crate::retry::RetryPolicy;
+        use alphasort_iosim::FaultPlan;
+        let mut f = two_disk_file(vec![
+            FaultPlan::new().fail_read_after(0, io::ErrorKind::TimedOut),
+            FaultPlan::new(),
+        ]);
+        f.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff: std::time::Duration::ZERO,
+            disk_fail_threshold: 3,
+        });
+        f.write_at(0, &[2u8; 64]).unwrap();
+        // Two striped reads × 2 attempts each = 4 strikes ≥ threshold 3.
+        assert!(f.read_at(0, 64).is_err());
+        assert!(f.read_at(0, 64).is_err());
+        // The latch now rejects before reaching the disk.
+        let err = f.read_at(0, 64).unwrap_err();
+        assert!(err.to_string().contains("marked failed"), "{err}");
+        let err = f.write_at(0, &[0u8; 64]).unwrap_err();
+        assert!(err.to_string().contains("marked failed"), "{err}");
     }
 
     #[test]

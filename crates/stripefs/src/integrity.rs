@@ -1,0 +1,98 @@
+//! Stride checksums: end-to-end integrity for striped scratch runs.
+//!
+//! Every stride a [`StripedWriter`](crate::StripedWriter) issues in
+//! checksummed mode is fingerprinted per *physical segment* (one CRC32C per
+//! member-disk chunk, in plan order), so a later verified read can say not
+//! just "this stride is corrupt" but *which disk* returned bad bytes and at
+//! which physical offset. The whole-stream CRC doubles as a cheap identity
+//! for run manifests.
+//!
+//! The checksums live host-side (in the run manifest JSON), not on the
+//! simulated disks: like the paper's stripe descriptor files, they are
+//! metadata *about* the disk array, kept where the recovery code can read
+//! them even when a member disk is lying.
+
+use alphasort_minijson::{Json, JsonError};
+
+/// Per-stride, per-segment CRC32C fingerprints of one written stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunChecksums {
+    /// For each stride (in order from logical offset 0): the CRC32C of each
+    /// planned physical segment, in [`StripeDef::plan`](crate::StripeDef::plan)
+    /// order. The final entry may cover a partial stride.
+    pub strides: Vec<Vec<u32>>,
+    /// CRC32C of the entire logical byte stream.
+    pub total: u32,
+    /// Logical bytes covered.
+    pub bytes: u64,
+}
+
+impl RunChecksums {
+    /// JSON form, for run manifests.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bytes".into(), Json::from(self.bytes)),
+            ("total".into(), Json::from(u64::from(self.total))),
+            (
+                "strides".into(),
+                Json::Arr(
+                    self.strides
+                        .iter()
+                        .map(|segs| {
+                            Json::Arr(segs.iter().map(|&c| Json::from(u64::from(c))).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild from the JSON form.
+    pub fn from_json(v: &Json) -> Result<RunChecksums, JsonError> {
+        let crc = |j: &Json| -> Result<u32, JsonError> {
+            j.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::new("checksum entry is not a u32"))
+        };
+        let strides = v
+            .field_arr("strides")?
+            .iter()
+            .map(|row| match row {
+                Json::Arr(segs) => segs.iter().map(crc).collect::<Result<Vec<_>, _>>(),
+                _ => Err(JsonError::new("stride checksum row is not an array")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunChecksums {
+            strides,
+            total: crc(v
+                .get("total")
+                .ok_or_else(|| JsonError::new("missing field `total`"))?)?,
+            bytes: v.field_u64("bytes")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let c = RunChecksums {
+            strides: vec![vec![1, 0xFFFF_FFFF], vec![42]],
+            total: 0xDEAD_BEEF,
+            bytes: 12_345,
+        };
+        let json = c.to_json().dump();
+        let back = RunChecksums::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad = r#"{"bytes": 1, "total": 2, "strides": [3]}"#;
+        assert!(RunChecksums::from_json(&Json::parse(bad).unwrap()).is_err());
+        let overflow = r#"{"bytes": 1, "total": 5000000000, "strides": []}"#;
+        assert!(RunChecksums::from_json(&Json::parse(overflow).unwrap()).is_err());
+    }
+}

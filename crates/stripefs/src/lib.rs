@@ -52,12 +52,16 @@
 
 pub mod file;
 pub mod geometry;
+pub mod integrity;
 pub mod reader;
+pub mod retry;
 pub mod volume;
 pub mod writer;
 
 pub use file::{StripedFile, StripedRead, StripedWrite};
 pub use geometry::{Member, Segment, StripeDef};
+pub use integrity::RunChecksums;
 pub use reader::StripedReader;
+pub use retry::RetryPolicy;
 pub use volume::Volume;
 pub use writer::StripedWriter;

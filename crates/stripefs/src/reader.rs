@@ -8,9 +8,11 @@ use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::sync::Arc;
 
+use alphasort_crc::crc32c;
 use alphasort_obs as obs;
 
 use crate::file::{StripedFile, StripedRead};
+use crate::integrity::RunChecksums;
 
 /// Sequential reader over a [`StripedFile`] with N-deep read-ahead.
 pub struct StripedReader {
@@ -24,6 +26,9 @@ pub struct StripedReader {
     /// Left-over bytes for the `Read` impl.
     spill: Vec<u8>,
     spill_off: usize,
+    /// Expected stride fingerprints; every delivered stride is verified
+    /// against them when present.
+    checks: Option<RunChecksums>,
 }
 
 impl StripedReader {
@@ -47,9 +52,86 @@ impl StripedReader {
             inflight: VecDeque::new(),
             spill: Vec::new(),
             spill_off: 0,
+            checks: None,
         };
         r.pump();
         r
+    }
+
+    /// Like [`new`](Self::new), but every delivered stride is verified
+    /// against `checks` (recorded at write time by
+    /// [`StripedWriter::with_checksums`](crate::StripedWriter::with_checksums)).
+    /// A mismatching segment surfaces as [`io::ErrorKind::InvalidData`]
+    /// naming the member disk, physical offset and logical position.
+    ///
+    /// Fails up front if `checks` does not cover the file's current length
+    /// (a truncated or over-extended file is corruption too).
+    pub fn verified(file: Arc<StripedFile>, checks: RunChecksums) -> io::Result<Self> {
+        if checks.bytes != file.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checksum manifest for file '{}' covers {} bytes but the file has {}",
+                    file.def().name,
+                    checks.bytes,
+                    file.len()
+                ),
+            ));
+        }
+        let mut r = Self::new(file);
+        r.checks = Some(checks);
+        Ok(r)
+    }
+
+    /// Verify one delivered stride against the recorded fingerprints.
+    fn verify_stride(&self, off: u64, data: &[u8]) -> io::Result<()> {
+        let Some(checks) = &self.checks else {
+            return Ok(());
+        };
+        let def = self.file.def();
+        let idx = (off / def.stride()) as usize;
+        let expected = checks.strides.get(idx).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "file '{}' has no recorded checksums for stride {idx} \
+                     (logical offset {off}); manifest is truncated",
+                    def.name
+                ),
+            )
+        })?;
+        let plan = def.plan(off, data.len());
+        if plan.len() != expected.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "file '{}' stride {idx}: {} segments planned but {} checksums recorded",
+                    def.name,
+                    plan.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        for (seg, &want) in plan.iter().zip(expected) {
+            let got = crc32c(&data[seg.buf_off..seg.buf_off + seg.len]);
+            if got != want {
+                let disk = def.members[seg.member].disk;
+                obs::metrics::counter_add("stripe.crc_error", 1);
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checksum mismatch on disk {disk} ({}) at phys offset {}: \
+                         file '{}' stride {idx}, logical offset {}: \
+                         expected {want:#010x}, got {got:#010x}",
+                        self.file.engine().disks()[disk].name(),
+                        seg.phys,
+                        def.name,
+                        off + seg.buf_off as u64,
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn pump(&mut self) {
@@ -77,7 +159,10 @@ impl StripedReader {
         // land — with read-ahead working, it should be near zero.
         let mut g = obs::span(obs::phase::STRIPE_READ);
         g.attr("offset", off);
-        let data = rd.wait();
+        let data = rd.wait().and_then(|d| {
+            self.verify_stride(off, &d)?;
+            Ok(d)
+        });
         if let Ok(d) = &data {
             g.attr("bytes", d.len() as u64);
             obs::metrics::counter_add("stripe.read.bytes", d.len() as u64);
@@ -191,6 +276,65 @@ mod tests {
         let f = Arc::new(v.create_across_all("empty", 64, 0));
         let mut r = StripedReader::new(f);
         assert!(r.next_stride().is_none());
+    }
+
+    #[test]
+    fn verified_reader_accepts_clean_data() {
+        let v = volume(3);
+        let f = Arc::new(v.create_across_all("ok", 64, 5_000));
+        let data: Vec<u8> = (0..5_000).map(|i| (i % 249) as u8).collect();
+        let mut w = crate::StripedWriter::with_checksums(Arc::clone(&f));
+        w.push(&data).unwrap();
+        let (n, checks) = w.finish_checksummed().unwrap();
+        assert_eq!(n, 5_000);
+        assert_eq!(checks.bytes, 5_000);
+        assert!(!checks.strides.is_empty());
+
+        let mut r = StripedReader::verified(Arc::clone(&f), checks).unwrap();
+        let mut got = Vec::new();
+        while let Some(s) = r.next_stride() {
+            got.extend_from_slice(&s.unwrap());
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn verified_reader_names_the_corrupt_disk() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("tamper", 64, 2_000));
+        let data = vec![0x33u8; 2_000];
+        let mut w = crate::StripedWriter::with_checksums(Arc::clone(&f));
+        w.push(&data).unwrap();
+        let (_, checks) = w.finish_checksummed().unwrap();
+
+        // Flip one byte on disk 1 behind the stripe layer's back (stride =
+        // 128, so logical offset 64 lives in chunk 1 → disk 1 at phys base).
+        let base = f.def().members[1].base;
+        v.engine().write(1, base, vec![0xCC]).wait().unwrap();
+
+        let mut r = StripedReader::verified(Arc::clone(&f), checks).unwrap();
+        let err = r.next_stride().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("checksum mismatch on disk 1 (d1)"), "{msg}");
+        assert!(msg.contains("file 'tamper'"), "{msg}");
+        assert!(msg.contains("stride 0"), "{msg}");
+    }
+
+    #[test]
+    fn verified_reader_rejects_wrong_length_up_front() {
+        let v = volume(2);
+        let f = Arc::new(v.create_across_all("short", 64, 1_000));
+        let mut w = crate::StripedWriter::with_checksums(Arc::clone(&f));
+        w.push(&[1u8; 500]).unwrap();
+        let (_, mut checks) = w.finish_checksummed().unwrap();
+        checks.bytes = 400; // manifest lies about coverage
+        let err = match StripedReader::verified(f, checks) {
+            Ok(_) => panic!("expected length mismatch"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("covers 400 bytes"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Bounded retry with backoff for transient member-disk errors, plus
+//! per-disk health accounting.
+//!
+//! A striped file touches many disks per operation, so one flaky member
+//! turns every stride into a coin flip. The paper's hardware era answered
+//! this with controller retries; here the striping layer itself retries
+//! member operations whose error kind looks *transient* — timeouts,
+//! interrupts, short writes — up to a bounded attempt budget with linear
+//! backoff. Persistent errors are not hidden: after the budget is spent the
+//! original error kind is surfaced, wrapped with the disk, physical offset
+//! and file it happened on, and the disk's health record takes a strike.
+//! Enough consecutive strikes mark the disk *failed*, after which new IO to
+//! it fails fast instead of burning the full retry budget per stride.
+//!
+//! Counters: `io.retry` (reissued member ops), `io.giveup` (budget
+//! exhausted or non-transient), `stripe.disk_failed` (health transitions,
+//! bumped once per disk).
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Duration;
+
+use alphasort_obs as obs;
+
+/// How striped IO responds to transient member-disk errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per member operation, including the first
+    /// (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff: attempt `k` (1-based) sleeps `backoff × k` before the
+    /// reissue, so repeated failures back off linearly.
+    pub backoff: Duration,
+    /// Consecutive failed attempts on one disk before it is marked failed
+    /// and further IO to it fails fast. `0` disables the health latch.
+    pub disk_fail_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            disk_fail_threshold: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no health latch: every member error surfaces immediately
+    /// (the pre-retry behaviour, still useful for fault-injection tests
+    /// that count operations).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            disk_fail_threshold: 0,
+        }
+    }
+}
+
+/// Whether an error kind is worth retrying: the class a real device clears
+/// on reissue (timeouts, interrupted calls, short writes) as opposed to
+/// deterministic failures (bad address, corrupt data, permissions).
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Per-disk health: consecutive failed attempts and the failed latch.
+#[derive(Debug, Default)]
+struct DiskHealth {
+    consecutive: AtomicU32,
+    failed: AtomicBool,
+}
+
+/// A retry policy plus the per-disk health it drives, shared by every file
+/// of a [`Volume`](crate::Volume) (an `Arc<IoPolicy>`): a disk that proves
+/// bad while writing one run is already avoided when the next run opens.
+#[derive(Debug)]
+pub struct IoPolicy {
+    /// The retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    disks: Vec<DiskHealth>,
+}
+
+impl IoPolicy {
+    /// A policy tracking `width` disks.
+    pub fn new(retry: RetryPolicy, width: usize) -> Self {
+        IoPolicy {
+            retry,
+            disks: (0..width).map(|_| DiskHealth::default()).collect(),
+        }
+    }
+
+    /// Whether disk `d` has tripped the failure latch.
+    pub fn is_failed(&self, d: usize) -> bool {
+        self.disks
+            .get(d)
+            .is_some_and(|h| h.failed.load(Ordering::Acquire))
+    }
+
+    /// A successful member operation on disk `d` resets its strike count.
+    pub fn record_success(&self, d: usize) {
+        if let Some(h) = self.disks.get(d) {
+            h.consecutive.store(0, Ordering::Release);
+        }
+    }
+
+    /// A failed attempt on disk `d`; trips the failure latch (and bumps
+    /// `stripe.disk_failed`, once) when strikes reach the threshold.
+    pub fn record_failure(&self, d: usize) {
+        let Some(h) = self.disks.get(d) else { return };
+        let strikes = h.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        let threshold = self.retry.disk_fail_threshold;
+        if threshold > 0 && strikes >= threshold && !h.failed.swap(true, Ordering::AcqRel) {
+            obs::metrics::counter_add("stripe.disk_failed", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_kinds() {
+        assert!(is_transient(io::ErrorKind::TimedOut));
+        assert!(is_transient(io::ErrorKind::Interrupted));
+        assert!(is_transient(io::ErrorKind::WriteZero));
+        assert!(!is_transient(io::ErrorKind::PermissionDenied));
+        assert!(!is_transient(io::ErrorKind::InvalidData));
+        assert!(!is_transient(io::ErrorKind::NotFound));
+    }
+
+    #[test]
+    fn latch_trips_at_threshold_and_success_resets() {
+        let p = IoPolicy::new(
+            RetryPolicy {
+                disk_fail_threshold: 3,
+                ..RetryPolicy::default()
+            },
+            2,
+        );
+        p.record_failure(0);
+        p.record_failure(0);
+        assert!(!p.is_failed(0));
+        p.record_success(0); // strikes reset
+        p.record_failure(0);
+        p.record_failure(0);
+        assert!(!p.is_failed(0));
+        p.record_failure(0);
+        assert!(p.is_failed(0));
+        assert!(!p.is_failed(1)); // other disk untouched
+    }
+
+    #[test]
+    fn zero_threshold_never_latches() {
+        let p = IoPolicy::new(
+            RetryPolicy {
+                disk_fail_threshold: 0,
+                ..RetryPolicy::default()
+            },
+            1,
+        );
+        for _ in 0..100 {
+            p.record_failure(0);
+        }
+        assert!(!p.is_failed(0));
+    }
+
+    #[test]
+    fn out_of_range_disk_is_harmless() {
+        let p = IoPolicy::new(RetryPolicy::default(), 1);
+        p.record_failure(9);
+        p.record_success(9);
+        assert!(!p.is_failed(9));
+    }
+}

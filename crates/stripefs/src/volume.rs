@@ -17,6 +17,7 @@ use alphasort_minijson::Json;
 
 use crate::file::StripedFile;
 use crate::geometry::{Member, StripeDef};
+use crate::retry::{IoPolicy, RetryPolicy};
 
 /// Extent allocator + file factory over an engine's disks.
 ///
@@ -25,12 +26,27 @@ use crate::geometry::{Member, StripeDef};
 /// lists, and later creations reuse a freed extent when one is big enough
 /// (first-fit). Two-pass sorts with cascade merges recycle scratch space
 /// this way instead of growing the disks level after level.
+///
+/// All files a volume creates or opens share its [`RetryPolicy`] and the
+/// per-disk health accounting behind it: a member disk that keeps failing
+/// while one file retries is already avoided when the next file opens.
 pub struct Volume {
     engine: Arc<IoEngine>,
     /// Next free byte on each disk.
     next_free: Vec<AtomicU64>,
     /// Freed extents per disk: (base, size), unordered, first-fit reuse.
     free: Vec<Mutex<Vec<(u64, u64)>>>,
+    /// Per-disk allocation ceiling; [`allocate`](Self::allocate) fails with
+    /// [`io::ErrorKind::StorageFull`] past it. `None` = unbounded.
+    disk_limit: Option<u64>,
+    /// Retry budget + per-disk health shared by this volume's files.
+    policy: Arc<IoPolicy>,
+}
+
+/// Mutex lock that survives a poisoned peer (an IO thread that panicked
+/// mid-allocation must not wedge every later create on this volume).
+fn lock_free(m: &Mutex<Vec<(u64, u64)>>) -> std::sync::MutexGuard<'_, Vec<(u64, u64)>> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl Volume {
@@ -40,18 +56,51 @@ impl Volume {
         let free = (0..engine.width())
             .map(|_| Mutex::new(Vec::new()))
             .collect();
+        let policy = Arc::new(IoPolicy::new(RetryPolicy::default(), engine.width()));
         Volume {
             engine,
             next_free,
             free,
+            disk_limit: None,
+            policy,
         }
     }
 
+    /// Replace the volume's retry policy (fresh per-disk health). Applies
+    /// to files created or opened afterwards.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.policy = Arc::new(IoPolicy::new(retry, self.engine.width()));
+    }
+
+    /// Builder form of [`set_retry_policy`](Self::set_retry_policy).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.set_retry_policy(retry);
+        self
+    }
+
+    /// The volume's current retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy.retry
+    }
+
+    /// Cap every disk at `limit` bytes of allocated extents; allocations
+    /// that would cross it fail with [`io::ErrorKind::StorageFull`].
+    pub fn set_disk_limit(&mut self, limit: Option<u64>) {
+        self.disk_limit = limit;
+    }
+
+    /// Builder form of [`set_disk_limit`](Self::set_disk_limit).
+    pub fn with_disk_limit(mut self, limit: u64) -> Self {
+        self.disk_limit = Some(limit);
+        self
+    }
+
     /// Allocate `extent` bytes on disk `d`: reuse a freed extent when one
-    /// fits (first-fit, splitting the remainder back), else bump.
-    fn allocate(&self, d: usize, extent: u64) -> u64 {
+    /// fits (first-fit, splitting the remainder back), else bump — failing
+    /// with `StorageFull` if the bump would cross the disk limit.
+    fn allocate(&self, d: usize, extent: u64) -> io::Result<u64> {
         {
-            let mut free = self.free[d].lock().unwrap();
+            let mut free = lock_free(&self.free[d]);
             if let Some(i) = free.iter().position(|&(_, size)| size >= extent) {
                 let (base, size) = free[i];
                 if size == extent {
@@ -59,10 +108,26 @@ impl Volume {
                 } else {
                     free[i] = (base + extent, size - extent);
                 }
-                return base;
+                return Ok(base);
             }
         }
-        self.next_free[d].fetch_add(extent, Ordering::AcqRel)
+        match self.disk_limit {
+            None => Ok(self.next_free[d].fetch_add(extent, Ordering::AcqRel)),
+            Some(limit) => self.next_free[d]
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                    cur.checked_add(extent).filter(|&end| end <= limit)
+                })
+                .map_err(|cur| {
+                    io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        format!(
+                            "disk {d} ({}) full: needed {extent} bytes, had {}",
+                            self.engine.disks()[d].name(),
+                            limit.saturating_sub(cur),
+                        ),
+                    )
+                }),
+        }
     }
 
     /// Return a file's member extents to the free lists, coalescing with
@@ -82,7 +147,7 @@ impl Volume {
             return;
         }
         for m in &def.members {
-            let mut free = self.free[m.disk].lock().unwrap();
+            let mut free = lock_free(&self.free[m.disk]);
             let (mut base, mut size) = (m.base, per_member);
             // Merge any free neighbour touching the new extent, repeatedly
             // (kept simple: the lists are short).
@@ -102,7 +167,7 @@ impl Volume {
     pub fn free_bytes(&self) -> u64 {
         self.free
             .iter()
-            .map(|f| f.lock().unwrap().iter().map(|&(_, s)| s).sum::<u64>())
+            .map(|f| lock_free(f).iter().map(|&(_, s)| s).sum::<u64>())
             .sum()
     }
 
@@ -121,7 +186,9 @@ impl Volume {
     /// (the paper pre-extends the output file the same way).
     ///
     /// # Panics
-    /// If `disks` is empty, repeats a disk, or references an unknown disk.
+    /// If `disks` is empty, repeats a disk, references an unknown disk, or
+    /// a disk limit is set and the allocation does not fit (use
+    /// [`try_create`](Self::try_create) to handle full disks as an error).
     pub fn create(
         &self,
         name: impl Into<String>,
@@ -129,6 +196,25 @@ impl Volume {
         chunk: u64,
         size_hint: u64,
     ) -> StripedFile {
+        self.try_create(name, disks, chunk, size_hint)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`create`](Self::create), but a full disk surfaces as
+    /// [`io::ErrorKind::StorageFull`] naming the disk and the shortfall,
+    /// instead of panicking. Partially allocated member extents are
+    /// returned to the free lists on failure.
+    ///
+    /// # Panics
+    /// Still panics on caller bugs: an empty, duplicated or unknown disk
+    /// set.
+    pub fn try_create(
+        &self,
+        name: impl Into<String>,
+        disks: &[usize],
+        chunk: u64,
+        size_hint: u64,
+    ) -> io::Result<StripedFile> {
         let name = name.into();
         assert!(!disks.is_empty(), "striped file needs at least one disk");
         {
@@ -144,20 +230,28 @@ impl Volume {
             disks.iter().map(|&d| Member { disk: d, base: 0 }).collect(),
         );
         let extent = probe.member_extent(size_hint).max(chunk);
-        let members: Vec<Member> = disks
-            .iter()
-            .map(|&d| {
-                assert!(d < self.width(), "unknown disk {d}");
-                let base = self.allocate(d, extent);
-                Member { disk: d, base }
-            })
-            .collect();
+        let mut members: Vec<Member> = Vec::with_capacity(disks.len());
+        for &d in disks {
+            assert!(d < self.width(), "unknown disk {d}");
+            match self.allocate(d, extent) {
+                Ok(base) => members.push(Member { disk: d, base }),
+                Err(e) => {
+                    // Roll back the extents already taken for this file.
+                    for m in &members {
+                        lock_free(&self.free[m.disk]).push((m.base, extent));
+                    }
+                    return Err(e);
+                }
+            }
+        }
         let capacity = extent * disks.len() as u64;
-        StripedFile::with_capacity(
+        let mut file = StripedFile::with_capacity(
             StripeDef::new(name, chunk, members),
             Arc::clone(&self.engine),
             capacity,
-        )
+        );
+        file.attach_policy(Arc::clone(&self.policy));
+        Ok(file)
     }
 
     /// Create a file striped across *all* the volume's disks.
@@ -171,6 +265,17 @@ impl Volume {
         self.create(name, &disks, chunk, size_hint)
     }
 
+    /// Fallible form of [`create_across_all`](Self::create_across_all).
+    pub fn try_create_across_all(
+        &self,
+        name: impl Into<String>,
+        chunk: u64,
+        size_hint: u64,
+    ) -> io::Result<StripedFile> {
+        let disks: Vec<usize> = (0..self.width()).collect();
+        self.try_create(name, &disks, chunk, size_hint)
+    }
+
     /// Open a file from a previously obtained definition.
     pub fn open(&self, def: StripeDef) -> StripedFile {
         // Openers must not allocate over the file: bump each member's
@@ -179,7 +284,9 @@ impl Volume {
             let used = m.base + def.member_extent(def.len);
             self.next_free[m.disk].fetch_max(used, Ordering::AcqRel);
         }
-        StripedFile::new(def, Arc::clone(&self.engine))
+        let mut file = StripedFile::new(def, Arc::clone(&self.engine));
+        file.attach_policy(Arc::clone(&self.policy));
+        file
     }
 
     /// Persist a stripe definition as a `.str` descriptor file (JSON).
@@ -438,6 +545,60 @@ mod tests {
         std::fs::write(&path, "name x\nchunk 64\n").unwrap();
         assert!(Volume::load_descriptor_text(&path).is_err()); // no members
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_limit_surfaces_storage_full() {
+        let mut v = volume(2);
+        v.set_disk_limit(Some(1_024));
+        let a = v.try_create("fits", &[0, 1], 64, 1_024).unwrap();
+        assert!(a.capacity().unwrap() >= 1_024);
+        let err = match v.try_create("toobig", &[0, 1], 64, 4_096) {
+            Ok(_) => panic!("expected StorageFull"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        let msg = err.to_string();
+        assert!(msg.contains("full: needed"), "{msg}");
+        assert!(msg.contains("had"), "{msg}");
+    }
+
+    #[test]
+    fn failed_try_create_rolls_back_partial_allocations() {
+        // Disk 0 has freed space but disk 1 is full: the file cannot be
+        // created, and disk 0's extent must return to the free list.
+        let mut v = volume(2);
+        v.set_disk_limit(Some(512));
+        let _fill1 = v.try_create("fill1", &[1], 64, 512).unwrap(); // disk 1 full
+        let a = v.try_create("a", &[0], 64, 512).unwrap();
+        v.delete(&a); // disk 0: 512 B on the free list, watermark at limit
+        let free_before = v.free_bytes();
+        // Needs 512 B per member: disk 0 reuses the freed extent, disk 1
+        // has nothing left → the whole create fails and rolls back.
+        let err = match v.try_create("b", &[0, 1], 64, 1_024) {
+            Ok(_) => panic!("expected StorageFull"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        assert_eq!(v.free_bytes(), free_before);
+        // The rolled-back extent is still usable.
+        v.try_create("c", &[0], 64, 512).unwrap();
+    }
+
+    #[test]
+    fn volume_files_share_the_retry_policy() {
+        use crate::retry::RetryPolicy;
+        let mut v = volume(2);
+        v.set_retry_policy(RetryPolicy {
+            max_attempts: 5,
+            backoff: std::time::Duration::ZERO,
+            disk_fail_threshold: 0,
+        });
+        assert_eq!(v.retry_policy().max_attempts, 5);
+        // Files created after the change carry it (smoke: IO still works).
+        let f = v.create("p", &[0, 1], 64, 256);
+        f.write_at(0, &[9u8; 256]).unwrap();
+        assert_eq!(f.read_at(0, 256).unwrap(), vec![9u8; 256]);
     }
 
     #[test]

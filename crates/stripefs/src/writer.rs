@@ -9,9 +9,33 @@ use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::Arc;
 
+use alphasort_crc::{crc32c, Crc32c};
 use alphasort_obs as obs;
 
 use crate::file::{StripedFile, StripedWrite};
+use crate::integrity::RunChecksums;
+
+/// Accumulated fingerprints for a checksummed writer: one CRC per issued
+/// physical segment (grouped by stride), plus the whole-stream CRC.
+struct ChecksumState {
+    strides: Vec<Vec<u32>>,
+    total: Crc32c,
+}
+
+impl ChecksumState {
+    /// Fingerprint one issued write (`chunk` at logical `pos`) before it
+    /// leaves the staging buffer.
+    fn record(&mut self, file: &StripedFile, pos: u64, chunk: &[u8]) {
+        let segs = file
+            .def()
+            .plan(pos, chunk.len())
+            .into_iter()
+            .map(|seg| crc32c(&chunk[seg.buf_off..seg.buf_off + seg.len]))
+            .collect();
+        self.strides.push(segs);
+        self.total.update(chunk);
+    }
+}
 
 /// Sequential writer over a [`StripedFile`] with N-deep write-behind.
 pub struct StripedWriter {
@@ -22,6 +46,8 @@ pub struct StripedWriter {
     staging: Vec<u8>,
     inflight: VecDeque<StripedWrite>,
     finished: bool,
+    /// Present when created via [`with_checksums`](Self::with_checksums).
+    checks: Option<ChecksumState>,
 }
 
 impl StripedWriter {
@@ -43,7 +69,20 @@ impl StripedWriter {
             staging: Vec::new(),
             inflight: VecDeque::new(),
             finished: false,
+            checks: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but every issued stride is fingerprinted
+    /// (one CRC32C per physical segment) as it goes out; collect the result
+    /// with [`finish_checksummed`](Self::finish_checksummed).
+    pub fn with_checksums(file: Arc<StripedFile>) -> Self {
+        let mut w = Self::new(file);
+        w.checks = Some(ChecksumState {
+            strides: Vec::new(),
+            total: Crc32c::new(),
+        });
+        w
     }
 
     /// Bytes accepted so far (issued + staged).
@@ -60,7 +99,9 @@ impl StripedWriter {
         let mut g = obs::span(obs::phase::STRIPE_WRITE);
         let mut reaped = 0u64;
         while self.inflight.len() > down_to {
-            let w = self.inflight.pop_front().expect("inflight not empty");
+            let Some(w) = self.inflight.pop_front() else {
+                break;
+            };
             w.wait()?;
             reaped += 1;
         }
@@ -76,6 +117,9 @@ impl StripedWriter {
             // Block if the pipeline is full (backpressure).
             self.reap(self.depth - 1)?;
             let chunk = &self.staging[issued..issued + stride];
+            if let Some(cs) = &mut self.checks {
+                cs.record(&self.file, self.pos, chunk);
+            }
             let w = self.file.write_at_async(self.pos, chunk);
             obs::metrics::counter_add("stripe.write.bytes", stride as u64);
             self.inflight.push_back(w);
@@ -98,10 +142,38 @@ impl StripedWriter {
     /// Flush the final partial stride and wait for everything in flight.
     /// Returns the total logical bytes written.
     pub fn finish(mut self) -> io::Result<u64> {
+        self.finish_inner()
+    }
+
+    /// Like [`finish`](Self::finish), additionally returning the stride
+    /// fingerprints accumulated since [`with_checksums`](Self::with_checksums).
+    ///
+    /// # Panics
+    /// If the writer was not created with `with_checksums`.
+    pub fn finish_checksummed(mut self) -> io::Result<(u64, RunChecksums)> {
+        let bytes = self.finish_inner()?;
+        let cs = self
+            .checks
+            .take()
+            .expect("finish_checksummed on a writer created without with_checksums");
+        Ok((
+            bytes,
+            RunChecksums {
+                strides: cs.strides,
+                total: cs.total.finish(),
+                bytes,
+            },
+        ))
+    }
+
+    fn finish_inner(&mut self) -> io::Result<u64> {
         self.finished = true;
         self.issue_full_strides()?;
         if !self.staging.is_empty() {
             let tail = std::mem::take(&mut self.staging);
+            if let Some(cs) = &mut self.checks {
+                cs.record(&self.file, self.pos, &tail);
+            }
             let w = self.file.write_at_async(self.pos, &tail);
             obs::metrics::counter_add("stripe.write.bytes", tail.len() as u64);
             self.pos += tail.len() as u64;

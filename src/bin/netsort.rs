@@ -29,14 +29,12 @@ use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
-use alphasort_suite::dmgen::{
-    validate_reader, GenConfig, Generator, RunningChecksum, RECORD_LEN,
-};
-use alphasort_suite::obs;
+use alphasort_suite::dmgen::{validate_reader, GenConfig, Generator, RunningChecksum, RECORD_LEN};
 use alphasort_suite::netsort::{
     bind_cluster, loopback_cluster, merge_cluster_stats, run_worker, NetsortConfig, RetryPolicy,
     TcpTransport, Transport,
 };
+use alphasort_suite::obs;
 use alphasort_suite::sort::io_file::{FileSink, FileSource};
 use alphasort_suite::sort::{SortConfig, SortStats};
 
