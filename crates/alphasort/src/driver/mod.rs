@@ -42,6 +42,11 @@ pub struct SortConfig {
     /// external sorting; beyond the paper's one/two-pass regime but needed
     /// once inputs are thousands of times memory).
     pub max_fanin: usize,
+    /// Key ranges for the partitioned parallel merge (0 = the classic
+    /// serial tournament). With `P > 0` the final merge is cut into `P`
+    /// disjoint key ranges by sampled splitters and each range merges
+    /// independently — output stays byte-identical to the serial merge.
+    pub merge_workers: usize,
 }
 
 impl Default for SortConfig {
@@ -53,6 +58,7 @@ impl Default for SortConfig {
             gather_batch: 10_000,
             memory_budget: 256 << 20,
             max_fanin: 128,
+            merge_workers: 0,
         }
     }
 }

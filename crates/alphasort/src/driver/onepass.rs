@@ -17,8 +17,9 @@ use crate::driver::{SortConfig, SortOutcome};
 use crate::gather::take_ptrs;
 use crate::io::{RecordSink, RecordSource};
 use crate::merge::RunMerger;
-use crate::parallel::{GatherPool, SortPool};
+use crate::parallel::{GatherPool, MergePool, SortPool};
 use crate::planner::PassPlan;
+use crate::pmerge::{plan_mem_partitions, SAMPLES_PER_RANGE};
 use crate::stats::{timed_phase, SortStats};
 
 /// How many gather batches may be in flight before the root drains one —
@@ -95,6 +96,36 @@ where
 
     // ---- merge + gather + output, overlapped ------------------------------
     let runs = Arc::new(runs);
+    if cfg.merge_workers > 0 {
+        // Partitioned parallel merge: sampled splitters cut every run into
+        // P disjoint key ranges; each range's merge is fused with its
+        // gather on a pool worker and the buffers stream out in range
+        // order — byte-identical to the serial tournament below.
+        let plan = timed_phase(obs::phase::MERGE, &mut stats.merge_time, || {
+            plan_mem_partitions(&runs, cfg.merge_workers, SAMPLES_PER_RANGE)
+        });
+        stats.merge_range_records = plan.range_records.clone();
+        let mut pool = MergePool::new(cfg.merge_workers, Arc::clone(&runs));
+        for row in &plan.bounds {
+            pool.submit(row.iter().map(|&(s, e)| (s as u32, e as u32)).collect());
+        }
+        while let Some((buf, d)) = pool.next_in_order() {
+            stats.merge_time += d;
+            stats.merge_range_time.push(d);
+            timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.push(&buf))?;
+        }
+        let bytes = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())?;
+        stats.elapsed = t_start.elapsed();
+        obs::metrics::counter_add("sort.records", stats.records);
+        obs::metrics::counter_add("sort.bytes", stats.bytes_sorted);
+        top.attr("records", stats.records);
+        top.attr("bytes", stats.bytes_sorted);
+        return Ok(SortOutcome {
+            stats,
+            bytes,
+            plan: PassPlan::OnePass,
+        });
+    }
     let mut merger = RunMerger::new(&runs);
     let mut gather = GatherPool::new(cfg.workers, Arc::clone(&runs));
     loop {
@@ -200,6 +231,46 @@ mod tests {
             KeyDistribution::NearlySorted { permille: 100 },
         ] {
             sort_mem(4_000, dist, &cfg);
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_is_byte_identical_to_serial() {
+        let (data, cs) = generate(GenConfig {
+            records: 6_000,
+            seed: 0xCAFE,
+            dist: KeyDistribution::DupHeavy { cardinality: 7 },
+        });
+        let serial = {
+            let mut source = MemSource::new(data.clone(), 10_000);
+            let mut sink = MemSink::new();
+            let cfg = SortConfig {
+                run_records: 500,
+                gather_batch: 200,
+                ..Default::default()
+            };
+            one_pass(&mut source, &mut sink, &cfg).unwrap();
+            sink.into_inner()
+        };
+        for merge_workers in [1, 2, 4, 8] {
+            let mut source = MemSource::new(data.clone(), 10_000);
+            let mut sink = MemSink::new();
+            let cfg = SortConfig {
+                run_records: 500,
+                gather_batch: 200,
+                workers: 2,
+                merge_workers,
+                ..Default::default()
+            };
+            let outcome = one_pass(&mut source, &mut sink, &cfg).unwrap();
+            assert_eq!(
+                outcome.stats.merge_range_records.len(),
+                merge_workers,
+                "one record count per range"
+            );
+            assert!(outcome.stats.merge_skew() >= 1.0);
+            assert_eq!(sink.data(), &serial[..], "{merge_workers} ranges diverged");
+            validate_records(sink.data(), cs).unwrap();
         }
     }
 

@@ -26,7 +26,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use alphasort_dmgen::{Record, RECORD_LEN};
+use alphasort_dmgen::{Record, KEY_LEN, RECORD_LEN};
 use alphasort_minijson::Json;
 use alphasort_obs as obs;
 use alphasort_stripefs::{RunChecksums, StripeDef, StripedFile, StripedReader, Volume};
@@ -60,6 +60,26 @@ pub trait ScratchStore: Send {
     /// Open every sealed run for reading, in input order.
     fn open_runs(&mut self) -> io::Result<Vec<Self::Source>>;
 
+    /// Record counts of the sealed runs, in input order — the order
+    /// [`open_runs`](Self::open_runs) and
+    /// [`open_run_range`](Self::open_run_range) will use. The partitioned
+    /// merge plans its key-range cuts from these lengths without opening
+    /// anything.
+    fn sealed_run_records(&mut self) -> io::Result<Vec<u64>>;
+
+    /// The key of record `pos` within sealed run `run` (same input-order
+    /// indexing as [`sealed_run_records`](Self::sealed_run_records)). A
+    /// point probe: the partitioned merge samples splitter candidates and
+    /// binary-searches cut positions through this.
+    fn key_at(&mut self, run: usize, pos: u64) -> io::Result<[u8; KEY_LEN]>;
+
+    /// Open records `[start, start + records)` of sealed run `run` for
+    /// reading. Unlike [`open_runs`](Self::open_runs) this does not consume
+    /// the run: every key range of the partitioned merge opens its own
+    /// window of the same run.
+    fn open_run_range(&mut self, run: usize, start: u64, records: u64)
+        -> io::Result<Self::Source>;
+
     /// Runs already present from a previous attempt (a resumed scratch).
     /// The driver skips their input ranges during run formation instead of
     /// re-sorting them. Default: none — only resumable stores override.
@@ -71,23 +91,63 @@ pub trait ScratchStore: Send {
 /// In-memory scratch (tests, small sorts).
 #[derive(Default)]
 pub struct MemScratch {
-    runs: Vec<Vec<u8>>,
+    /// Sealed runs tagged with their input start record, like
+    /// [`StripeScratch`]: a resumed scratch seals re-formed runs after the
+    /// recovered ones, and input order is what the merge tie-break needs.
+    runs: Vec<(u64, Vec<u8>)>,
     /// Chunk size handed back by the sources.
     chunk: usize,
+    /// Record cursor assigning start offsets to sealed runs.
+    cursor: u64,
+    /// Recovered spans the cursor has not passed yet, sorted by start.
+    pending_spans: VecDeque<RecoveredRun>,
+    /// Spans reported through [`ScratchStore::recovered_runs`].
+    recovered: Vec<RecoveredRun>,
 }
 
 impl MemScratch {
     /// Scratch whose read-back sources deliver `chunk`-byte pieces.
     pub fn new(chunk: usize) -> Self {
         MemScratch {
-            runs: Vec::new(),
             chunk,
+            ..Default::default()
+        }
+    }
+
+    /// A scratch that pretends to have survived a crash: `runs` are sealed
+    /// run payloads tagged with the input record index they start at, and
+    /// will be reported via [`ScratchStore::recovered_runs`] so the driver
+    /// skips those input ranges. Lets tests drive the resume path without
+    /// striped disks or a manifest.
+    pub fn with_recovered(runs: Vec<(u64, Vec<u8>)>, chunk: usize) -> Self {
+        let mut spans: Vec<RecoveredRun> = runs
+            .iter()
+            .map(|(start, data)| RecoveredRun {
+                start_record: *start,
+                records: (data.len() / RECORD_LEN) as u64,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.start_record);
+        MemScratch {
+            runs,
+            chunk,
+            cursor: 0,
+            pending_spans: spans.iter().copied().collect(),
+            recovered: spans,
         }
     }
 
     /// Number of sealed runs.
     pub fn run_count(&self) -> usize {
         self.runs.len()
+    }
+
+    fn chunk_size(&self) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            64 * 1024
+        }
     }
 }
 
@@ -101,21 +161,62 @@ impl ScratchStore for MemScratch {
 
     fn seal_run(&mut self, mut writer: MemSink) -> io::Result<()> {
         writer.complete()?;
-        self.runs.push(writer.into_inner());
+        let data = writer.into_inner();
+        let records = (data.len() / RECORD_LEN) as u64;
+        // Freshly formed runs pack the gaps between recovered spans (same
+        // cursor dance as StripeScratch::seal_run).
+        while let Some(s) = self.pending_spans.front() {
+            if s.start_record == self.cursor {
+                self.cursor += s.records;
+                self.pending_spans.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.runs.push((self.cursor, data));
+        self.cursor += records;
         Ok(())
     }
 
     fn open_runs(&mut self) -> io::Result<Vec<MemSource>> {
-        let chunk = if self.chunk > 0 {
-            self.chunk
-        } else {
-            64 * 1024
-        };
+        let chunk = self.chunk_size();
+        // Cascade outputs restart the ordering cursor per level.
+        self.cursor = 0;
+        self.pending_spans.clear();
+        self.runs.sort_by_key(|(start, _)| *start);
         Ok(self
             .runs
             .drain(..)
-            .map(|r| MemSource::new(r, chunk))
+            .map(|(_, r)| MemSource::new(r, chunk))
             .collect())
+    }
+
+    fn sealed_run_records(&mut self) -> io::Result<Vec<u64>> {
+        self.runs.sort_by_key(|(start, _)| *start);
+        Ok(self
+            .runs
+            .iter()
+            .map(|(_, r)| (r.len() / RECORD_LEN) as u64)
+            .collect())
+    }
+
+    fn key_at(&mut self, run: usize, pos: u64) -> io::Result<[u8; KEY_LEN]> {
+        let (_, data) = &self.runs[run];
+        let off = pos as usize * RECORD_LEN;
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&data[off..off + KEY_LEN]);
+        Ok(key)
+    }
+
+    fn open_run_range(&mut self, run: usize, start: u64, records: u64) -> io::Result<MemSource> {
+        let (_, data) = &self.runs[run];
+        let lo = start as usize * RECORD_LEN;
+        let hi = lo + records as usize * RECORD_LEN;
+        Ok(MemSource::new(data[lo..hi].to_vec(), self.chunk_size()))
+    }
+
+    fn recovered_runs(&mut self) -> io::Result<Vec<RecoveredRun>> {
+        Ok(self.recovered.clone())
     }
 }
 
@@ -489,6 +590,48 @@ impl ScratchStore for StripeScratch {
         Ok(sources)
     }
 
+    fn sealed_run_records(&mut self) -> io::Result<Vec<u64>> {
+        // Input order, for the same stability reason as open_runs.
+        self.runs.sort_by_key(|r| r.start);
+        Ok(self.runs.iter().map(|r| r.records).collect())
+    }
+
+    fn key_at(&mut self, run: usize, pos: u64) -> io::Result<[u8; KEY_LEN]> {
+        let meta = &self.runs[run];
+        // A point probe is a tiny verified window: the reader fetches (and
+        // checks) only the strides covering the key bytes.
+        let mut src = StripeSource::verified_window(
+            Arc::clone(&meta.file),
+            meta.checks.clone(),
+            pos * RECORD_LEN as u64,
+            KEY_LEN as u64,
+        )?;
+        let mut key = [0u8; KEY_LEN];
+        let mut got = 0;
+        while got < KEY_LEN {
+            let Some(chunk) = src.next_chunk()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("key probe at record {pos} ran off the end of run {run}"),
+                ));
+            };
+            let take = chunk.len().min(KEY_LEN - got);
+            key[got..got + take].copy_from_slice(&chunk[..take]);
+            got += take;
+        }
+        Ok(key)
+    }
+
+    fn open_run_range(&mut self, run: usize, start: u64, records: u64) -> io::Result<StripeSource> {
+        let meta = &self.runs[run];
+        StripeSource::verified_window(
+            Arc::clone(&meta.file),
+            meta.checks.clone(),
+            start * RECORD_LEN as u64,
+            records * RECORD_LEN as u64,
+        )
+    }
+
     fn recovered_runs(&mut self) -> io::Result<Vec<RecoveredRun>> {
         Ok(self.recovered.clone())
     }
@@ -616,6 +759,90 @@ mod tests {
         assert_eq!(sources.len(), 2);
         assert_eq!(sources[0].next_chunk().unwrap().unwrap(), b"abcde");
         assert_eq!(sources[1].next_chunk().unwrap().unwrap(), b"XY");
+    }
+
+    #[test]
+    fn mem_scratch_probes_and_range_windows() {
+        let run_a = run_payload(40, 11);
+        let run_b = run_payload(25, 12);
+        let mut s = MemScratch::new(300);
+        for payload in [&run_a, &run_b] {
+            let mut w = s.create_run(0).unwrap();
+            w.push(payload).unwrap();
+            s.seal_run(w).unwrap();
+        }
+        assert_eq!(s.sealed_run_records().unwrap(), vec![40, 25]);
+        assert_eq!(&s.key_at(0, 7).unwrap(), &run_a[700..710]);
+        assert_eq!(&s.key_at(1, 24).unwrap(), &run_b[2_400..2_410]);
+        let mut src = s.open_run_range(0, 10, 5).unwrap();
+        let mut got = Vec::new();
+        while let Some(c) = src.next_chunk().unwrap() {
+            got.extend_from_slice(&c);
+        }
+        assert_eq!(got, &run_a[1_000..1_500]);
+        // Windows do not consume the run: the full open still sees both.
+        assert_eq!(s.open_runs().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mem_scratch_with_recovered_interleaves_by_input_order() {
+        // A "previous attempt" left the middle run (records 30..60); the
+        // retry seals the two flanking runs, which must pack around it.
+        let middle = run_payload(30, 21);
+        let mut s = MemScratch::with_recovered(vec![(30, middle.clone())], 500);
+        assert_eq!(
+            s.recovered_runs().unwrap(),
+            vec![RecoveredRun {
+                start_record: 30,
+                records: 30
+            }]
+        );
+        let first = run_payload(30, 22);
+        let last = run_payload(30, 23);
+        for payload in [&first, &last] {
+            let mut w = s.create_run(0).unwrap();
+            w.push(payload).unwrap();
+            s.seal_run(w).unwrap();
+        }
+        // Input order is first (0..30), middle (30..60), last (60..90).
+        assert_eq!(s.sealed_run_records().unwrap(), vec![30, 30, 30]);
+        assert_eq!(&s.key_at(1, 0).unwrap(), &middle[0..10]);
+        let mut sources = s.open_runs().unwrap();
+        let mut got = Vec::new();
+        while let Some(c) = sources[1].next_chunk().unwrap() {
+            got.extend_from_slice(&c);
+        }
+        assert_eq!(got, middle);
+    }
+
+    #[test]
+    fn stripe_scratch_probes_and_range_windows() {
+        let volume = striped_volume(3, None);
+        let mut s = StripeScratch::new(volume, 256);
+        let run_a = run_payload(60, 31);
+        let run_b = run_payload(45, 32);
+        for payload in [&run_a, &run_b] {
+            let mut w = s.create_run(payload.len() as u64).unwrap();
+            w.push(payload).unwrap();
+            s.seal_run(w).unwrap();
+        }
+        assert_eq!(s.sealed_run_records().unwrap(), vec![60, 45]);
+        for pos in [0u64, 1, 17, 59] {
+            let off = pos as usize * RECORD_LEN;
+            assert_eq!(&s.key_at(0, pos).unwrap(), &run_a[off..off + KEY_LEN]);
+        }
+        assert_eq!(&s.key_at(1, 44).unwrap(), &run_b[4_400..4_410]);
+        // Windows at awkward (non-stride-aligned) record offsets.
+        for (start, records) in [(0u64, 60u64), (13, 9), (59, 1), (20, 0)] {
+            let mut src = s.open_run_range(0, start, records).unwrap();
+            assert_eq!(src.size_hint(), Some(records * RECORD_LEN as u64));
+            let mut got = Vec::new();
+            while let Some(c) = src.next_chunk().unwrap() {
+                got.extend_from_slice(&c);
+            }
+            let lo = start as usize * RECORD_LEN;
+            assert_eq!(got, &run_a[lo..lo + records as usize * RECORD_LEN]);
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::time::Instant;
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
 
 use alphasort_dmgen::RECORD_LEN;
 use alphasort_obs as obs;
@@ -21,6 +22,7 @@ use crate::io::{RecordSink, RecordSource};
 use crate::merge::StreamMerger;
 use crate::parallel::SortPool;
 use crate::planner::PassPlan;
+use crate::pmerge::{plan_partitions_with, SAMPLES_PER_RANGE};
 use crate::runform::SortedRun;
 use crate::stats::{timed_phase, SortStats};
 
@@ -204,12 +206,11 @@ where
     // (Knuth's cascade merge). Each extra level costs one more full
     // read+write of the data — the same bandwidth arithmetic as §6.
     let fanin = cfg.max_fanin.max(2);
-    let mut sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
-        scratch.open_runs()
-    })?;
-    while sources.len() > fanin {
+    while scratch.sealed_run_records()?.len() > fanin {
         stats.merge_passes += 1;
-        let level = std::mem::take(&mut sources);
+        let level = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
+            scratch.open_runs()
+        })?;
         let mut level_iter = level.into_iter().peekable();
         while level_iter.peek().is_some() {
             let group: Vec<Scr::Source> = level_iter.by_ref().take(fanin).collect();
@@ -241,12 +242,25 @@ where
                 },
             )?;
         }
-        sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
-            scratch.open_runs()
-        })?;
     }
 
     // ---- final merge into the sink -----------------------------------------
+    if cfg.merge_workers > 0 {
+        let bytes = partitioned_final_merge(sink, scratch, cfg, &mut stats)?;
+        stats.elapsed = t_start.elapsed();
+        obs::metrics::counter_add("sort.records", stats.records);
+        obs::metrics::counter_add("sort.bytes", stats.bytes_sorted);
+        top.attr("records", stats.records);
+        top.attr("bytes", stats.bytes_sorted);
+        return Ok(SortOutcome {
+            stats,
+            bytes,
+            plan: PassPlan::TwoPass,
+        });
+    }
+    let sources = timed_phase(obs::phase::SPILL, &mut stats.spill_time, || {
+        scratch.open_runs()
+    })?;
     let mut streams = Vec::with_capacity(sources.len());
     for s in sources {
         streams.push(BufferedRunStream::new(s)?);
@@ -292,6 +306,145 @@ where
         bytes,
         plan: PassPlan::TwoPass,
     })
+}
+
+/// Partitioned final merge: sampled splitters (probed via
+/// [`ScratchStore::key_at`]) cut every sealed run into `cfg.merge_workers`
+/// disjoint key ranges; each range merges on its own thread reading
+/// verified range windows of the runs, and the staged buffers stream to
+/// the sink in range order. Splitter routing is a pure function of the key
+/// and per-range merges keep the run-index tie-break, so the concatenated
+/// ranges are byte-identical to the serial final merge.
+fn partitioned_final_merge<Snk, Scr>(
+    sink: &mut Snk,
+    scratch: &mut Scr,
+    cfg: &SortConfig,
+    stats: &mut SortStats,
+) -> io::Result<u64>
+where
+    Snk: RecordSink,
+    Scr: ScratchStore,
+{
+    let run_lens = scratch.sealed_run_records()?;
+    let plan = timed_phase(obs::phase::MERGE, &mut stats.merge_time, || {
+        plan_partitions_with(&run_lens, cfg.merge_workers, SAMPLES_PER_RANGE, |r, pos| {
+            scratch.key_at(r, pos)
+        })
+    })?;
+    stats.merge_range_records = plan.range_records.clone();
+    // Open every (range, run) window up front on the driver thread: the
+    // scratch handle is `&mut`, but the sources it yields are `Send` and
+    // move into the range workers. Empty cuts are skipped.
+    let mut range_sources: Vec<Vec<Scr::Source>> = Vec::with_capacity(plan.ranges());
+    for row in &plan.bounds {
+        let mut srcs = Vec::new();
+        for (run, &(s, e)) in row.iter().enumerate() {
+            if e > s {
+                srcs.push(scratch.open_run_range(run, s, e - s)?);
+            }
+        }
+        range_sources.push(srcs);
+    }
+
+    let batch_bytes = cfg.gather_batch * RECORD_LEN;
+    let track = obs::current_track();
+    let durations = std::thread::scope(|scope| -> io::Result<Vec<Duration>> {
+        let mut handles = Vec::with_capacity(range_sources.len());
+        let mut rxs = Vec::with_capacity(range_sources.len());
+        for (range, srcs) in range_sources.into_iter().enumerate() {
+            // A short pipeline per range: workers stay a few batches ahead
+            // of the sink without staging whole ranges in memory.
+            let (tx, rx) = sync_channel::<Vec<u8>>(4);
+            rxs.push(rx);
+            let records = plan.range_records[range];
+            let track = track.clone();
+            handles.push(scope.spawn(move || -> io::Result<Duration> {
+                obs::adopt_track(track);
+                let mut g = obs::span(obs::phase::MERGE);
+                g.attr("range", range as u64);
+                g.attr("records", records);
+                let t0 = Instant::now();
+                if srcs.is_empty() {
+                    return Ok(t0.elapsed());
+                }
+                let mut streams = Vec::with_capacity(srcs.len());
+                for s in srcs {
+                    streams.push(BufferedRunStream::new(s)?);
+                }
+                let mut merger = StreamMerger::new(streams);
+                let mut staging = Vec::with_capacity(batch_bytes);
+                'merge: loop {
+                    let done = loop {
+                        match merger.next_record()? {
+                            Some(r) => {
+                                staging.extend_from_slice(r.as_bytes());
+                                if staging.len() >= batch_bytes {
+                                    break false;
+                                }
+                            }
+                            None => break true,
+                        }
+                    };
+                    if !staging.is_empty() {
+                        let full =
+                            std::mem::replace(&mut staging, Vec::with_capacity(batch_bytes));
+                        if tx.send(full).is_err() {
+                            // The root stopped draining (sink error); there
+                            // is nowhere for our output to go.
+                            break 'merge;
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                let d = t0.elapsed();
+                obs::metrics::observe("merge.range_us", d.as_micros() as u64);
+                Ok(d)
+            }));
+        }
+        // Drain in range order: ranges cover ascending disjoint key
+        // intervals, so this concatenation *is* the sorted output.
+        let mut sink_err: Option<io::Error> = None;
+        'drain: for rx in &rxs {
+            while let Ok(buf) = rx.recv() {
+                let pushed = timed_phase(obs::phase::WRITE, &mut stats.write_wait, || {
+                    sink.push(&buf)
+                });
+                if let Err(e) = pushed {
+                    sink_err = Some(e);
+                    break 'drain;
+                }
+            }
+        }
+        drop(rxs); // unblocks any worker still sending after a sink error
+        let mut durations = Vec::with_capacity(handles.len());
+        let mut worker_err: Option<io::Error> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(d)) => durations.push(d),
+                Ok(Err(e)) => {
+                    if worker_err.is_none() {
+                        worker_err = Some(e);
+                    }
+                }
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        // A failed range read outranks the sink error it may have induced.
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        Ok(durations)
+    })?;
+    for d in durations {
+        stats.merge_time += d;
+        stats.merge_range_time.push(d);
+    }
+    timed_phase(obs::phase::WRITE, &mut stats.write_wait, || sink.complete())
 }
 
 #[cfg(test)]
@@ -411,6 +564,114 @@ mod tests {
         let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
         assert_eq!(outcome.stats.merge_passes, 0);
         validate_records(sink.data(), cs).unwrap();
+    }
+
+    /// Serial-reference sort of `data` with `cfg` (merge_workers forced 0).
+    fn serial_reference(data: &[u8], cfg: &SortConfig) -> Vec<u8> {
+        let mut source = MemSource::new(data.to_vec(), 12_345);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(40 * RECORD_LEN);
+        let cfg = SortConfig {
+            merge_workers: 0,
+            ..cfg.clone()
+        };
+        two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        sink.into_inner()
+    }
+
+    #[test]
+    fn partitioned_final_merge_is_byte_identical_to_serial() {
+        let (data, cs) = generate(GenConfig {
+            records: 4_000,
+            seed: 0xD1CE,
+            dist: KeyDistribution::DupHeavy { cardinality: 5 },
+        });
+        let base = SortConfig {
+            run_records: 250,
+            gather_batch: 100,
+            workers: 2,
+            ..Default::default()
+        };
+        let serial = serial_reference(&data, &base);
+        for merge_workers in [1, 2, 4, 8] {
+            let mut source = MemSource::new(data.clone(), 12_345);
+            let mut sink = MemSink::new();
+            let mut scratch = MemScratch::new(40 * RECORD_LEN);
+            let cfg = SortConfig {
+                merge_workers,
+                ..base.clone()
+            };
+            let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+            assert_eq!(outcome.stats.merge_range_records.len(), merge_workers);
+            assert_eq!(
+                outcome.stats.merge_range_records.iter().sum::<u64>(),
+                4_000
+            );
+            assert!(outcome.stats.merge_skew() >= 1.0);
+            assert_eq!(sink.data(), &serial[..], "{merge_workers} ranges diverged");
+            validate_records(sink.data(), cs).unwrap();
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_after_cascade_levels() {
+        let (data, cs) = generate(GenConfig::datamation(2_000, 33));
+        let base = SortConfig {
+            run_records: 50, // 40 runs
+            gather_batch: 32,
+            max_fanin: 4,
+            ..Default::default()
+        };
+        let serial = serial_reference(&data, &base);
+        let mut source = MemSource::new(data, 12_345);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(25 * RECORD_LEN);
+        let cfg = SortConfig {
+            merge_workers: 3,
+            ..base
+        };
+        let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+        assert_eq!(outcome.stats.merge_passes, 2); // 40 → 10 → 3 runs
+        assert_eq!(outcome.stats.merge_range_records.len(), 3);
+        assert_eq!(sink.data(), &serial[..]);
+        validate_records(sink.data(), cs).unwrap();
+    }
+
+    #[test]
+    fn partitioned_merge_on_resumed_scratch() {
+        use alphasort_dmgen::records_of_mut;
+        // A previous attempt already formed the middle run (records
+        // 300..600); the resumed sort re-forms only the flanks and the
+        // partitioned merge must still concatenate to the serial output.
+        let (data, cs) = generate(GenConfig {
+            records: 1_200,
+            seed: 0xAB5E,
+            dist: KeyDistribution::Random,
+        });
+        let base = SortConfig {
+            run_records: 300,
+            gather_batch: 100,
+            ..Default::default()
+        };
+        let serial = serial_reference(&data, &base);
+        let mut middle = data[300 * RECORD_LEN..600 * RECORD_LEN].to_vec();
+        records_of_mut(&mut middle).sort_by_key(|r| r.key);
+        for merge_workers in [1, 3, 8] {
+            let mut source = MemSource::new(data.clone(), 12_345);
+            let mut sink = MemSink::new();
+            let mut scratch =
+                MemScratch::with_recovered(vec![(300, middle.clone())], 40 * RECORD_LEN);
+            let cfg = SortConfig {
+                merge_workers,
+                ..base.clone()
+            };
+            let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+            assert_eq!(outcome.stats.runs, 4);
+            assert_eq!(outcome.stats.runs_recovered, 1);
+            assert_eq!(outcome.stats.merge_range_records.len(), merge_workers);
+            assert_eq!(sink.data(), &serial[..], "{merge_workers} ranges diverged");
+            validate_records(sink.data(), cs).unwrap();
+        }
     }
 
     #[test]

@@ -100,42 +100,99 @@ impl RecordSink for MemSink {
 }
 
 /// Source over a striped file, with the reader's N-deep read-ahead.
+/// Optionally restricted to a byte window of the file
+/// ([`verified_window`](Self::verified_window)): the reader fetches whole
+/// (checksum-indexed) strides and this adapter trims the window edges.
 pub struct StripeSource {
     reader: StripedReader,
+    /// Leading bytes of the first stride to drop (window start within its
+    /// stride); 0 for whole-file sources.
+    skip: usize,
+    /// Window bytes still to deliver (the whole file for plain sources).
+    remaining: u64,
+    /// Window length, for `size_hint`.
+    total: u64,
 }
 
 impl StripeSource {
+    fn whole(reader: StripedReader) -> Self {
+        let total = reader.total_len();
+        StripeSource {
+            reader,
+            skip: 0,
+            remaining: total,
+            total,
+        }
+    }
+
     /// Read `file` sequentially with the default (triple-buffer) depth.
     pub fn new(file: Arc<StripedFile>) -> Self {
-        StripeSource {
-            reader: StripedReader::new(file),
-        }
+        Self::whole(StripedReader::new(file))
     }
 
     /// Read `file` sequentially keeping `depth` strides in flight.
     pub fn with_depth(file: Arc<StripedFile>, depth: usize) -> Self {
-        StripeSource {
-            reader: StripedReader::with_depth(file, depth),
-        }
+        Self::whole(StripedReader::with_depth(file, depth))
     }
 
     /// Read `file` sequentially, verifying every delivered stride against
     /// `checks`; a corrupt segment surfaces as `InvalidData` naming the
     /// member disk and offsets.
     pub fn verified(file: Arc<StripedFile>, checks: RunChecksums) -> io::Result<Self> {
+        Ok(Self::whole(StripedReader::verified(file, checks)?))
+    }
+
+    /// Read only the byte window `[off, off + len)` of `file`, verifying
+    /// the strides it touches against the whole-file `checks`. The first
+    /// and last strides are fetched whole (checksums are per stride) and
+    /// trimmed here, so callers see exactly the window — the partitioned
+    /// merge reads one key range of a scratch run through this.
+    pub fn verified_window(
+        file: Arc<StripedFile>,
+        checks: RunChecksums,
+        off: u64,
+        len: u64,
+    ) -> io::Result<Self> {
+        let stride = file.stride();
+        let aligned = off - off % stride;
+        let reader = StripedReader::verified_ranged(file, checks, aligned, off + len)?;
         Ok(StripeSource {
-            reader: StripedReader::verified(file, checks)?,
+            reader,
+            skip: (off - aligned) as usize,
+            remaining: len,
+            total: len,
         })
     }
 }
 
 impl RecordSource for StripeSource {
     fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
-        self.reader.next_stride().transpose()
+        while self.remaining > 0 {
+            let Some(mut chunk) = self.reader.next_stride().transpose()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("striped source ended {} bytes short of its window", self.remaining),
+                ));
+            };
+            if self.skip >= chunk.len() {
+                self.skip -= chunk.len();
+                continue;
+            }
+            if self.skip > 0 {
+                chunk.drain(..self.skip);
+                self.skip = 0;
+            }
+            if chunk.len() as u64 > self.remaining {
+                chunk.truncate(self.remaining as usize);
+            }
+            self.remaining -= chunk.len() as u64;
+            return Ok(Some(chunk));
+        }
+        Ok(None)
     }
 
     fn size_hint(&self) -> Option<u64> {
-        Some(self.reader.total_len())
+        Some(self.total)
     }
 }
 

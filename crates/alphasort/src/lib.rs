@@ -62,8 +62,10 @@ pub mod ovc;
 pub mod parallel;
 pub mod partition;
 pub mod planner;
+pub mod pmerge;
 pub mod rs;
 pub mod runform;
+pub mod splitter;
 pub mod stats;
 
 pub use driver::{ExternalSorter, SortConfig, SortOutcome};

@@ -34,6 +34,9 @@ pub struct MergedPtr {
 pub struct RunMerger<'a> {
     runs: &'a [SortedRun],
     pos: Vec<u32>,
+    /// One-past-the-end sorted position per run; `run.len()` for a full
+    /// merge, a partition cut for a range-restricted one.
+    end: Vec<u32>,
     tree: LoserTree,
     remaining: usize,
 }
@@ -44,13 +47,35 @@ impl<'a> RunMerger<'a> {
     /// # Panics
     /// If `runs` is empty.
     pub fn new(runs: &'a [SortedRun]) -> Self {
+        let bounds: Vec<(u32, u32)> = runs.iter().map(|r| (0, r.len() as u32)).collect();
+        Self::with_bounds(runs, &bounds)
+    }
+
+    /// Merge only `bounds[r] = [start, end)` of each run's sorted order —
+    /// one range of a partitioned merge. Equal keys still tie-break by run
+    /// index, so concatenating range merges planned by
+    /// [`crate::pmerge`] reproduces [`new`](Self::new) byte for byte.
+    ///
+    /// # Panics
+    /// If `runs` is empty, `bounds` and `runs` disagree in length, or a
+    /// bound falls outside its run.
+    pub fn with_bounds(runs: &'a [SortedRun], bounds: &[(u32, u32)]) -> Self {
         assert!(!runs.is_empty(), "need at least one run to merge");
-        let pos = vec![0u32; runs.len()];
-        let remaining = runs.iter().map(|r| r.len()).sum();
-        let tree = LoserTree::new(runs.len(), |a, b| Self::leaf_less(runs, &pos, a, b));
+        assert_eq!(bounds.len(), runs.len(), "one bound pair per run");
+        let mut pos = Vec::with_capacity(runs.len());
+        let mut end = Vec::with_capacity(runs.len());
+        let mut remaining = 0usize;
+        for (r, &(s, e)) in runs.iter().zip(bounds) {
+            assert!(s <= e && e as usize <= r.len(), "bounds outside run");
+            pos.push(s);
+            end.push(e);
+            remaining += (e - s) as usize;
+        }
+        let tree = LoserTree::new(runs.len(), |a, b| Self::leaf_less(runs, &pos, &end, a, b));
         RunMerger {
             runs,
             pos,
+            end,
             tree,
             remaining,
         }
@@ -60,10 +85,10 @@ impl<'a> RunMerger<'a> {
     /// on ties, run index last so the merge is deterministic and stable
     /// across runs.
     #[inline]
-    fn leaf_less(runs: &[SortedRun], pos: &[u32], a: usize, b: usize) -> bool {
+    fn leaf_less(runs: &[SortedRun], pos: &[u32], end: &[u32], a: usize, b: usize) -> bool {
         let (pa, pb) = (pos[a] as usize, pos[b] as usize);
-        let a_live = pa < runs[a].len();
-        let b_live = pb < runs[b].len();
+        let a_live = pos[a] < end[a];
+        let b_live = pos[b] < end[b];
         match (a_live, b_live) {
             (false, _) => false,
             (true, false) => true,
@@ -102,8 +127,8 @@ impl Iterator for RunMerger<'_> {
         };
         self.pos[w] += 1;
         self.remaining -= 1;
-        let (runs, pos) = (self.runs, &self.pos);
-        self.tree.replay(|a, b| Self::leaf_less(runs, pos, a, b));
+        let (runs, pos, end) = (self.runs, &self.pos, &self.end);
+        self.tree.replay(|a, b| Self::leaf_less(runs, pos, end, a, b));
         Some(out)
     }
 
@@ -292,6 +317,28 @@ mod tests {
             .map(|p| runs[p.run as usize].record_at(p.pos as usize).key)
             .collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bounded_merges_concatenate_to_the_full_merge() {
+        let (_, runs) = make_runs(2_000, 170, KeyDistribution::DupHeavy { cardinality: 9 });
+        let full: Vec<MergedPtr> = RunMerger::new(&runs).collect();
+        let plan = crate::pmerge::plan_mem_partitions(&runs, 4, 16);
+        let mut cat = Vec::new();
+        for row in &plan.bounds {
+            let b: Vec<(u32, u32)> = row.iter().map(|&(s, e)| (s as u32, e as u32)).collect();
+            cat.extend(RunMerger::with_bounds(&runs, &b));
+        }
+        // Pointer-for-pointer identical: the partition respects both key
+        // order and the run-index tie-break.
+        assert_eq!(cat, full);
+    }
+
+    #[test]
+    fn empty_bounds_yield_nothing() {
+        let (_, runs) = make_runs(300, 100, KeyDistribution::Random);
+        let bounds: Vec<(u32, u32)> = runs.iter().map(|_| (0, 0)).collect();
+        assert_eq!(RunMerger::with_bounds(&runs, &bounds).count(), 0);
     }
 
     #[test]

@@ -19,8 +19,10 @@ use std::time::{Duration, Instant};
 
 use alphasort_obs as obs;
 
+use alphasort_dmgen::RECORD_LEN;
+
 use crate::gather::gather_into;
-use crate::merge::MergedPtr;
+use crate::merge::{MergedPtr, RunMerger};
 use crate::runform::{form_run, Representation, SortedRun};
 use crate::stats::SortStats;
 
@@ -295,6 +297,123 @@ impl Drop for GatherPool {
     }
 }
 
+/// Merge + gather one key range into a pre-sized buffer, under an obs span
+/// on the worker's track (the Figure 7 report shows the ranges overlapping).
+fn merge_range_traced(
+    range: usize,
+    runs: &[SortedRun],
+    bounds: &[(u32, u32)],
+) -> (Vec<u8>, Duration) {
+    let mut g = obs::span(obs::phase::MERGE);
+    g.attr("range", range as u64);
+    let t0 = Instant::now();
+    let records: usize = bounds.iter().map(|&(s, e)| (e - s) as usize).sum();
+    let mut buf = Vec::with_capacity(records * RECORD_LEN);
+    for p in RunMerger::with_bounds(runs, bounds) {
+        buf.extend_from_slice(runs[p.run as usize].record_at(p.pos as usize).as_bytes());
+    }
+    let d = t0.elapsed();
+    g.attr("records", records as u64);
+    obs::metrics::observe("merge.range_us", d.as_micros() as u64);
+    (buf, d)
+}
+
+/// A submitted range: its index plus the per-run `(start, end)` bounds.
+type RangeJob = (usize, Vec<(u32, u32)>);
+
+/// Pool of workers each running one key range's loser-tree merge (fused
+/// with its gather) over a shared run set. The root submits the ranges of
+/// a [`crate::pmerge::MergePartition`] and drains the output buffers **in
+/// range order**, which concatenates to the serial merge's output.
+pub struct MergePool {
+    runs: Arc<Vec<SortedRun>>,
+    tx: Option<Sender<RangeJob>>,
+    rx: Receiver<(usize, Vec<u8>, Duration)>,
+    handles: Vec<JoinHandle<()>>,
+    /// Out-of-order completions parked until their turn.
+    parked: BTreeMap<usize, (Vec<u8>, Duration)>,
+    submitted: usize,
+    delivered: usize,
+}
+
+impl MergePool {
+    /// Create a pool with `workers` threads (0 = merge inline on submit).
+    pub fn new(workers: usize, runs: Arc<Vec<SortedRun>>) -> Self {
+        let (tx, work_rx) = channel::<RangeJob>();
+        // Shared single receiver behind a mutex, as in `SortPool::new`.
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, rx) = channel();
+        let track = obs::current_track();
+        let handles = (0..workers)
+            .map(|w| {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                let runs = Arc::clone(&runs);
+                let track = track.clone();
+                std::thread::Builder::new()
+                    .name(format!("merge-worker-{w}"))
+                    .spawn(move || {
+                        obs::adopt_track(track);
+                        loop {
+                            let msg = work_rx.lock().unwrap().recv();
+                            let Ok((id, bounds)) = msg else { break };
+                            let (buf, d) = merge_range_traced(id, &runs, &bounds);
+                            let _ = res_tx.send((id, buf, d));
+                        }
+                    })
+                    .expect("failed to spawn merge worker")
+            })
+            .collect();
+        MergePool {
+            runs,
+            tx: if workers > 0 { Some(tx) } else { None },
+            rx,
+            handles,
+            parked: BTreeMap::new(),
+            submitted: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Submit the next range's per-run bounds (ranges are implicitly
+    /// numbered in submission order).
+    pub fn submit(&mut self, bounds: Vec<(u32, u32)>) {
+        let id = self.submitted;
+        self.submitted += 1;
+        match &self.tx {
+            Some(tx) => tx.send((id, bounds)).expect("merge workers gone"),
+            None => {
+                let (buf, d) = merge_range_traced(id, &self.runs, &bounds);
+                self.parked.insert(id, (buf, d));
+            }
+        }
+    }
+
+    /// Block for the next range's output buffer, in range order. `None`
+    /// once every submitted range has been delivered.
+    pub fn next_in_order(&mut self) -> Option<(Vec<u8>, Duration)> {
+        if self.delivered >= self.submitted {
+            return None;
+        }
+        while !self.parked.contains_key(&self.delivered) {
+            let (id, buf, d) = self.rx.recv().expect("merge worker died");
+            self.parked.insert(id, (buf, d));
+        }
+        let r = self.parked.remove(&self.delivered).expect("present");
+        self.delivered += 1;
+        Some(r)
+    }
+}
+
+impl Drop for MergePool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +528,32 @@ mod tests {
         gather.submit(crate::gather::take_ptrs(&mut merger, 100));
         let _ = gather.next_buffer();
         drop(gather); // one batch still parked/in flight
+    }
+
+    #[test]
+    fn merge_pool_output_matches_serial_merge_gather() {
+        let (cs, bufs) = run_buffers(4_000, 300);
+        let mut pool = SortPool::new(2, Representation::KeyPrefix);
+        for b in bufs {
+            pool.submit(b);
+        }
+        let (runs, _) = pool.finish();
+        let runs = Arc::new(runs);
+        // Serial reference: full merge + gather.
+        let serial = crate::gather::merge_gather_all(&runs);
+        for workers in [0, 1, 3] {
+            let plan = crate::pmerge::plan_mem_partitions(&runs, 4, 16);
+            let mut mp = MergePool::new(workers, Arc::clone(&runs));
+            for row in &plan.bounds {
+                mp.submit(row.iter().map(|&(s, e)| (s as u32, e as u32)).collect());
+            }
+            let mut out = Vec::new();
+            while let Some((buf, _)) = mp.next_in_order() {
+                out.extend_from_slice(&buf);
+            }
+            assert_eq!(out, serial, "{workers} workers");
+            validate_records(&out, cs).unwrap();
+        }
     }
 
     #[test]

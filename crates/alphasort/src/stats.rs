@@ -65,6 +65,13 @@ pub struct SortStats {
     /// For resumed two-pass sorts: runs re-formed from the input because
     /// they were missing or corrupt in the previous attempt's scratch.
     pub runs_reformed: u64,
+    /// For partitioned merges: records each key range merged (empty for
+    /// serial merges). Feed [`SortStats::merge_skew`].
+    pub merge_range_records: Vec<u64>,
+    /// For partitioned merges: wall time each range's merge took, indexed
+    /// like `merge_range_records`. Feed
+    /// [`SortStats::merge_range_throughput_mbps`].
+    pub merge_range_time: Vec<Duration>,
 }
 
 impl SortStats {
@@ -115,6 +122,9 @@ impl SortStats {
             .extend_from_slice(&other.partition_sizes);
         self.runs_recovered += other.runs_recovered;
         self.runs_reformed += other.runs_reformed;
+        self.merge_range_records
+            .extend_from_slice(&other.merge_range_records);
+        self.merge_range_time.extend_from_slice(&other.merge_range_time);
     }
 
     /// Derive stats from a recorded trace: the inverse of instrumenting
@@ -176,6 +186,37 @@ impl SortStats {
         let ideal = total as f64 / self.partition_sizes.len() as f64;
         let max = *self.partition_sizes.iter().max().expect("non-empty") as f64;
         max / ideal
+    }
+
+    /// Largest merged key range over the ideal share — 1.0 is perfect
+    /// balance, same convention as [`exchange_skew`](Self::exchange_skew).
+    /// 1.0 also for serial merges (no ranges recorded).
+    pub fn merge_skew(&self) -> f64 {
+        let total: u64 = self.merge_range_records.iter().sum();
+        if total == 0 || self.merge_range_records.is_empty() {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.merge_range_records.len() as f64;
+        let max = *self.merge_range_records.iter().max().expect("non-empty") as f64;
+        max / ideal
+    }
+
+    /// Per-range merge throughput in MB/s (records × RECORD_LEN over the
+    /// range's wall time; 0.0 where the timer read zero). Empty for serial
+    /// merges.
+    pub fn merge_range_throughput_mbps(&self) -> Vec<f64> {
+        self.merge_range_records
+            .iter()
+            .zip(&self.merge_range_time)
+            .map(|(&n, d)| {
+                let secs = d.as_secs_f64();
+                if secs == 0.0 {
+                    0.0
+                } else {
+                    (n * alphasort_dmgen::RECORD_LEN as u64) as f64 / 1e6 / secs
+                }
+            })
+            .collect()
     }
 
     /// Bytes this sort actually processed: `bytes_sorted` when counted,
@@ -281,6 +322,27 @@ mod tests {
         assert_eq!(st.avg_run_len(), 0.0);
         assert_eq!(st.throughput_mbps(), 0.0);
         assert_eq!(st.exchange_skew(), 1.0);
+    }
+
+    #[test]
+    fn merge_skew_is_max_over_ideal_and_concatenates_across_workers() {
+        let st = SortStats {
+            merge_range_records: vec![50, 150, 100, 100],
+            merge_range_time: vec![Duration::from_secs(1); 4],
+            ..Default::default()
+        };
+        // Ideal share is 100; the largest range holds 150.
+        assert!((st.merge_skew() - 1.5).abs() < 1e-12);
+        let tp = st.merge_range_throughput_mbps();
+        assert_eq!(tp.len(), 4);
+        assert!((tp[1] - 0.015).abs() < 1e-9); // 150 × 100 B over 1 s
+        let mut m = SortStats::neutral();
+        m.merge(&st);
+        m.merge(&st);
+        assert_eq!(m.merge_range_records.len(), 8);
+        assert_eq!(m.merge_range_time.len(), 8);
+        // Serial sorts record no ranges: skew reads as balanced.
+        assert_eq!(SortStats::default().merge_skew(), 1.0);
     }
 
     #[test]

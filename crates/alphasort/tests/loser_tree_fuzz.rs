@@ -82,6 +82,80 @@ fn loser_tree_merge_equals_heap_merge() {
     }
 }
 
+/// Cut each sorted list into ranges at random splitter values — equal
+/// values route right of the splitter, exactly as the partitioned merge's
+/// `route()` does — tree-merge every range independently, and concatenate.
+/// Must equal the heap merge of the whole input. The random splitters land
+/// on duplicates, below every value (empty ranges), above every value, and
+/// on list boundary values; lists may be empty or single-element.
+#[test]
+fn partitioned_tree_merge_equals_full_heap_merge() {
+    let mut r = SplitMix64::new(0xC3);
+    for case in 0..128 {
+        let lists = random_sorted_lists(&mut r, 1, 9, 0, 40);
+        let parts = 1 + r.next_below(6) as usize;
+        let mut splitters: Vec<u32> = (1..parts)
+            .map(|_| r.next_below(1_000) as u32)
+            .collect();
+        splitters.sort_unstable();
+        let mut out = Vec::new();
+        for j in 0..parts {
+            // Range j holds values v with exactly j splitters <= v:
+            // [splitters[j-1], splitters[j]) — duplicates never straddle.
+            let ranges: Vec<Vec<u32>> = lists
+                .iter()
+                .map(|l| {
+                    let lo = match j {
+                        0 => 0,
+                        _ => l.partition_point(|v| *v < splitters[j - 1]),
+                    };
+                    let hi = match splitters.get(j) {
+                        Some(s) => l.partition_point(|v| *v < *s),
+                        None => l.len(),
+                    };
+                    l[lo..hi].to_vec()
+                })
+                .collect();
+            out.extend(merge_with_tree(&ranges));
+        }
+        assert_eq!(out, merge_with_heap(&lists), "case {case}");
+    }
+}
+
+/// Same partition scheme with the splitter pinned to an exact boundary
+/// value of one of the lists (first or last element): the cut must route
+/// the boundary value and all its duplicates into the right range, and the
+/// concatenation must still equal the full merge.
+#[test]
+fn splitter_equal_to_list_boundary_value() {
+    let mut r = SplitMix64::new(0xC4);
+    for case in 0..64 {
+        let lists = random_sorted_lists(&mut r, 2, 7, 1, 30);
+        let donor = &lists[r.next_below(lists.len() as u64) as usize];
+        let splitter = if r.next_below(2) == 0 {
+            donor[0]
+        } else {
+            *donor.last().expect("non-empty")
+        };
+        let mut out = Vec::new();
+        for j in 0..2 {
+            let ranges: Vec<Vec<u32>> = lists
+                .iter()
+                .map(|l| {
+                    let cut = l.partition_point(|v| *v < splitter);
+                    if j == 0 {
+                        l[..cut].to_vec()
+                    } else {
+                        l[cut..].to_vec()
+                    }
+                })
+                .collect();
+            out.extend(merge_with_tree(&ranges));
+        }
+        assert_eq!(out, merge_with_heap(&lists), "case {case}");
+    }
+}
+
 /// The winner is always a minimal live leaf, at every step.
 #[test]
 fn winner_is_always_minimal() {

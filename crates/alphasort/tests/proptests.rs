@@ -157,6 +157,71 @@ fn run_formation_matches_std_sort() {
     }
 }
 
+/// The partition planner's contract, for arbitrary run sets and range
+/// counts: the per-run cuts are monotone (ranges are disjoint), the union
+/// of cuts covers every record of every run exactly once, and the
+/// concatenated per-range merges equal the serial merge of the same runs.
+#[test]
+fn partition_cuts_are_disjoint_covering_and_order_preserving() {
+    use alphasort_core::merge::RunMerger;
+    use alphasort_core::pmerge::plan_mem_partitions;
+    use alphasort_core::runform::SortedRun;
+
+    let mut r = SplitMix64::new(0xA5);
+    for case in 0..48 {
+        let k = 1 + r.next_below(8) as usize;
+        let dist = any_dist(&mut r);
+        let runs: Vec<SortedRun> = (0..k)
+            .map(|_| {
+                let n = r.next_below(300);
+                let (data, _) = generate(GenConfig {
+                    records: n,
+                    seed: r.next_u64(),
+                    dist,
+                });
+                form_run(data, Representation::KeyPrefix)
+            })
+            .collect();
+        let ranges = 1 + r.next_below(9) as usize;
+        let samples = 1 + r.next_below(40) as usize;
+        let plan = plan_mem_partitions(&runs, ranges, samples);
+        assert_eq!(plan.bounds.len(), ranges, "case {case}");
+        assert_eq!(plan.range_records.len(), ranges, "case {case}");
+
+        // Disjoint + covering, per run: range j's cut picks up exactly
+        // where range j-1's left off, the first starts at 0, the last ends
+        // at the run's length.
+        for (run_idx, run) in runs.iter().enumerate() {
+            let mut prev_end = 0u64;
+            for (range_idx, row) in plan.bounds.iter().enumerate() {
+                let (s, e) = row[run_idx];
+                assert_eq!(s, prev_end, "case {case}: run {run_idx} range {range_idx}");
+                assert!(s <= e, "case {case}");
+                prev_end = e;
+            }
+            assert_eq!(prev_end, run.len() as u64, "case {case}: run {run_idx}");
+        }
+        let total: u64 = runs.iter().map(|run| run.len() as u64).sum();
+        assert_eq!(plan.range_records.iter().sum::<u64>(), total, "case {case}");
+
+        // Concatenated range merges == serial merge (pointer-identical,
+        // which implies byte-identical output and preserved stability).
+        let serial: Vec<(u32, u32)> = RunMerger::new(&runs).map(|p| (p.run, p.pos)).collect();
+        let concat: Vec<(u32, u32)> = plan
+            .bounds
+            .iter()
+            .flat_map(|row| {
+                let bounds: Vec<(u32, u32)> =
+                    row.iter().map(|&(s, e)| (s as u32, e as u32)).collect();
+                RunMerger::with_bounds(&runs, &bounds)
+                    .map(|p| (p.run, p.pos))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(concat, serial, "case {case}");
+    }
+}
+
 /// Sanity: stats plumbed through a real run.
 #[test]
 fn stats_are_populated() {

@@ -48,6 +48,49 @@ fn bench_merge_fanin() {
     }
 }
 
+fn bench_partitioned_merge() {
+    // Serial tournament vs the partitioned merge at 2/4/8 ranges: same
+    // output bytes (the oracle enforces it), the question is wall clock.
+    use alphasort_core::gather::gather_into;
+    use alphasort_core::pmerge::{plan_mem_partitions, SAMPLES_PER_RANGE};
+
+    let n = 200_000u64;
+    let runs = make_runs(n, 20_000);
+    let mut g = BenchGroup::new("partitioned_merge");
+    g.throughput_bytes(n * RECORD_LEN as u64);
+    g.sample_size(10);
+
+    g.bench("serial", || black_box(merge_gather_all(&runs)));
+    for ranges in [2usize, 4, 8] {
+        g.bench(format!("ranges/{ranges}"), || {
+            let plan = plan_mem_partitions(&runs, ranges, SAMPLES_PER_RANGE);
+            let outputs = std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .bounds
+                    .iter()
+                    .map(|row| {
+                        let runs = &runs;
+                        scope.spawn(move || {
+                            let bounds: Vec<(u32, u32)> =
+                                row.iter().map(|&(s, e)| (s as u32, e as u32)).collect();
+                            let ptrs: Vec<MergedPtr> =
+                                RunMerger::with_bounds(runs, &bounds).collect();
+                            let mut out = Vec::with_capacity(ptrs.len() * RECORD_LEN);
+                            gather_into(runs, &ptrs, &mut out);
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("range worker"))
+                    .collect::<Vec<_>>()
+            });
+            black_box(outputs.concat())
+        });
+    }
+}
+
 fn bench_ovc() {
     let n = 100_000u64;
     let mut g = BenchGroup::new("ovc_vs_plain_merge");
@@ -88,5 +131,6 @@ fn bench_ovc() {
 fn main() {
     bench_merge_and_gather();
     bench_merge_fanin();
+    bench_partitioned_merge();
     bench_ovc();
 }

@@ -1,148 +1,38 @@
 //! Splitter sampling and key routing — the coordinator's half of the
 //! probabilistic-splitting recipe (§2's "equal-sized parts").
 //!
-//! Each worker samples its local keys with the same deterministic
-//! golden-ratio stride the shared-memory baseline uses; the coordinator
-//! sorts the pooled sample and picks the `nodes - 1` quantile keys as
-//! splitters. Records route to node `i` iff their key falls in the i-th
-//! splitter interval.
+//! The machinery itself moved to [`alphasort_core::splitter`] when the
+//! partitioned parallel merge started range-cutting sealed runs with the
+//! same sampling and routing rules; this module re-exports it so the
+//! cluster code (and external users of the netsort API) keep their paths.
 
-use alphasort_dmgen::{records_of, KEY_LEN, RECORD_LEN};
-
-/// Sample up to `count` keys from `input` (whole records) with a
-/// golden-ratio stride, returning them concatenated (KEY_LEN bytes each) —
-/// the payload of a `Frame::Sample`.
-pub fn sample_keys(input: &[u8], count: usize) -> Vec<u8> {
-    assert!(input.len().is_multiple_of(RECORD_LEN));
-    let records = records_of(input);
-    let n = records.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let count = count.min(n);
-    let mut out = Vec::with_capacity(count * KEY_LEN);
-    for i in 0..count {
-        let idx = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64;
-        out.extend_from_slice(&records[idx as usize].key);
-    }
-    out
-}
-
-/// Pick `nodes - 1` splitter keys from pooled sample payloads. The pooled
-/// sample is sorted and its quantiles become the splitters, so every node's
-/// key range should hold roughly the same record count.
-pub fn compute_splitters(samples: &[Vec<u8>], nodes: usize) -> Vec<[u8; KEY_LEN]> {
-    assert!(nodes >= 1);
-    let mut pool: Vec<[u8; KEY_LEN]> = Vec::new();
-    for payload in samples {
-        assert!(payload.len().is_multiple_of(KEY_LEN), "ragged sample");
-        for key in payload.chunks_exact(KEY_LEN) {
-            pool.push(key.try_into().expect("KEY_LEN chunk"));
-        }
-    }
-    pool.sort_unstable();
-    if pool.is_empty() {
-        // No data anywhere: any splitters partition nothing correctly.
-        return vec![[0u8; KEY_LEN]; nodes - 1];
-    }
-    (1..nodes).map(|k| pool[k * pool.len() / nodes]).collect()
-}
-
-/// Serialize splitters for a `Frame::Splitters` payload.
-pub fn encode_splitters(splitters: &[[u8; KEY_LEN]]) -> Vec<u8> {
-    splitters.concat()
-}
-
-/// Parse a `Frame::Splitters` payload.
-pub fn decode_splitters(payload: &[u8]) -> Vec<[u8; KEY_LEN]> {
-    assert!(payload.len().is_multiple_of(KEY_LEN), "ragged splitters");
-    payload
-        .chunks_exact(KEY_LEN)
-        .map(|k| k.try_into().expect("KEY_LEN chunk"))
-        .collect()
-}
-
-/// Which node owns `key` under `splitters` (same routing rule as the
-/// shared-memory baseline: first interval whose upper splitter exceeds the
-/// key).
-#[inline]
-pub fn route(key: &[u8; KEY_LEN], splitters: &[[u8; KEY_LEN]]) -> usize {
-    splitters.partition_point(|s| s <= key)
-}
-
-/// Scatter `input` (whole records) into one byte buffer per node.
-pub fn partition_records(input: &[u8], splitters: &[[u8; KEY_LEN]]) -> Vec<Vec<u8>> {
-    assert!(input.len().is_multiple_of(RECORD_LEN));
-    let mut outs: Vec<Vec<u8>> = vec![Vec::new(); splitters.len() + 1];
-    for r in records_of(input) {
-        outs[route(&r.key, splitters)].extend_from_slice(r.as_bytes());
-    }
-    outs
-}
+pub use alphasort_core::splitter::{
+    compute_splitters, decode_splitters, encode_splitters, partition_records, route, sample_keys,
+    splitters_from_keys,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alphasort_dmgen::{generate, GenConfig, KeyDistribution};
+    use alphasort_dmgen::{generate, GenConfig, KEY_LEN, RECORD_LEN};
 
+    /// The netsort frame path end to end: sample payloads from two nodes,
+    /// pooled splitters, encode/decode roundtrip, balanced routing.
     #[test]
-    fn splitters_balance_random_keys() {
-        let (input, _) = generate(GenConfig::datamation(40_000, 11));
-        let sample = sample_keys(&input, 1024);
-        let splitters = compute_splitters(&[sample], 8);
-        assert_eq!(splitters.len(), 7);
-        assert!(splitters.windows(2).all(|w| w[0] <= w[1]));
-        let parts = partition_records(&input, &splitters);
-        let ideal = 40_000.0 / 8.0;
-        for p in &parts {
-            let records = (p.len() / RECORD_LEN) as f64;
-            assert!(records < ideal * 1.5, "partition holds {records}");
-        }
-    }
-
-    #[test]
-    fn routing_respects_splitter_intervals() {
-        let splitters = [[5u8; KEY_LEN], [9u8; KEY_LEN]];
-        assert_eq!(route(&[0u8; KEY_LEN], &splitters), 0);
-        assert_eq!(route(&[5u8; KEY_LEN], &splitters), 1); // equal goes right
-        assert_eq!(route(&[7u8; KEY_LEN], &splitters), 1);
-        assert_eq!(route(&[255u8; KEY_LEN], &splitters), 2);
-        assert_eq!(route(&[3u8; KEY_LEN], &[]), 0); // one node, no splitters
-    }
-
-    #[test]
-    fn partitions_concatenate_to_input_multiset_in_key_order() {
-        let (input, _) = generate(GenConfig {
-            records: 5_000,
-            seed: 3,
-            dist: KeyDistribution::DupHeavy { cardinality: 4 },
-        });
-        let sample = sample_keys(&input, 256);
-        let splitters = compute_splitters(&[sample], 4);
-        let parts = partition_records(&input, &splitters);
-        let total: usize = parts.iter().map(|p| p.len()).sum();
-        assert_eq!(total, input.len());
-        // Every key in partition i is <= every key in partition i+1 (ranges
-        // are disjoint up to the splitter-equality rule).
-        for w in parts.windows(2) {
-            let max_lo = records_of(&w[0]).iter().map(|r| r.key).max();
-            let min_hi = records_of(&w[1]).iter().map(|r| r.key).min();
-            if let (Some(lo), Some(hi)) = (max_lo, min_hi) {
-                assert!(lo <= hi);
-            }
-        }
-    }
-
-    #[test]
-    fn encode_decode_roundtrip() {
-        let splitters = vec![[1u8; KEY_LEN], [200u8; KEY_LEN]];
-        assert_eq!(decode_splitters(&encode_splitters(&splitters)), splitters);
-    }
-
-    #[test]
-    fn empty_cluster_input_still_produces_splitters() {
-        let splitters = compute_splitters(&[Vec::new(), Vec::new()], 4);
+    fn coordinator_path_stays_wired_through_the_shared_module() {
+        let (a, _) = generate(GenConfig::datamation(10_000, 1));
+        let (b, _) = generate(GenConfig::datamation(10_000, 2));
+        let samples = vec![sample_keys(&a, 256), sample_keys(&b, 256)];
+        let splitters = decode_splitters(&encode_splitters(&compute_splitters(&samples, 4)));
         assert_eq!(splitters.len(), 3);
-        assert!(partition_records(&[], &splitters).iter().all(Vec::is_empty));
+        let parts = partition_records(&a, &splitters);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, a.len());
+        assert_eq!(route(&[0u8; KEY_LEN], &splitters), 0);
+        let ideal = 10_000.0 / 4.0;
+        for p in &parts {
+            assert!(((p.len() / RECORD_LEN) as f64) < ideal * 1.6);
+        }
     }
 }

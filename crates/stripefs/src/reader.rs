@@ -20,7 +20,10 @@ pub struct StripedReader {
     depth: usize,
     /// Next logical offset to *issue* a read for.
     issue_pos: u64,
-    /// Logical length snapshot taken at construction.
+    /// First logical offset this reader covers (0 for whole-file readers).
+    start: u64,
+    /// Exclusive logical end offset (the file length snapshot for
+    /// whole-file readers; a stride boundary for ranged ones).
     len: u64,
     inflight: VecDeque<(u64, StripedRead)>,
     /// Left-over bytes for the `Read` impl.
@@ -42,13 +45,47 @@ impl StripedReader {
 
     /// Start reading `file` from offset 0, keeping `depth` strides in flight.
     pub fn with_depth(file: Arc<StripedFile>, depth: usize) -> Self {
-        assert!(depth > 0, "read-ahead depth must be positive");
         let len = file.len();
+        Self::ranged_with_depth(file, 0, len, depth)
+    }
+
+    /// Read only the logical range `[start, end)` of `file` with the
+    /// default depth. `start` must be stride-aligned; `end` is rounded up
+    /// to the next stride boundary (capped at the file length) so every
+    /// delivered stride keeps its whole-stride checksum index — callers
+    /// wanting a byte-exact window trim the first and last strides
+    /// themselves.
+    ///
+    /// # Panics
+    /// If `start` is not stride-aligned or the range is outside the file.
+    pub fn ranged(file: Arc<StripedFile>, start: u64, end: u64) -> Self {
+        Self::ranged_with_depth(file, start, end, Self::DEFAULT_DEPTH)
+    }
+
+    /// [`ranged`](Self::ranged) with an explicit read-ahead depth.
+    pub fn ranged_with_depth(file: Arc<StripedFile>, start: u64, end: u64, depth: usize) -> Self {
+        assert!(depth > 0, "read-ahead depth must be positive");
+        let stride = file.stride();
+        let flen = file.len();
+        assert!(
+            start.is_multiple_of(stride),
+            "range start {start} not aligned to stride {stride}"
+        );
+        assert!(
+            start <= end && end <= flen,
+            "range {start}..{end} outside file of {flen} bytes"
+        );
+        let end = if end.is_multiple_of(stride) {
+            end
+        } else {
+            ((end / stride + 1) * stride).min(flen)
+        };
         let mut r = StripedReader {
             file,
             depth,
-            issue_pos: 0,
-            len,
+            issue_pos: start,
+            start,
+            len: end,
             inflight: VecDeque::new(),
             spill: Vec::new(),
             spill_off: 0,
@@ -56,6 +93,32 @@ impl StripedReader {
         };
         r.pump();
         r
+    }
+
+    /// Like [`ranged`](Self::ranged), verifying every delivered stride
+    /// against `checks` (a whole-file manifest — stride checksums are
+    /// indexed by absolute offset, so a range verifies with the same
+    /// fingerprints as a full read).
+    pub fn verified_ranged(
+        file: Arc<StripedFile>,
+        checks: RunChecksums,
+        start: u64,
+        end: u64,
+    ) -> io::Result<Self> {
+        if checks.bytes != file.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checksum manifest for file '{}' covers {} bytes but the file has {}",
+                    file.def().name,
+                    checks.bytes,
+                    file.len()
+                ),
+            ));
+        }
+        let mut r = Self::ranged(file, start, end);
+        r.checks = Some(checks);
+        Ok(r)
     }
 
     /// Like [`new`](Self::new), but every delivered stride is verified
@@ -146,7 +209,7 @@ impl StripedReader {
 
     /// Total logical bytes this reader will deliver.
     pub fn total_len(&self) -> u64 {
-        self.len
+        self.len - self.start
     }
 
     /// Fetch the next stride's bytes, or `None` at end of file.
@@ -276,6 +339,76 @@ mod tests {
         let f = Arc::new(v.create_across_all("empty", 64, 0));
         let mut r = StripedReader::new(f);
         assert!(r.next_stride().is_none());
+    }
+
+    #[test]
+    fn ranged_reader_delivers_exactly_the_aligned_window() {
+        let v = volume(4);
+        let (f, data) = filled_file(&v, 10_000, 256); // stride = 1024
+        // Aligned start, unaligned end: rounded up to the next stride.
+        let mut r = StripedReader::ranged(Arc::clone(&f), 2_048, 5_000);
+        assert_eq!(r.total_len(), 5_120 - 2_048);
+        let mut got = Vec::new();
+        while let Some(s) = r.next_stride() {
+            got.extend_from_slice(&s.unwrap());
+        }
+        assert_eq!(got, data[2_048..5_120]);
+        // End at the file's (partial-stride) tail stays capped to the file.
+        let mut r = StripedReader::ranged(Arc::clone(&f), 8_192, 10_000);
+        let mut got = Vec::new();
+        while let Some(s) = r.next_stride() {
+            got.extend_from_slice(&s.unwrap());
+        }
+        assert_eq!(got, data[8_192..]);
+        // Empty range.
+        let mut r = StripedReader::ranged(f, 1_024, 1_024);
+        assert!(r.next_stride().is_none());
+        assert_eq!(r.total_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned to stride")]
+    fn ranged_reader_rejects_unaligned_start() {
+        let v = volume(2);
+        let (f, _) = filled_file(&v, 1_000, 128);
+        let _ = StripedReader::ranged(f, 100, 500);
+    }
+
+    #[test]
+    fn verified_ranged_reader_checks_mid_file_strides() {
+        let v = volume(3);
+        let f = Arc::new(v.create_across_all("vr", 64, 5_000));
+        let data: Vec<u8> = (0..5_000).map(|i| (i % 247) as u8).collect();
+        let mut w = crate::StripedWriter::with_checksums(Arc::clone(&f));
+        w.push(&data).unwrap();
+        let (_, checks) = w.finish_checksummed().unwrap();
+        let stride = f.stride();
+
+        // A clean mid-file range verifies with the whole-file manifest.
+        let (s, e) = (stride * 3, stride * 7);
+        let mut r =
+            StripedReader::verified_ranged(Arc::clone(&f), checks.clone(), s, e).unwrap();
+        let mut got = Vec::new();
+        while let Some(x) = r.next_stride() {
+            got.extend_from_slice(&x.unwrap());
+        }
+        assert_eq!(got, data[s as usize..e as usize]);
+
+        // Corrupt a byte inside the range: the ranged read catches it.
+        let base = f.def().members[0].base;
+        v.engine()
+            .write(0, base + stride * 4 / 3, vec![0xEE])
+            .wait()
+            .unwrap();
+        let mut r = StripedReader::verified_ranged(f, checks, s, e).unwrap();
+        let mut saw_err = false;
+        while let Some(x) = r.next_stride() {
+            if x.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "corruption inside the range went unnoticed");
     }
 
     #[test]

@@ -462,3 +462,59 @@ fn validator_rejects_truncated_stream() {
     let mut cursor = std::io::Cursor::new(&sorted);
     assert!(validate_reader(&mut cursor, cs).unwrap().is_err());
 }
+
+#[test]
+fn transient_fault_during_partitioned_merge_is_retried_to_success() {
+    let _g = obs_lock();
+    obs::enable(obs::DEFAULT_CAPACITY);
+    let before = obs::metrics_snapshot();
+    // The input is in memory and pass 1 only writes, so every scratch
+    // *read* belongs to the partitioned merge: splitter probes and the
+    // range workers' window reads. A transient fault on the 50th read
+    // lands inside that phase and must be absorbed by the retry policy.
+    let (_storages, volume) =
+        faulty_scratch_volume(FaultPlan::new().fail_read(50, ErrorKind::TimedOut));
+    let (input, cs) = generate(GenConfig::datamation(6_000, 51));
+    let mut scratch = StripeScratch::new(Arc::clone(&volume), 4 * 1024);
+    let mut source = MemSource::new(input, 250 * RECORD_LEN);
+    let mut sink = MemSink::new();
+    let cfg = SortConfig {
+        merge_workers: 4,
+        ..cfg()
+    };
+    let outcome = two_pass(&mut source, &mut sink, &mut scratch, &cfg)
+        .expect("transient fault during the partitioned merge was not retried");
+    let delta = obs::metrics_snapshot().diff(&before);
+    obs::disable();
+    assert!(counter(&delta, "io.retry") >= 1, "no retry recorded");
+    assert_eq!(outcome.stats.merge_range_records.len(), 4);
+    assert_eq!(outcome.stats.merge_range_records.iter().sum::<u64>(), 6_000);
+    validate_mem(sink.into_inner(), cs);
+}
+
+#[test]
+fn corrupt_stride_fails_partitioned_merge_with_attributed_error() {
+    // A stride silently corrupted during pass 1 sits in some range
+    // worker's read window. The checksummed window read must catch it,
+    // the error must propagate out of the worker through the scoped-thread
+    // join (no hang: the root stops draining, sibling workers unblock),
+    // and the message must still name disk and run.
+    let (_storages, volume) =
+        faulty_scratch_volume(FaultPlan::new().corrupt_write(70, 100));
+    let (input, _cs) = generate(GenConfig::datamation(6_000, 52));
+    let mut scratch = StripeScratch::new(Arc::clone(&volume), 4 * 1024);
+    let mut source = MemSource::new(input, 250 * RECORD_LEN);
+    let mut sink = MemSink::new();
+    let cfg = SortConfig {
+        merge_workers: 4,
+        ..cfg()
+    };
+    let err = match two_pass(&mut source, &mut sink, &mut scratch, &cfg) {
+        Ok(_) => panic!("corrupt scratch stride went unnoticed by the partitioned merge"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("checksum mismatch on disk 0 (s0)"), "{msg}");
+    assert!(msg.contains("scratch-run-"), "{msg}");
+}
