@@ -276,6 +276,10 @@ pub struct StripeScratch {
     /// Flipped at the first `open_runs`: later seals are cascade outputs
     /// and are not manifested.
     merging: bool,
+    /// Run-name namespace: runs are created as `{prefix}-{id}`. Two
+    /// scratches sharing one volume (two jobs in one process) must use
+    /// distinct prefixes or their run files collide.
+    prefix: String,
 }
 
 impl StripeScratch {
@@ -294,6 +298,37 @@ impl StripeScratch {
             pending_spans: VecDeque::new(),
             recovered: Vec::new(),
             merging: false,
+            prefix: "scratch-run".to_string(),
+        }
+    }
+
+    /// Set the run-name namespace (default `scratch-run`). Every scratch
+    /// sharing a volume with another concurrently-live scratch — `sortd`
+    /// runs one per job on one shared volume — needs its own prefix; with
+    /// the default, a second scratch's `scratch-run-0` would collide with
+    /// the first's. The prefix is persisted in the manifest so resume
+    /// keeps fresh run ids clear of surviving names.
+    pub fn named(mut self, prefix: impl Into<String>) -> Self {
+        self.prefix = prefix.into();
+        self
+    }
+
+    /// Delete every file this scratch still tracks (sealed runs, handed-out
+    /// merge sources, abandoned writers) from the volume, releasing their
+    /// extents for other users of a shared volume.
+    ///
+    /// This is deliberately *not* `Drop`: a crash-style drop must leave
+    /// manifested runs on disk for [`resume`](Self::resume). A daemon that
+    /// owns the job lifecycle calls `dispose` when the job is done.
+    pub fn dispose(mut self) {
+        for f in self.pending_free.drain(..) {
+            self.volume.delete(&f);
+        }
+        for r in self.runs.drain(..) {
+            self.volume.delete(&r.file);
+        }
+        for (_, f) in self.open_writers.drain(..) {
+            self.volume.delete(&f);
         }
     }
 
@@ -346,6 +381,11 @@ impl StripeScratch {
         let run_records = doc.field_u64("run_records").map_err(|e| bad(&e))?;
         let chunk = doc.field_u64("chunk").map_err(|e| bad(&e))?;
         let mut s = Self::new(volume, chunk);
+        // Manifests from before namespacing carry no prefix; they used the
+        // default.
+        if let Some(p) = doc.get("prefix").and_then(Json::as_str) {
+            s.prefix = p.to_string();
+        }
         let mut report = ResumeReport {
             input_bytes,
             run_records,
@@ -368,7 +408,7 @@ impl StripeScratch {
                 Ok(()) => {
                     // Keep fresh run ids clear of every surviving name.
                     if let Some(id) = name
-                        .strip_prefix("scratch-run-")
+                        .strip_prefix(&format!("{}-", s.prefix))
                         .and_then(|n| n.parse::<usize>().ok())
                     {
                         s.next_id = s.next_id.max(id + 1);
@@ -463,6 +503,7 @@ impl StripeScratch {
             ("input_bytes".into(), Json::from(m.input_bytes)),
             ("run_records".into(), Json::from(m.run_records)),
             ("chunk".into(), Json::from(self.chunk)),
+            ("prefix".into(), Json::from(self.prefix.as_str())),
             (
                 "runs".into(),
                 Json::Arr(m.entries.iter().map(|(_, j)| j.clone()).collect()),
@@ -484,7 +525,7 @@ impl ScratchStore for StripeScratch {
         let id = self.next_id;
         self.next_id += 1;
         let file = match self.volume.try_create_across_all(
-            format!("scratch-run-{id}"),
+            format!("{}-{id}", self.prefix),
             self.chunk,
             size_hint,
         ) {
@@ -868,6 +909,44 @@ mod tests {
         let (mut data, _) = generate(GenConfig::datamation(records as u64, salt as u64));
         records_of_mut(&mut data).sort_by_key(|r| r.key);
         data
+    }
+
+    #[test]
+    fn namespaced_scratches_share_a_volume_without_colliding() {
+        // Two concurrently-live scratches on ONE volume — the sortd
+        // situation. With the default prefix both would create
+        // "scratch-run-0"; named scratches must stay disjoint, and
+        // dispose() must return the extents to the volume.
+        let volume = striped_volume(2, None);
+        let run_a = run_payload(30, 41);
+        let run_b = run_payload(30, 42);
+        let mut sa = StripeScratch::new(Arc::clone(&volume), 256).named("job1-run");
+        let mut sb = StripeScratch::new(Arc::clone(&volume), 256).named("job2-run");
+        for (s, payload) in [(&mut sa, &run_a), (&mut sb, &run_b)] {
+            let mut w = s.create_run(payload.len() as u64).unwrap();
+            w.push(payload).unwrap();
+            s.seal_run(w).unwrap();
+        }
+        // Each scratch reads back its own bytes, not the other job's.
+        for (s, want) in [(&mut sa, &run_a), (&mut sb, &run_b)] {
+            let mut sources = s.open_runs().unwrap();
+            assert_eq!(sources.len(), 1);
+            let mut got = Vec::new();
+            while let Some(c) = sources[0].next_chunk().unwrap() {
+                got.extend_from_slice(&c);
+            }
+            assert_eq!(&got, want);
+        }
+        sa.dispose();
+        sb.dispose();
+        // Both runs' extents are back on the free lists (free_bytes counts
+        // only freed extents, so it starts at 0 and ends at everything the
+        // two scratches reserved).
+        assert!(
+            volume.free_bytes() >= (run_a.len() + run_b.len()) as u64,
+            "dispose must free all extents, freed only {}",
+            volume.free_bytes()
+        );
     }
 
     #[test]

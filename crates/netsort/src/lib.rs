@@ -51,7 +51,7 @@ pub mod worker;
 
 pub use faulty::{FaultyTransport, NetFault, NetFaultPlan};
 pub use frame::{crc32c, Frame, MAX_PAYLOAD};
-pub use tcp::{bind_cluster, connect_with_retry, RetryPolicy, TcpTransport};
+pub use tcp::{bind_cluster, connect_with_retry, AcceptLoop, RetryPolicy, TcpTransport};
 pub use transport::{loopback_cluster, LoopbackTransport, Transport};
 pub use worker::{
     merge_cluster_stats, netsort_loopback, netsort_tcp, remote_abort_of, run_worker, split_shares,

@@ -192,6 +192,91 @@ impl TcpTransport {
     }
 }
 
+/// A stoppable TCP accept loop: the server-side primitive `sortd` (and any
+/// other long-running listener) builds on.
+///
+/// `TcpTransport::establish` accepts a *bounded* number of peers and joins
+/// its acceptor inline; a daemon instead accepts forever, so the thread
+/// parked in `accept()` must be unparked deliberately on shutdown — a
+/// thread left in `accept()` pins the listener (and its port) for the life
+/// of the process, and a dropped `JoinHandle` hides that leak.
+/// [`AcceptLoop::stop`] raises a flag, self-connects to unpark the
+/// acceptor, and joins it; after `stop` returns, the port is closed and no
+/// acceptor thread remains. Stopping is idempotent and also runs on `Drop`.
+pub struct AcceptLoop {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl AcceptLoop {
+    /// Accept connections on `listener`, handing each stream to `on_conn`
+    /// (which typically spawns or dispatches to a handler thread; the
+    /// accept loop itself must stay unblocked).
+    pub fn spawn<F>(listener: TcpListener, mut on_conn: F) -> io::Result<AcceptLoop>
+    where
+        F: FnMut(TcpStream) + Send + 'static,
+    {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let handle = thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop_seen.load(Ordering::Acquire) {
+                        // The stop()ing thread self-connected to unpark us;
+                        // drop the stream *and* the listener and bail. A
+                        // real client racing the shutdown is dropped too —
+                        // it sees a reset, the draining server's answer.
+                        return;
+                    }
+                    stream.set_nodelay(true).ok();
+                    on_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    if stop_seen.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Transient accept errors (EMFILE, aborted handshakes)
+                    // must not kill the daemon's front door.
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        });
+        Ok(AcceptLoop {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting: raise the flag, unpark the acceptor with a
+    /// self-connection, and join it. Idempotent; after the first call
+    /// returns, the listener is closed and the acceptor thread is gone.
+    pub fn stop(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unpark `accept()`. If the connect fails the acceptor was already
+        // past accept (or the listener died); the flag still stops it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for AcceptLoop {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 /// Decode frames off one inbound connection into the shared inbox.
 fn read_loop(stream: TcpStream, tx: Sender<Event>) {
     let mut r = BufReader::new(stream);
@@ -405,6 +490,52 @@ mod tests {
         // refused.
         let e = TcpStream::connect(my_addr).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused, "{e}");
+    }
+
+    #[test]
+    fn accept_loop_stop_is_clean_under_concurrent_accepts() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Regression (sortd drain): stopping the accept loop while clients
+        // are still dialing must join the acceptor — no thread left parked
+        // in accept() pinning the listener — and release the port.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served2 = Arc::clone(&served);
+        let mut acceptor = AcceptLoop::spawn(listener, move |stream| {
+            served2.fetch_add(1, Ordering::SeqCst);
+            drop(stream);
+        })
+        .unwrap();
+        let addr = acceptor.addr();
+
+        // A burst of concurrent connects races the accept loop.
+        let dialers: Vec<_> = (0..8)
+            .map(|_| {
+                thread::spawn(move || {
+                    let _ = TcpStream::connect(addr);
+                })
+            })
+            .collect();
+        for d in dialers {
+            d.join().unwrap();
+        }
+
+        let t0 = std::time::Instant::now();
+        acceptor.stop();
+        acceptor.stop(); // idempotent
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "stop() must join promptly, not hang on accept()"
+        );
+        // The listener is closed: were the acceptor still parked on it, the
+        // dial would be accepted (or queue in its backlog) instead of
+        // being refused.
+        let err = TcpStream::connect(addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
+        // Every pre-stop connection was either served or reset — none can
+        // be sitting half-accepted. (The exact count is racy by design.)
+        assert!(served.load(Ordering::SeqCst) <= 8);
     }
 
     #[test]

@@ -84,6 +84,14 @@ pub mod phase {
     /// netsort: the local AlphaSort pipeline over owned records.
     pub const NET_LOCAL: &str = "net.local";
 
+    /// sortd: one job end to end (admission wait + execution), recorded on
+    /// the job's own `job-<id>` track.
+    pub const SORTD_JOB: &str = "sortd.job";
+    /// sortd: time a job spent queued behind the resource pool.
+    pub const SORTD_QUEUE: &str = "sortd.queue";
+    /// sortd: the sort itself, running under the job's budget.
+    pub const SORTD_EXEC: &str = "sortd.exec";
+
     /// iosim: one read serviced by a disk thread.
     pub const IO_READ: &str = "io.read";
     /// iosim: one write serviced by a disk thread.

@@ -1,0 +1,194 @@
+//! A blocking client for the sortd wire protocol.
+//!
+//! One connection per request, mirroring the server's dispatch. The
+//! interesting part of the API is error typing: a failed submit comes back
+//! as [`ClientError::Remote`] carrying the server's stable `code` and
+//! `retryable` bit, so fleet callers can implement honest retry policies
+//! (back off on `backpressure`, give up on `budget_too_large`).
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use alphasort_minijson::Json;
+
+use crate::job::JobSpec;
+use crate::proto;
+
+/// How a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon answered with a typed error document.
+    Remote {
+        /// Stable machine-readable code (`backpressure`, `draining`, …).
+        code: String,
+        /// Whether the identical submit can succeed later.
+        retryable: bool,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The conversation itself broke.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Remote { code, retryable, message } => {
+                write!(f, "sortd error [{code}, retryable={retryable}]: {message}")
+            }
+            ClientError::Io(e) => write!(f, "sortd connection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Whether the server said this submit may be retried verbatim.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ClientError::Remote { retryable: true, .. })
+    }
+
+    /// The remote error code, if this was a typed remote error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Remote { code, .. } => Some(code),
+            ClientError::Io(_) => None,
+        }
+    }
+}
+
+/// A completed submit: the sorted bytes plus what the ack and result said.
+#[derive(Debug)]
+pub struct SubmitResult {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// `true` if the ack said the job queued before running.
+    pub queued: bool,
+    /// Queue position at ack time (0 when admitted immediately).
+    pub queue_depth: u64,
+    /// Records sorted, from the result document.
+    pub records: u64,
+    /// The plan the daemon ran (`"OnePass"` / `"TwoPass"`).
+    pub plan: String,
+    /// The sorted output.
+    pub output: Vec<u8>,
+}
+
+/// Client configuration: target daemon and socket timeout.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(300),
+        }
+    }
+
+    /// Override the socket read timeout (submits park in the daemon's
+    /// queue, so this bounds *server silence*, not job latency).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let s = TcpStream::connect(self.addr)?;
+        s.set_read_timeout(Some(self.timeout))?;
+        s.set_nodelay(true).ok();
+        Ok(s)
+    }
+
+    /// Submit `input` under `spec`; blocks until the sorted bytes are back
+    /// or the daemon says no.
+    pub fn submit(&self, spec: &JobSpec, input: &[u8]) -> Result<SubmitResult, ClientError> {
+        let mut s = self.connect()?;
+        proto::send_ctrl(&mut s, &spec.to_json())?;
+        proto::send_payload(&mut s, input)?;
+
+        let ack = proto::read_ctrl(&mut s)?;
+        check_remote(&ack)?;
+        let job_id = ack.field_u64("job_id").map_err(invalid)?;
+        let queued = ack.field_str("state").map_err(invalid)? == "queued";
+        let queue_depth = ack.field_u64("queue_depth").unwrap_or(0);
+
+        let result = proto::read_ctrl(&mut s)?;
+        check_remote(&result)?;
+        let output_bytes = result.field_u64("output_bytes").map_err(invalid)?;
+        let output = proto::read_payload(&mut s, output_bytes)?;
+        Ok(SubmitResult {
+            job_id,
+            queued,
+            queue_depth,
+            records: result.field_u64("records").unwrap_or(0),
+            plan: result.field_str("plan").unwrap_or("?").to_string(),
+            output,
+        })
+    }
+
+    /// One-document request/response helper.
+    fn roundtrip(&self, req: Json) -> Result<Json, ClientError> {
+        let mut s = self.connect()?;
+        proto::send_ctrl(&mut s, &req)?;
+        let resp = proto::read_ctrl(&mut s)?;
+        check_remote(&resp)?;
+        Ok(resp)
+    }
+
+    /// Fetch a job's status document.
+    pub fn status(&self, job_id: u64) -> Result<Json, ClientError> {
+        self.roundtrip(Json::Obj(vec![
+            ("type".into(), Json::from("status")),
+            ("job_id".into(), Json::from(job_id)),
+        ]))
+    }
+
+    /// Fetch the daemon's stats snapshot.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        self.roundtrip(Json::Obj(vec![("type".into(), Json::from("stats"))]))
+    }
+
+    /// Cancel a queued job. Returns `true` if the cancel landed while the
+    /// job was still queued.
+    pub fn cancel(&self, job_id: u64) -> Result<bool, ClientError> {
+        let resp = self.roundtrip(Json::Obj(vec![
+            ("type".into(), Json::from("cancel")),
+            ("job_id".into(), Json::from(job_id)),
+        ]))?;
+        Ok(resp.field_str("type").map_err(invalid)? == "canceled")
+    }
+
+    /// Ask the daemon to drain; blocks until running jobs finish.
+    pub fn drain(&self) -> Result<Json, ClientError> {
+        self.roundtrip(Json::Obj(vec![("type".into(), Json::from("drain"))]))
+    }
+}
+
+/// Turn an `error` document into [`ClientError::Remote`].
+fn check_remote(doc: &Json) -> Result<(), ClientError> {
+    if doc.field_str("type").ok() == Some("error") {
+        return Err(ClientError::Remote {
+            code: doc.field_str("code").unwrap_or("unknown").to_string(),
+            retryable: doc.get("retryable").and_then(Json::as_bool).unwrap_or(false),
+            message: doc.field_str("message").unwrap_or("").to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn invalid(e: impl std::fmt::Display) -> ClientError {
+    ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}

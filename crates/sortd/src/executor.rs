@@ -1,0 +1,145 @@
+//! Runs one admitted job through the existing AlphaSort drivers, under its
+//! budget, on its own obs track.
+//!
+//! The executor is deliberately thin: everything hard — run formation,
+//! spill, cascade merge, partitioned merge — lives in the drivers. What the
+//! daemon adds is *containment*: the job's `mem_budget` becomes the
+//! planner's budget (so the one-/two-pass decision is per job, not per
+//! process), run length is derated from the same budget, and two-pass
+//! scratch goes either to a private in-memory store or to a **namespaced**
+//! slice of the daemon's shared striped volume so concurrent jobs cannot
+//! collide on run file names.
+
+use std::io;
+use std::sync::Arc;
+
+use alphasort_core::driver::{MemScratch, StripeScratch};
+use alphasort_core::{ExternalSorter, MemSink, MemSource, PassPlan, SortConfig, SortStats};
+use alphasort_dmgen::RECORD_LEN;
+use alphasort_obs as obs;
+use alphasort_stripefs::Volume;
+
+use crate::job::JobSpec;
+
+/// Where two-pass jobs spill their runs.
+#[derive(Clone)]
+pub enum ScratchBacking {
+    /// Private in-memory scratch per job (tests, benchmarks).
+    Memory,
+    /// One striped volume shared by every job; per-job namespaces keep run
+    /// files apart. The `u64` is the stripe chunk size.
+    SharedVolume(Arc<Volume>, u64),
+}
+
+/// Derive a per-job [`SortConfig`] from the manifest's budgets.
+///
+/// Run length is a quarter of the memory budget (the rest covers entry
+/// arrays, merge buffers, and the planner's 10% slack), clamped to keep
+/// tiny budgets sortable and huge ones from forming megaruns that starve
+/// the merge of fan-in.
+pub fn config_for(spec: &JobSpec) -> SortConfig {
+    let run_records = (spec.mem_budget / 4 / RECORD_LEN as u64).clamp(256, 100_000) as usize;
+    SortConfig {
+        run_records,
+        memory_budget: spec.mem_budget,
+        merge_workers: spec.merge_workers,
+        gather_batch: run_records.min(10_000),
+        ..SortConfig::default()
+    }
+}
+
+/// Sort `input` under `spec`'s budgets. Returns the sorted bytes, the
+/// phase stats, and the plan that ran.
+///
+/// Observability lands on track `job-<id>` so concurrent jobs' spans and
+/// metrics stay separable in the trace.
+pub fn run_job(
+    id: u64,
+    spec: &JobSpec,
+    input: Vec<u8>,
+    backing: &ScratchBacking,
+) -> io::Result<(Vec<u8>, SortStats, PassPlan)> {
+    obs::set_track(&format!("job-{id}"));
+    let _job = obs::span(obs::phase::SORTD_JOB);
+
+    let cfg = config_for(spec);
+    let sorter = ExternalSorter::new(cfg.clone());
+    let mut source = MemSource::new(input, cfg.gather_batch * RECORD_LEN);
+    let mut sink = MemSink::new();
+
+    let outcome = {
+        let _exec = obs::span(obs::phase::SORTD_EXEC);
+        match backing {
+            ScratchBacking::Memory => {
+                let mut scratch = MemScratch::new(cfg.gather_batch * RECORD_LEN);
+                sorter.sort(&mut source, &mut sink, &mut scratch)?
+            }
+            ScratchBacking::SharedVolume(volume, chunk) => {
+                let mut scratch =
+                    StripeScratch::new(Arc::clone(volume), *chunk).named(format!("job{id}-run"));
+                let outcome = sorter.sort(&mut source, &mut sink, &mut scratch);
+                // Reclaim this job's extents whether the sort succeeded or
+                // not — the daemon owns the volume's lifetime, so leaked
+                // runs are pure leak, not crash-resume state.
+                scratch.dispose();
+                outcome?
+            }
+        }
+    };
+
+    obs::metrics::counter_add("sortd.exec.bytes", outcome.bytes);
+    Ok((sink.into_inner(), outcome.stats, outcome.plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasort_dmgen::{generate, records_of_mut, GenConfig};
+
+    fn oracle(mut data: Vec<u8>) -> Vec<u8> {
+        records_of_mut(&mut data).sort_by_key(|r| r.key);
+        data
+    }
+
+    fn spec(input: u64, mem: u64, scratch: u64) -> JobSpec {
+        JobSpec {
+            name: "exec-test".into(),
+            input_bytes: input,
+            mem_budget: mem,
+            scratch_budget: scratch,
+            merge_workers: 0,
+        }
+    }
+
+    #[test]
+    fn one_pass_job_matches_oracle() {
+        let (data, _) = generate(GenConfig::datamation(2_000, 11));
+        let s = spec(data.len() as u64, 4 << 20, 0);
+        assert_eq!(s.plan(), PassPlan::OnePass);
+        let (out, stats, plan) =
+            run_job(1, &s, data.clone(), &ScratchBacking::Memory).unwrap();
+        assert_eq!(plan, PassPlan::OnePass);
+        assert_eq!(out, oracle(data));
+        assert_eq!(stats.records, 2_000);
+    }
+
+    #[test]
+    fn two_pass_job_under_tight_budget_matches_oracle() {
+        let (data, _) = generate(GenConfig::datamation(4_000, 12));
+        // Budget far under the input forces the two-pass plan.
+        let s = spec(data.len() as u64, 128 << 10, data.len() as u64);
+        assert_eq!(s.plan(), PassPlan::TwoPass);
+        let (out, _, plan) = run_job(2, &s, data.clone(), &ScratchBacking::Memory).unwrap();
+        assert_eq!(plan, PassPlan::TwoPass);
+        assert_eq!(out, oracle(data));
+    }
+
+    #[test]
+    fn parallel_merge_stays_byte_identical() {
+        let (data, _) = generate(GenConfig::datamation(4_000, 13));
+        let mut s = spec(data.len() as u64, 128 << 10, data.len() as u64);
+        s.merge_workers = 3;
+        let (out, _, _) = run_job(3, &s, data.clone(), &ScratchBacking::Memory).unwrap();
+        assert_eq!(out, oracle(data));
+    }
+}

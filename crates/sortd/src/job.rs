@@ -1,0 +1,280 @@
+//! Job manifests, states, and the service's typed errors.
+//!
+//! A *job manifest* is what a client submits: a name, the input size, and
+//! the memory/scratch budgets the job wants carved out of the daemon's
+//! [`pool`](crate::pool). The daemon validates the manifest against the
+//! pool's totals *before* admission — a job that could never fit is
+//! rejected immediately with a non-retryable error instead of queueing
+//! forever — and against the plan the budgets imply (a two-pass job whose
+//! scratch budget cannot hold its runs is equally hopeless).
+
+use alphasort_core::{PassPlan, Planner};
+use alphasort_dmgen::RECORD_LEN;
+use alphasort_minijson::Json;
+
+/// Smallest admissible memory budget: enough for one modest run buffer
+/// plus entry arrays. Requests below this are rejected as too small.
+pub const MIN_JOB_MEM: u64 = 64 * 1024;
+
+/// What a client asks for: input size plus resource budgets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Client-chosen label (shows up in status and per-job obs tracks).
+    pub name: String,
+    /// Exact byte length of the input the client will stream.
+    pub input_bytes: u64,
+    /// Memory budget in bytes, carved from the pool while the job runs.
+    pub mem_budget: u64,
+    /// Scratch budget in bytes (two-pass spill space); may be 0 for jobs
+    /// small enough to sort in one pass under `mem_budget`.
+    pub scratch_budget: u64,
+    /// Key ranges for the partitioned parallel merge (0 = serial).
+    pub merge_workers: usize,
+}
+
+impl JobSpec {
+    /// Render for the submit frame.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::from("submit")),
+            ("name".into(), Json::from(self.name.as_str())),
+            ("input_bytes".into(), Json::from(self.input_bytes)),
+            ("mem_budget".into(), Json::from(self.mem_budget)),
+            ("scratch_budget".into(), Json::from(self.scratch_budget)),
+            ("merge_workers".into(), Json::from(self.merge_workers as u64)),
+        ])
+    }
+
+    /// Parse from a submit frame.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        Ok(JobSpec {
+            name: doc.field_str("name").map_err(|e| e.to_string())?.to_string(),
+            input_bytes: doc.field_u64("input_bytes").map_err(|e| e.to_string())?,
+            mem_budget: doc.field_u64("mem_budget").map_err(|e| e.to_string())?,
+            scratch_budget: doc.field_u64("scratch_budget").map_err(|e| e.to_string())?,
+            merge_workers: doc.field_u64("merge_workers").map_err(|e| e.to_string())? as usize,
+        })
+    }
+
+    /// The pass plan this spec's budgets imply.
+    pub fn plan(&self) -> PassPlan {
+        Planner::new(self.mem_budget).plan(self.input_bytes)
+    }
+
+    /// Reject manifests that could never run: malformed input length,
+    /// budgets below the floor, budgets above the pool's *total* capacity
+    /// (would queue forever), or a two-pass plan whose scratch budget
+    /// cannot hold the spilled runs.
+    pub fn validate(&self, pool_mem_total: u64, pool_scratch_total: u64) -> Result<(), SortdError> {
+        if self.input_bytes == 0 || !self.input_bytes.is_multiple_of(RECORD_LEN as u64) {
+            return Err(SortdError::BadManifest(format!(
+                "input_bytes {} is not a positive multiple of the {RECORD_LEN}-byte record",
+                self.input_bytes
+            )));
+        }
+        if self.mem_budget < MIN_JOB_MEM {
+            return Err(SortdError::BudgetTooSmall {
+                what: "memory",
+                asked: self.mem_budget,
+                need: MIN_JOB_MEM,
+            });
+        }
+        if self.mem_budget > pool_mem_total {
+            return Err(SortdError::BudgetTooLarge {
+                what: "memory",
+                asked: self.mem_budget,
+                total: pool_mem_total,
+            });
+        }
+        if self.scratch_budget > pool_scratch_total {
+            return Err(SortdError::BudgetTooLarge {
+                what: "scratch",
+                asked: self.scratch_budget,
+                total: pool_scratch_total,
+            });
+        }
+        if self.plan() == PassPlan::TwoPass && self.scratch_budget < self.input_bytes {
+            return Err(SortdError::BudgetTooSmall {
+                what: "scratch",
+                asked: self.scratch_budget,
+                need: self.input_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting behind the pool in the admission queue.
+    Queued,
+    /// Budget reserved; the sort is executing.
+    Running,
+    /// Finished; output was streamed back.
+    Done,
+    /// Failed (execution error, or failed retryably at drain).
+    Failed,
+    /// Canceled by the client before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+}
+
+/// The service's typed errors: every rejection and failure a client can
+/// see carries a machine-readable `code` and a `retryable` bit, so a fleet
+/// can tell backpressure (come back later) from hopeless manifests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortdError {
+    /// Admission queue is at its bound — the typed backpressure error.
+    Backpressure {
+        /// Jobs already waiting.
+        depth: usize,
+        /// The configured queue bound.
+        bound: usize,
+    },
+    /// The daemon is draining: running jobs finish, nothing new starts.
+    Draining,
+    /// The client canceled the job.
+    Canceled,
+    /// A budget exceeds the pool's total capacity — never admittable.
+    BudgetTooLarge {
+        /// Which budget (`"memory"` or `"scratch"`).
+        what: &'static str,
+        /// Requested bytes.
+        asked: u64,
+        /// The pool's total.
+        total: u64,
+    },
+    /// A budget is too small for the job it describes.
+    BudgetTooSmall {
+        /// Which budget (`"memory"` or `"scratch"`).
+        what: &'static str,
+        /// Requested bytes.
+        asked: u64,
+        /// Minimum that could work.
+        need: u64,
+    },
+    /// The manifest itself is malformed.
+    BadManifest(String),
+    /// The sort failed while executing.
+    Exec(String),
+}
+
+impl SortdError {
+    /// Machine-readable error code (stable wire contract).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SortdError::Backpressure { .. } => "backpressure",
+            SortdError::Draining => "draining",
+            SortdError::Canceled => "canceled",
+            SortdError::BudgetTooLarge { .. } => "budget_too_large",
+            SortdError::BudgetTooSmall { .. } => "budget_too_small",
+            SortdError::BadManifest(_) => "bad_manifest",
+            SortdError::Exec(_) => "exec_failed",
+        }
+    }
+
+    /// Whether the same submit can succeed later without changes: true for
+    /// load-shedding (backpressure) and drain, false for manifests that
+    /// can never be admitted and for execution failures.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            SortdError::Backpressure { .. } | SortdError::Draining
+        )
+    }
+}
+
+impl std::fmt::Display for SortdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortdError::Backpressure { depth, bound } => write!(
+                f,
+                "admission queue full ({depth} waiting, bound {bound}); retry with backoff"
+            ),
+            SortdError::Draining => write!(f, "daemon is draining; retry against another instance"),
+            SortdError::Canceled => write!(f, "job canceled by client"),
+            SortdError::BudgetTooLarge { what, asked, total } => write!(
+                f,
+                "{what} budget {asked} exceeds the pool total {total}; the job can never be admitted"
+            ),
+            SortdError::BudgetTooSmall { what, asked, need } => {
+                write!(f, "{what} budget {asked} is below the {need} this job needs")
+            }
+            SortdError::BadManifest(m) => write!(f, "bad manifest: {m}"),
+            SortdError::Exec(m) => write!(f, "sort failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SortdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(input: u64, mem: u64, scratch: u64) -> JobSpec {
+        JobSpec {
+            name: "t".into(),
+            input_bytes: input,
+            mem_budget: mem,
+            scratch_budget: scratch,
+            merge_workers: 0,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let s = spec(1_000 * RECORD_LEN as u64, 1 << 20, 2 << 20);
+        let got = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn validation_rejects_hopeless_manifests() {
+        let pool = (8 << 20, 32 << 20);
+        // Fine: small one-pass job.
+        spec(100 * 100, 1 << 20, 0).validate(pool.0, pool.1).unwrap();
+        // Ragged input length.
+        assert_eq!(
+            spec(150, 1 << 20, 0).validate(pool.0, pool.1).unwrap_err().code(),
+            "bad_manifest"
+        );
+        // Memory below the floor / above the pool.
+        assert_eq!(
+            spec(100 * 100, 1, 0).validate(pool.0, pool.1).unwrap_err().code(),
+            "budget_too_small"
+        );
+        let err = spec(100 * 100, 16 << 20, 0).validate(pool.0, pool.1).unwrap_err();
+        assert_eq!(err.code(), "budget_too_large");
+        assert!(!err.retryable(), "oversized budgets are not retryable");
+        // Two-pass without the scratch to hold its runs.
+        let big = 4 * (8 << 20) as u64 / 100 * 100; // 4x memory, record-aligned
+        assert_eq!(
+            spec(big, 1 << 20, big / 2).validate(pool.0, pool.1).unwrap_err().code(),
+            "budget_too_small"
+        );
+        // Same job with honest scratch passes.
+        spec(big, 1 << 20, big).validate(pool.0, pool.1).unwrap();
+    }
+
+    #[test]
+    fn error_codes_carry_the_retry_contract() {
+        assert!(SortdError::Backpressure { depth: 9, bound: 8 }.retryable());
+        assert!(SortdError::Draining.retryable());
+        assert!(!SortdError::Canceled.retryable());
+        assert!(!SortdError::Exec("boom".into()).retryable());
+    }
+}

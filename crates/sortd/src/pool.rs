@@ -1,0 +1,178 @@
+//! The global resource pool: memory and scratch bytes every admitted job's
+//! budget is carved from.
+//!
+//! The pool is plain accounting — reservation and release of two scalar
+//! capacities — kept separate from [`admission`](crate::admission) policy
+//! so the invariant the fleet test pins ("pool accounting returns to zero
+//! after drain") is checkable on one small struct. Gauges mirror the pool
+//! into obs (`sortd.pool.*`) whenever observability is enabled.
+
+use alphasort_obs as obs;
+
+/// Pool capacities, fixed at daemon start.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Total memory bytes jobs may hold concurrently.
+    pub mem_total: u64,
+    /// Total scratch bytes jobs may hold concurrently.
+    pub scratch_total: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            mem_total: 256 << 20,
+            scratch_total: 1 << 30,
+        }
+    }
+}
+
+/// Live pool accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    mem_total: u64,
+    scratch_total: u64,
+    mem_used: u64,
+    scratch_used: u64,
+    /// High-water marks, for utilization reporting.
+    mem_hwm: u64,
+    scratch_hwm: u64,
+}
+
+impl Pool {
+    /// Empty pool with the given capacities.
+    pub fn new(cfg: PoolConfig) -> Self {
+        Pool {
+            mem_total: cfg.mem_total,
+            scratch_total: cfg.scratch_total,
+            mem_used: 0,
+            scratch_used: 0,
+            mem_hwm: 0,
+            scratch_hwm: 0,
+        }
+    }
+
+    /// Total memory capacity.
+    pub fn mem_total(&self) -> u64 {
+        self.mem_total
+    }
+
+    /// Total scratch capacity.
+    pub fn scratch_total(&self) -> u64 {
+        self.scratch_total
+    }
+
+    /// Memory bytes currently reserved.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Scratch bytes currently reserved.
+    pub fn scratch_used(&self) -> u64 {
+        self.scratch_used
+    }
+
+    /// Highest concurrent memory reservation seen.
+    pub fn mem_hwm(&self) -> u64 {
+        self.mem_hwm
+    }
+
+    /// Highest concurrent scratch reservation seen.
+    pub fn scratch_hwm(&self) -> u64 {
+        self.scratch_hwm
+    }
+
+    /// Whether nothing is reserved (the post-drain invariant).
+    pub fn idle(&self) -> bool {
+        self.mem_used == 0 && self.scratch_used == 0
+    }
+
+    /// Whether a `(mem, scratch)` budget fits right now.
+    pub fn fits(&self, mem: u64, scratch: u64) -> bool {
+        self.mem_used + mem <= self.mem_total && self.scratch_used + scratch <= self.scratch_total
+    }
+
+    /// Reserve a budget that [`fits`](Self::fits).
+    ///
+    /// # Panics
+    /// If the budget does not fit — admission must check first; reserving
+    /// past the total would silently overcommit the pool.
+    pub fn reserve(&mut self, mem: u64, scratch: u64) {
+        assert!(self.fits(mem, scratch), "reserve past pool capacity");
+        self.mem_used += mem;
+        self.scratch_used += scratch;
+        self.mem_hwm = self.mem_hwm.max(self.mem_used);
+        self.scratch_hwm = self.scratch_hwm.max(self.scratch_used);
+        self.publish();
+    }
+
+    /// Return a budget previously reserved.
+    ///
+    /// # Panics
+    /// If more is released than is reserved — a double release is an
+    /// accounting bug worth failing loudly on.
+    pub fn release(&mut self, mem: u64, scratch: u64) {
+        assert!(
+            mem <= self.mem_used && scratch <= self.scratch_used,
+            "release of {mem}/{scratch} exceeds reservations {}/{}",
+            self.mem_used,
+            self.scratch_used
+        );
+        self.mem_used -= mem;
+        self.scratch_used -= scratch;
+        self.publish();
+    }
+
+    /// Mirror the pool into obs gauges.
+    fn publish(&self) {
+        obs::metrics::gauge_set("sortd.pool.mem_used", self.mem_used as i64);
+        obs::metrics::gauge_set("sortd.pool.scratch_used", self.scratch_used as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip_returns_to_zero() {
+        let mut p = Pool::new(PoolConfig {
+            mem_total: 100,
+            scratch_total: 50,
+        });
+        assert!(p.idle());
+        assert!(p.fits(60, 50));
+        p.reserve(60, 50);
+        assert!(!p.fits(41, 0), "memory would overcommit");
+        assert!(!p.fits(0, 1), "scratch would overcommit");
+        p.reserve(40, 0);
+        assert_eq!(p.mem_used(), 100);
+        p.release(60, 50);
+        p.release(40, 0);
+        assert!(p.idle());
+        assert_eq!(p.mem_hwm(), 100);
+        assert_eq!(p.scratch_hwm(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve past pool capacity")]
+    fn overcommit_panics() {
+        let mut p = Pool::new(PoolConfig {
+            mem_total: 10,
+            scratch_total: 10,
+        });
+        p.reserve(11, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reservations")]
+    fn double_release_panics() {
+        let mut p = Pool::new(PoolConfig {
+            mem_total: 10,
+            scratch_total: 10,
+        });
+        p.reserve(5, 5);
+        p.release(5, 5);
+        p.release(1, 0);
+    }
+}

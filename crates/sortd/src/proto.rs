@@ -1,0 +1,201 @@
+//! The sortd wire protocol, riding on netsort's checksummed frames.
+//!
+//! Every message is a netsort [`Frame`] — length-prefixed, CRC32C-trailed,
+//! size-capped — so sortd inherits the exchange protocol's corruption
+//! detection for free. The frame header's `from` field, a sender node id
+//! in netsort, is repurposed as a **channel tag**:
+//!
+//! * [`CTRL`] frames carry one minijson document (`submit`, `status`,
+//!   `stats`, `cancel`, `drain` requests; `ack`, `result`, `error`
+//!   responses),
+//! * [`PAYLOAD`] frames carry raw record bytes, batched under the frame
+//!   cap and terminated by a `Done` frame on the payload channel.
+//!
+//! A submit conversation:
+//!
+//! ```text
+//! client → server   Data(CTRL, submit manifest json)
+//!                   Data(PAYLOAD, records)… Done(PAYLOAD)
+//! server → client   Data(CTRL, ack {job_id, state, queue_depth})
+//!                   …job queues, runs…
+//!                   Data(CTRL, result {state:"done", …})
+//!                   Data(PAYLOAD, sorted records)… Done(PAYLOAD)
+//!        or         Data(CTRL, error {code, retryable, …})
+//! ```
+//!
+//! `status`/`stats`/`cancel`/`drain` are single request/response pairs on
+//! their own connections.
+
+use std::io::{self, Read, Write};
+
+use alphasort_minijson::Json;
+use alphasort_netsort::Frame;
+
+/// Channel tag for control (JSON) frames.
+pub const CTRL: u32 = 0;
+/// Channel tag for raw record payload frames.
+pub const PAYLOAD: u32 = 1;
+
+/// Payload batch size: well under [`Frame`]'s 16 MB cap, big enough that
+/// framing overhead disappears.
+pub const PAYLOAD_BATCH: usize = 1 << 20;
+
+/// Send one control document.
+pub fn send_ctrl(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    Frame::Data {
+        from: CTRL,
+        records: doc.dump().into_bytes(),
+    }
+    .write_to(w)?;
+    w.flush()
+}
+
+/// Receive one control document; anything else on the wire is an error.
+pub fn read_ctrl(r: &mut impl Read) -> io::Result<Json> {
+    match Frame::read_from(r)? {
+        Some(Frame::Data { from: CTRL, records }) => {
+            let text = String::from_utf8(records).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("ctrl frame not UTF-8: {e}"))
+            })?;
+            Json::parse(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("ctrl frame: {e}")))
+        }
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a ctrl frame, got {other:?}"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed before the ctrl frame",
+        )),
+    }
+}
+
+/// Stream `bytes` as payload frames followed by the payload `Done`.
+pub fn send_payload(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    for chunk in bytes.chunks(PAYLOAD_BATCH) {
+        Frame::Data {
+            from: PAYLOAD,
+            records: chunk.to_vec(),
+        }
+        .write_to(w)?;
+    }
+    Frame::Done { from: PAYLOAD }.write_to(w)?;
+    w.flush()
+}
+
+/// Collect payload frames until the payload `Done`, enforcing `expect`
+/// bytes total (the submit manifest declared the length; a mismatch means
+/// a confused client and must not reach the sorter).
+pub fn read_payload(r: &mut impl Read, expect: u64) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(expect.min(64 << 20) as usize);
+    loop {
+        match Frame::read_from(r)? {
+            Some(Frame::Data { from: PAYLOAD, records }) => {
+                if buf.len() as u64 + records.len() as u64 > expect {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "payload overruns the manifest's {expect} bytes ({} and counting)",
+                            buf.len() + records.len()
+                        ),
+                    ));
+                }
+                buf.extend_from_slice(&records);
+            }
+            Some(Frame::Done { from: PAYLOAD }) => break,
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected payload frames, got {other:?}"),
+                ))
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-payload",
+                ))
+            }
+        }
+    }
+    if buf.len() as u64 != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload delivered {} bytes, manifest declared {expect}", buf.len()),
+        ));
+    }
+    Ok(buf)
+}
+
+/// Build an `error` response document from a typed error.
+pub fn error_doc(job_id: Option<u64>, err: &crate::job::SortdError) -> Json {
+    let mut fields = vec![
+        ("type".into(), Json::from("error")),
+        ("code".into(), Json::from(err.code())),
+        ("retryable".into(), Json::Bool(err.retryable())),
+        ("message".into(), Json::from(err.to_string().as_str())),
+    ];
+    if let Some(id) = job_id {
+        fields.push(("job_id".into(), Json::from(id)));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SortdError;
+
+    #[test]
+    fn ctrl_roundtrip() {
+        let doc = Json::Obj(vec![
+            ("type".into(), Json::from("stats")),
+            ("n".into(), Json::from(7u64)),
+        ]);
+        let mut wire = Vec::new();
+        send_ctrl(&mut wire, &doc).unwrap();
+        let got = read_ctrl(&mut wire.as_slice()).unwrap();
+        assert_eq!(got.field_str("type").unwrap(), "stats");
+        assert_eq!(got.field_u64("n").unwrap(), 7);
+    }
+
+    #[test]
+    fn payload_roundtrip_batches_and_terminates() {
+        let bytes: Vec<u8> = (0..3 * PAYLOAD_BATCH + 123).map(|i| (i % 251) as u8).collect();
+        let mut wire = Vec::new();
+        send_payload(&mut wire, &bytes).unwrap();
+        let got = read_payload(&mut wire.as_slice(), bytes.len() as u64).unwrap();
+        assert_eq!(got, bytes);
+    }
+
+    #[test]
+    fn payload_length_is_enforced_both_ways() {
+        let bytes = vec![7u8; 1_000];
+        let mut wire = Vec::new();
+        send_payload(&mut wire, &bytes).unwrap();
+        // Short declaration: overrun caught before buffering past it.
+        let err = read_payload(&mut wire.as_slice(), 999).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Long declaration: shortfall caught at Done.
+        let err = read_payload(&mut wire.as_slice(), 1_001).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_payload_frame_fails_crc_not_silence() {
+        let mut wire = Vec::new();
+        send_payload(&mut wire, &[5u8; 400]).unwrap();
+        wire[20] ^= 0x40;
+        let err = read_payload(&mut wire.as_slice(), 400).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn error_doc_carries_the_retry_contract() {
+        let doc = error_doc(Some(9), &SortdError::Backpressure { depth: 4, bound: 4 });
+        assert_eq!(doc.field_str("code").unwrap(), "backpressure");
+        assert_eq!(doc.get("retryable").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.field_u64("job_id").unwrap(), 9);
+    }
+}

@@ -1,0 +1,527 @@
+//! The daemon: accept loop, per-connection request dispatch, admission
+//! wiring, and graceful drain.
+//!
+//! Threading model — one thread per connection, and the job *runs on the
+//! connection thread that submitted it*. Admission is the concurrency
+//! limiter: a job holds a thread while queued (parked on a channel, not
+//! spinning) and while running, but only holds pool budget while running.
+//! The shared `Core` behind one mutex holds the admission state machine,
+//! the job table, and the waiter channels; the sort itself never runs
+//! under the lock.
+//!
+//! Drain (`drain()` on the handle, or a `{"type":"drain"}` request):
+//! 1. stop admitting — every queued job fails with the retryable
+//!    `draining` error and its waiter wakes,
+//! 2. running jobs finish normally,
+//! 3. the accept loop stops and the listener closes (new connects are
+//!    refused),
+//! 4. drain returns once the pool is back to zero.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use alphasort_minijson::Json;
+use alphasort_netsort::AcceptLoop;
+use alphasort_obs as obs;
+
+use crate::admission::{Admission, AdmissionConfig, Offer};
+use crate::executor::{run_job, ScratchBacking};
+use crate::job::{JobSpec, JobState, SortdError};
+use crate::pool::PoolConfig;
+use crate::proto;
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct SortdConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub listen: String,
+    /// Resource pool capacities.
+    pub pool: PoolConfig,
+    /// Queue bound and aging limit.
+    pub admission: AdmissionConfig,
+    /// Where two-pass jobs spill.
+    pub backing: ScratchBacking,
+    /// Socket read timeout, so a stalled client cannot pin a connection
+    /// thread forever mid-request.
+    pub client_read_timeout: Duration,
+}
+
+impl Default for SortdConfig {
+    fn default() -> Self {
+        SortdConfig {
+            listen: "127.0.0.1:0".into(),
+            pool: PoolConfig::default(),
+            admission: AdmissionConfig::default(),
+            backing: ScratchBacking::Memory,
+            client_read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a queued submitter is woken with.
+enum Wake {
+    /// Budget reserved; go run.
+    Admitted,
+    /// The job will never run (drain, cancel).
+    Failed(SortdError),
+}
+
+/// Everything the service remembers about one job.
+struct JobRecord {
+    name: String,
+    state: JobState,
+    /// Error code, for status responses after failure.
+    error: Option<&'static str>,
+}
+
+/// Service counters, reported in the stats snapshot.
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    submitted: u64,
+    done: u64,
+    failed: u64,
+    rejected: u64,
+    canceled: u64,
+}
+
+/// Shared mutable state.
+struct Core {
+    admission: Admission,
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+    running: usize,
+    /// Connection-handler threads currently alive; `wait_drained` holds
+    /// the process open until responses (the drain ack included) flush.
+    active_conns: usize,
+    counters: Counters,
+    waiters: HashMap<u64, Sender<Wake>>,
+}
+
+impl Core {
+    /// Mark `promoted` jobs running and wake their parked submitters.
+    fn wake_promoted(&mut self, promoted: Vec<u64>) {
+        for id in promoted {
+            if let Some(rec) = self.jobs.get_mut(&id) {
+                rec.state = JobState::Running;
+            }
+            self.running += 1;
+            if let Some(tx) = self.waiters.remove(&id) {
+                let _ = tx.send(Wake::Admitted);
+            }
+        }
+    }
+}
+
+struct State {
+    core: Mutex<Core>,
+    /// Signaled when `running` drops — drain waits here.
+    cv: Condvar,
+    backing: ScratchBacking,
+    read_timeout: Duration,
+    /// The acceptor, stoppable from drain on any thread.
+    acceptor: Mutex<Option<AcceptLoop>>,
+}
+
+/// Handle to a running daemon.
+pub struct Sortd {
+    state: Arc<State>,
+    addr: std::net::SocketAddr,
+}
+
+impl Sortd {
+    /// Bind, spawn the accept loop, and return the handle.
+    pub fn start(cfg: SortdConfig) -> io::Result<Sortd> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let state = Arc::new(State {
+            core: Mutex::new(Core {
+                admission: Admission::new(cfg.pool, cfg.admission),
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                running: 0,
+                active_conns: 0,
+                counters: Counters::default(),
+                waiters: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            backing: cfg.backing.clone(),
+            read_timeout: cfg.client_read_timeout,
+            acceptor: Mutex::new(None),
+        });
+        let for_conns = Arc::clone(&state);
+        let acceptor = AcceptLoop::spawn(listener, move |stream| {
+            let st = Arc::clone(&for_conns);
+            st.core.lock().unwrap().active_conns += 1;
+            thread::spawn(move || {
+                let _ = serve_connection(stream, &st);
+                st.core.lock().unwrap().active_conns -= 1;
+                st.cv.notify_all();
+            });
+        })?;
+        let addr = acceptor.addr();
+        *state.acceptor.lock().unwrap() = Some(acceptor);
+        Ok(Sortd { state, addr })
+    }
+
+    /// The bound address (resolved port when `listen` used port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain; returns `(completed, failed_queued)` once every
+    /// running job has finished and the pool is idle.
+    pub fn drain(&self) -> (u64, u64) {
+        drain_impl(&self.state)
+    }
+
+    /// Block until some client (or another thread on this handle) drains
+    /// the daemon — the `serve` subcommand's main-thread park.
+    pub fn wait_drained(&self) {
+        let mut core = self.state.core.lock().unwrap();
+        while !(core.admission.draining() && core.running == 0 && core.active_conns == 0) {
+            core = self.state.cv.wait(core).unwrap();
+        }
+    }
+
+    /// Whether the pool is fully released (post-drain invariant).
+    pub fn pool_idle(&self) -> bool {
+        let core = self.state.core.lock().unwrap();
+        core.admission.pool().idle()
+    }
+
+    /// Stats snapshot (same document the wire `stats` request returns).
+    pub fn stats(&self) -> Json {
+        let core = self.state.core.lock().unwrap();
+        stats_doc(&core)
+    }
+}
+
+impl Drop for Sortd {
+    fn drop(&mut self) {
+        // Stop accepting; don't wait for jobs (drain() is the graceful path).
+        if let Some(mut a) = self.state.acceptor.lock().unwrap().take() {
+            a.stop();
+        }
+    }
+}
+
+fn drain_impl(state: &State) -> (u64, u64) {
+    let mut core = state.core.lock().unwrap();
+    let dumped = core.admission.drain();
+    let mut failed_queued = 0u64;
+    for id in dumped {
+        if let Some(rec) = core.jobs.get_mut(&id) {
+            rec.state = JobState::Failed;
+            rec.error = Some(SortdError::Draining.code());
+        }
+        core.counters.failed += 1;
+        failed_queued += 1;
+        if let Some(tx) = core.waiters.remove(&id) {
+            let _ = tx.send(Wake::Failed(SortdError::Draining));
+        }
+    }
+    while core.running > 0 {
+        core = state.cv.wait(core).unwrap();
+    }
+    let completed = core.counters.done;
+    drop(core);
+    if let Some(mut a) = state.acceptor.lock().unwrap().take() {
+        a.stop();
+    }
+    // Wake wait_drained() parkers (nothing else re-checks after the last
+    // running job's own notify when the queue was already empty).
+    state.cv.notify_all();
+    obs::metrics::counter_add("sortd.drained", 1);
+    (completed, failed_queued)
+}
+
+fn stats_doc(core: &Core) -> Json {
+    let pool = core.admission.pool();
+    Json::Obj(vec![
+        ("type".into(), Json::from("stats")),
+        (
+            "pool".into(),
+            Json::Obj(vec![
+                ("mem_total".into(), Json::from(pool.mem_total())),
+                ("mem_used".into(), Json::from(pool.mem_used())),
+                ("mem_hwm".into(), Json::from(pool.mem_hwm())),
+                ("scratch_total".into(), Json::from(pool.scratch_total())),
+                ("scratch_used".into(), Json::from(pool.scratch_used())),
+                ("scratch_hwm".into(), Json::from(pool.scratch_hwm())),
+            ]),
+        ),
+        (
+            "queue".into(),
+            Json::Obj(vec![
+                ("depth".into(), Json::from(core.admission.queue_depth() as u64)),
+                ("bound".into(), Json::from(core.admission.queue_bound() as u64)),
+                ("bypasses".into(), Json::from(core.admission.bypasses)),
+                ("aged_barriers".into(), Json::from(core.admission.aged_barriers)),
+            ]),
+        ),
+        ("running".into(), Json::from(core.running as u64)),
+        ("draining".into(), Json::Bool(core.admission.draining())),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                ("submitted".into(), Json::from(core.counters.submitted)),
+                ("done".into(), Json::from(core.counters.done)),
+                ("failed".into(), Json::from(core.counters.failed)),
+                ("rejected".into(), Json::from(core.counters.rejected)),
+                ("canceled".into(), Json::from(core.counters.canceled)),
+            ]),
+        ),
+    ])
+}
+
+/// Dispatch one client connection: read the request document, route it.
+fn serve_connection(mut stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
+    stream.set_read_timeout(Some(state.read_timeout))?;
+    stream.set_nodelay(true).ok();
+    let doc = proto::read_ctrl(&mut stream)?;
+    match doc.field_str("type").map_err(|e| bad(&e.to_string()))? {
+        "submit" => handle_submit(&mut stream, state, &doc),
+        "status" => handle_status(&mut stream, state, &doc),
+        "stats" => {
+            let core = state.core.lock().unwrap();
+            let out = stats_doc(&core);
+            drop(core);
+            proto::send_ctrl(&mut stream, &out)
+        }
+        "cancel" => handle_cancel(&mut stream, state, &doc),
+        "drain" => {
+            let (completed, failed_queued) = drain_impl(state);
+            proto::send_ctrl(
+                &mut stream,
+                &Json::Obj(vec![
+                    ("type".into(), Json::from("drained")),
+                    ("completed".into(), Json::from(completed)),
+                    ("failed_queued".into(), Json::from(failed_queued)),
+                ]),
+            )
+        }
+        other => {
+            let err = SortdError::BadManifest(format!("unknown request type {other:?}"));
+            proto::send_ctrl(&mut stream, &proto::error_doc(None, &err))
+        }
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn handle_submit(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::Result<()> {
+    let _span = obs::span(obs::phase::SORTD_JOB);
+    let spec = match JobSpec::from_json(doc) {
+        Ok(s) => s,
+        Err(e) => {
+            let err = SortdError::BadManifest(e);
+            let mut core = state.core.lock().unwrap();
+            core.counters.rejected += 1;
+            drop(core);
+            return proto::send_ctrl(stream, &proto::error_doc(None, &err));
+        }
+    };
+
+    // Validate against pool totals before touching the payload, so a
+    // hopeless manifest is rejected without the input transfer counting
+    // toward anything.
+    {
+        let mut core = state.core.lock().unwrap();
+        let pool = core.admission.pool();
+        if let Err(err) = spec.validate(pool.mem_total(), pool.scratch_total()) {
+            core.counters.rejected += 1;
+            drop(core);
+            // Drain the payload the client is already streaming so its
+            // writes don't die on a reset before it reads our error.
+            let _ = proto::read_payload(stream, spec.input_bytes);
+            return proto::send_ctrl(stream, &proto::error_doc(None, &err));
+        }
+    }
+
+    let input = proto::read_payload(stream, spec.input_bytes)?;
+
+    // Offer the job to admission.
+    let (id, rx) = {
+        let mut core = state.core.lock().unwrap();
+        let id = core.next_id;
+        core.next_id += 1;
+        core.counters.submitted += 1;
+        core.jobs.insert(
+            id,
+            JobRecord {
+                name: spec.name.clone(),
+                state: JobState::Queued,
+                error: None,
+            },
+        );
+        let mut promoted = Vec::new();
+        let offer = core
+            .admission
+            .offer(id, spec.mem_budget, spec.scratch_budget, &mut promoted);
+        core.wake_promoted(promoted);
+        match offer {
+            Offer::Rejected(err) => {
+                core.counters.rejected += 1;
+                if let Some(rec) = core.jobs.get_mut(&id) {
+                    rec.state = JobState::Failed;
+                    rec.error = Some(err.code());
+                }
+                drop(core);
+                return proto::send_ctrl(stream, &proto::error_doc(Some(id), &err));
+            }
+            Offer::Admitted => {
+                if let Some(rec) = core.jobs.get_mut(&id) {
+                    rec.state = JobState::Running;
+                }
+                core.running += 1;
+                drop(core);
+                send_ack(stream, id, "running", 0)?;
+                (id, None)
+            }
+            Offer::Queued { depth } => {
+                let (tx, rx) = channel();
+                core.waiters.insert(id, tx);
+                drop(core);
+                send_ack(stream, id, "queued", depth)?;
+                (id, Some(rx))
+            }
+        }
+    };
+
+    // Park until admitted (queued path). The channel never hangs: drain and
+    // cancel both wake it, and the sender lives in the core's waiter map.
+    if let Some(rx) = rx {
+        let _q = obs::span(obs::phase::SORTD_QUEUE);
+        match rx.recv() {
+            Ok(Wake::Admitted) => {}
+            Ok(Wake::Failed(err)) => {
+                // State and counters were updated by whoever failed us.
+                return proto::send_ctrl(stream, &proto::error_doc(Some(id), &err));
+            }
+            Err(_) => {
+                let err = SortdError::Exec("daemon shut down while job was queued".into());
+                return proto::send_ctrl(stream, &proto::error_doc(Some(id), &err));
+            }
+        }
+    }
+
+    // Run — no lock held.
+    let result = run_job(id, &spec, input, &state.backing);
+
+    // Release the budget, promote successors, settle the record.
+    let mut core = state.core.lock().unwrap();
+    let mut promoted = Vec::new();
+    core.admission
+        .release(spec.mem_budget, spec.scratch_budget, &mut promoted);
+    core.wake_promoted(promoted);
+    core.running -= 1;
+    let outcome = match &result {
+        Ok(_) => {
+            core.counters.done += 1;
+            if let Some(rec) = core.jobs.get_mut(&id) {
+                rec.state = JobState::Done;
+            }
+            Ok(())
+        }
+        Err(e) => {
+            core.counters.failed += 1;
+            let err = SortdError::Exec(e.to_string());
+            if let Some(rec) = core.jobs.get_mut(&id) {
+                rec.state = JobState::Failed;
+                rec.error = Some(err.code());
+            }
+            Err(err)
+        }
+    };
+    state.cv.notify_all();
+    drop(core);
+
+    match (result, outcome) {
+        (Ok((sorted, stats, plan)), Ok(())) => {
+            let result_doc = Json::Obj(vec![
+                ("type".into(), Json::from("result")),
+                ("job_id".into(), Json::from(id)),
+                ("state".into(), Json::from("done")),
+                ("records".into(), Json::from(stats.records)),
+                ("output_bytes".into(), Json::from(sorted.len() as u64)),
+                ("plan".into(), Json::from(format!("{plan:?}").as_str())),
+            ]);
+            proto::send_ctrl(stream, &result_doc)?;
+            proto::send_payload(stream, &sorted)
+        }
+        (_, Err(err)) => proto::send_ctrl(stream, &proto::error_doc(Some(id), &err)),
+        (Err(_), Ok(())) => unreachable!("error result recorded as success"),
+    }
+}
+
+fn send_ack(stream: &mut TcpStream, id: u64, st: &str, depth: usize) -> io::Result<()> {
+    proto::send_ctrl(
+        stream,
+        &Json::Obj(vec![
+            ("type".into(), Json::from("ack")),
+            ("job_id".into(), Json::from(id)),
+            ("state".into(), Json::from(st)),
+            ("queue_depth".into(), Json::from(depth as u64)),
+        ]),
+    )
+}
+
+fn handle_status(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::Result<()> {
+    let id = doc.field_u64("job_id").map_err(|e| bad(&e.to_string()))?;
+    let core = state.core.lock().unwrap();
+    let out = match core.jobs.get(&id) {
+        Some(rec) => {
+            let mut fields = vec![
+                ("type".into(), Json::from("status")),
+                ("job_id".into(), Json::from(id)),
+                ("name".into(), Json::from(rec.name.as_str())),
+                ("state".into(), Json::from(rec.state.name())),
+            ];
+            if let Some(code) = rec.error {
+                fields.push(("error".into(), Json::from(code)));
+            }
+            Json::Obj(fields)
+        }
+        None => proto::error_doc(
+            Some(id),
+            &SortdError::BadManifest(format!("no job {id}")),
+        ),
+    };
+    drop(core);
+    proto::send_ctrl(stream, &out)
+}
+
+fn handle_cancel(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::Result<()> {
+    let id = doc.field_u64("job_id").map_err(|e| bad(&e.to_string()))?;
+    let mut core = state.core.lock().unwrap();
+    let out = if core.admission.cancel_queued(id) {
+        if let Some(rec) = core.jobs.get_mut(&id) {
+            rec.state = JobState::Canceled;
+            rec.error = Some(SortdError::Canceled.code());
+        }
+        core.counters.canceled += 1;
+        if let Some(tx) = core.waiters.remove(&id) {
+            let _ = tx.send(Wake::Failed(SortdError::Canceled));
+        }
+        Json::Obj(vec![
+            ("type".into(), Json::from("canceled")),
+            ("job_id".into(), Json::from(id)),
+        ])
+    } else {
+        // Running, finished, or unknown: cancel only reaches queued jobs.
+        let st = core.jobs.get(&id).map(|r| r.state.name()).unwrap_or("unknown");
+        Json::Obj(vec![
+            ("type".into(), Json::from("cancel_refused")),
+            ("job_id".into(), Json::from(id)),
+            ("state".into(), Json::from(st)),
+        ])
+    };
+    drop(core);
+    proto::send_ctrl(stream, &out)
+}

@@ -1,0 +1,276 @@
+//! Fleet stress: hundreds of small sorts racing a few huge ones through
+//! one daemon, every output byte-identical to the stable-sort oracle.
+//!
+//! This is the acceptance test for the service as a whole: admission must
+//! interleave small jobs around the big ones without starving either, the
+//! pool must account every byte back to zero, and no output may be
+//! corrupted by the concurrency.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use alphasort_dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
+use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
+use alphasort_sortd::{
+    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+};
+use alphasort_stripefs::Volume;
+
+fn oracle(mut data: Vec<u8>) -> Vec<u8> {
+    records_of_mut(&mut data).sort_by_key(|r| r.key);
+    data
+}
+
+fn start_daemon(pool: PoolConfig, admission: AdmissionConfig, backing: ScratchBacking) -> Sortd {
+    Sortd::start(SortdConfig {
+        listen: "127.0.0.1:0".into(),
+        pool,
+        admission,
+        backing,
+        client_read_timeout: Duration::from_secs(120),
+    })
+    .expect("daemon starts")
+}
+
+fn submit_data(
+    addr: SocketAddr,
+    name: &str,
+    data: Vec<u8>,
+    mem: u64,
+    scratch: u64,
+) -> (Vec<u8>, Vec<u8>, bool) {
+    let spec = JobSpec {
+        name: name.into(),
+        input_bytes: data.len() as u64,
+        mem_budget: mem,
+        scratch_budget: scratch,
+        merge_workers: 0,
+    };
+    let client = Client::new(addr).with_timeout(Duration::from_secs(120));
+    let mut delay = Duration::from_millis(5);
+    // Honest retry loop: only retryable (backpressure) errors are retried.
+    loop {
+        match client.submit(&spec, &data) {
+            Ok(res) => return (res.output, oracle(data), res.queued),
+            Err(e) if e.retryable() => {
+                thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+            Err(e) => panic!("job {name} failed non-retryably: {e}"),
+        }
+    }
+}
+
+fn submit_one(
+    addr: SocketAddr,
+    name: &str,
+    records: u64,
+    seed: u64,
+    mem: u64,
+    scratch: u64,
+) -> (Vec<u8>, Vec<u8>, bool) {
+    let (data, _) = generate(GenConfig::datamation(records, seed));
+    submit_data(addr, name, data, mem, scratch)
+}
+
+/// ≥200 small jobs race a few huge two-pass jobs; everything must match
+/// the oracle and the pool must return to zero.
+#[test]
+fn fleet_of_small_jobs_races_huge_ones() {
+    // A pool that fits one huge job (2 MB) plus two small ones (512 KB
+    // each) at a time: with four huge jobs and eight small-job streams in
+    // flight, admission *must* queue and interleave.
+    let daemon = start_daemon(
+        PoolConfig {
+            mem_total: 3 << 20,
+            scratch_total: 64 << 20,
+        },
+        AdmissionConfig {
+            queue_bound: 512,
+            bypass_limit: 16,
+        },
+        ScratchBacking::Memory,
+    );
+    let addr = daemon.addr();
+
+    const SMALL_JOBS: u64 = 200;
+    const CLIENT_THREADS: u64 = 8;
+    let queued_seen = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    // Huge job 0: 30 MB of input against a 2 MB budget — a forced two-pass
+    // sort that occupies two-thirds of the pool for hundreds of
+    // milliseconds, long enough for the whole small fleet to race it.
+    {
+        let q = Arc::clone(&queued_seen);
+        handles.push(thread::spawn(move || {
+            let (data, _) = generate(GenConfig::datamation(300_000, 1_000));
+            let scratch = data.len() as u64 + RECORD_LEN as u64;
+            let (out, want, queued) = submit_data(addr, "huge-0", data, 2 << 20, scratch);
+            if queued {
+                q.fetch_add(1, Ordering::Relaxed);
+            }
+            assert_eq!(out, want, "huge-0 output diverged from oracle");
+        }));
+    }
+    // Gate on *observed* state, not sleeps: huge-0 must be running before
+    // huge-1 is submitted, and huge-1 must be queued (2 MB cannot fit
+    // beside huge-0's 2 MB in a 3 MB pool) before the fleet starts. Every
+    // small job admitted after that point backfills past queued huge-1 and
+    // must age it rather than starve it.
+    wait_for(&daemon, |s| s.field_u64("running").unwrap() >= 1);
+    {
+        let q = Arc::clone(&queued_seen);
+        handles.push(thread::spawn(move || {
+            let (data, _) = generate(GenConfig::datamation(150_000, 1_001));
+            let scratch = data.len() as u64 + RECORD_LEN as u64;
+            let (out, want, queued) = submit_data(addr, "huge-1", data, 2 << 20, scratch);
+            if queued {
+                q.fetch_add(1, Ordering::Relaxed);
+            }
+            assert_eq!(out, want, "huge-1 output diverged from oracle");
+        }));
+    }
+    wait_for(&daemon, |s| {
+        s.get("queue").unwrap().field_u64("depth").unwrap() >= 1
+    });
+    // Hundreds of small one-pass jobs from a pool of client threads so the
+    // daemon sees sustained concurrent load while the huge jobs run.
+    for t in 0..CLIENT_THREADS {
+        let q = Arc::clone(&queued_seen);
+        handles.push(thread::spawn(move || {
+            for j in 0..(SMALL_JOBS / CLIENT_THREADS) {
+                let id = t * (SMALL_JOBS / CLIENT_THREADS) + j;
+                let (data, _) = generate(GenConfig::datamation(200 + id, 2_000 + id));
+                let (out, want, queued) =
+                    submit_data(addr, &format!("small-{id}"), data, 512 << 10, 0);
+                if queued {
+                    q.fetch_add(1, Ordering::Relaxed);
+                }
+                assert_eq!(out, want, "small-{id} output diverged from oracle");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    // Service-level invariants after the storm.
+    const ALL_JOBS: u64 = SMALL_JOBS + 2;
+    let (completed, failed_queued) = daemon.drain();
+    assert_eq!(failed_queued, 0, "no jobs were left queued at drain");
+    assert_eq!(completed, ALL_JOBS, "every job completed");
+    assert!(daemon.pool_idle(), "pool accounting did not return to zero");
+
+    let stats = daemon.stats();
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(counters.field_u64("done").unwrap(), ALL_JOBS);
+    assert_eq!(counters.field_u64("failed").unwrap(), 0);
+    let pool = stats.get("pool").unwrap();
+    assert_eq!(pool.field_u64("mem_used").unwrap(), 0);
+    assert_eq!(pool.field_u64("scratch_used").unwrap(), 0);
+    // The pool was actually contended: its high-water mark exceeds any
+    // single job's budget (a small ran beside a huge), at least one job
+    // queued, and the fleet backfilled past the queued huge job.
+    assert!(pool.field_u64("mem_hwm").unwrap() > (2 << 20));
+    assert!(
+        queued_seen.load(Ordering::Relaxed) > 0,
+        "the fleet never contended for the pool; the test is too easy"
+    );
+    assert!(
+        stats.get("queue").unwrap().field_u64("bypasses").unwrap() > 0,
+        "no small job ever backfilled past the queued huge one"
+    );
+}
+
+/// Poll the daemon's stats snapshot until `pred` holds (10 s cap).
+fn wait_for(daemon: &Sortd, pred: impl Fn(&alphasort_minijson::Json) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if pred(&daemon.stats()) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never reached the expected state; last stats: {}",
+            daemon.stats().dump()
+        );
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Two-pass jobs spilling to one shared striped volume must not collide:
+/// per-job namespaces keep their run files apart.
+#[test]
+fn concurrent_two_pass_jobs_share_a_striped_volume() {
+    let disks = (0..2)
+        .map(|i| {
+            SimDisk::new(
+                format!("scratch{i}"),
+                catalog::uncapped(),
+                Arc::new(MemStorage::new()),
+                Pacing::Modeled,
+                None,
+            )
+        })
+        .collect();
+    let volume = Arc::new(Volume::new(Arc::new(IoEngine::new(disks))));
+    let daemon = start_daemon(
+        PoolConfig {
+            mem_total: 4 << 20,
+            scratch_total: 64 << 20,
+        },
+        AdmissionConfig::default(),
+        ScratchBacking::SharedVolume(volume, 64 << 10),
+    );
+    let addr = daemon.addr();
+
+    let mut handles = Vec::new();
+    for j in 0..6u64 {
+        handles.push(thread::spawn(move || {
+            let (out, want, _) = submit_one(
+                addr,
+                &format!("striped-{j}"),
+                4_000,
+                5_000 + j,
+                512 << 10,
+                (4_000 * RECORD_LEN as u64) + RECORD_LEN as u64,
+            );
+            assert_eq!(out, want, "striped-{j} output diverged from oracle");
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    daemon.drain();
+    assert!(daemon.pool_idle());
+}
+
+/// Oversized manifests are rejected immediately with a non-retryable
+/// typed error, not queued forever.
+#[test]
+fn hopeless_manifest_is_rejected_not_queued() {
+    let daemon = start_daemon(
+        PoolConfig {
+            mem_total: 1 << 20,
+            scratch_total: 1 << 20,
+        },
+        AdmissionConfig::default(),
+        ScratchBacking::Memory,
+    );
+    let (data, _) = generate(GenConfig::datamation(100, 7));
+    let spec = JobSpec {
+        name: "hopeless".into(),
+        input_bytes: data.len() as u64,
+        mem_budget: 8 << 20, // eight times the pool total
+        scratch_budget: 0,
+        merge_workers: 0,
+    };
+    let client = Client::new(daemon.addr()).with_timeout(Duration::from_secs(10));
+    let err = client.submit(&spec, &data).expect_err("must be rejected");
+    assert_eq!(err.code(), Some("budget_too_large"));
+    assert!(!err.retryable());
+}

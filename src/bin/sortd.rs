@@ -1,0 +1,390 @@
+//! `sortd` — the sort-as-a-service daemon and its command-line client.
+//!
+//! ```text
+//! sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]
+//!              [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]
+//! sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]
+//!              [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]
+//! sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]
+//! sortd stats  --addr ADDR
+//! sortd status --addr ADDR --job ID
+//! sortd cancel --addr ADDR --job ID
+//! sortd drain  --addr ADDR
+//! ```
+//!
+//! `serve` prints `sortd listening on ADDR` (with the resolved port) and
+//! runs until a client sends `drain`. With `--scratch-dir`, two-pass jobs
+//! spill to one shared striped volume of disk-image files in DIR, each
+//! job under its own run-file namespace; without it, scratch lives in
+//! memory.
+//!
+//! `submit` streams a file (or a freshly generated Datamation input) to
+//! the daemon and writes the sorted bytes to `--out`. With `--gen` it
+//! prints the input fingerprint as `checksum COUNT:SUM:XOR` — feed that to
+//! `valsort --expect` to validate the output end to end.
+//!
+//! `fleet` is a synthetic client fleet for smoke tests: N generated jobs
+//! over T client threads, every output checked against an in-process
+//! stable sort; exits non-zero on any mismatch or non-retryable failure.
+
+use std::io::Write;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use alphasort_suite::dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
+use alphasort_suite::iosim::{catalog, FileStorage, IoEngine, Pacing, SimDisk, Storage};
+use alphasort_suite::sortd::{
+    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+};
+use alphasort_suite::stripefs::Volume;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]\n\
+         \x20                [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]\n\
+         \x20      sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]\n\
+         \x20                [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]\n\
+         \x20      sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]\n\
+         \x20      sortd stats  --addr ADDR\n\
+         \x20      sortd status --addr ADDR --job ID\n\
+         \x20      sortd cancel --addr ADDR --job ID\n\
+         \x20      sortd drain  --addr ADDR"
+    );
+    ExitCode::from(2)
+}
+
+/// Flag map: every `--flag value` pair after the subcommand.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(mut it: impl Iterator<Item = String>) -> Result<Flags, ExitCode> {
+        let mut flags = Vec::new();
+        while let Some(a) = it.next() {
+            if !a.starts_with("--") {
+                eprintln!("unexpected argument {a}");
+                return Err(usage());
+            }
+            let Some(v) = it.next() else {
+                eprintln!("missing value for {a}");
+                return Err(usage());
+            };
+            flags.push((a, v));
+        }
+        Ok(Flags(flags))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ExitCode> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| {
+                eprintln!("bad value for {name}: {v}");
+                usage()
+            }),
+            None => Ok(default),
+        }
+    }
+
+    fn addr(&self) -> Result<SocketAddr, ExitCode> {
+        let Some(a) = self.get("--addr") else {
+            eprintln!("--addr is required");
+            return Err(usage());
+        };
+        a.to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .ok_or_else(|| {
+                eprintln!("cannot resolve {a}");
+                usage()
+            })
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let run = match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
+        "fleet" => cmd_fleet(&flags),
+        "stats" => cmd_stats(&flags),
+        "status" => cmd_status(&flags),
+        "cancel" => cmd_cancel(&flags),
+        "drain" => cmd_drain(&flags),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown subcommand {other}");
+            return usage();
+        }
+    };
+    match run {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}
+
+/// Disk images striped to form the shared scratch volume.
+const SCRATCH_DISKS: usize = 2;
+const SCRATCH_CHUNK: u64 = 64 * 1024;
+
+fn shared_volume(dir: &str) -> Result<Arc<Volume>, ExitCode> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        eprintln!("cannot create {dir}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let mut disks = Vec::new();
+    for i in 0..SCRATCH_DISKS {
+        let img = Path::new(dir).join(format!("disk{i}.img"));
+        let storage: Arc<dyn Storage> = Arc::new(FileStorage::create(&img).map_err(|e| {
+            eprintln!("cannot create {}: {e}", img.display());
+            ExitCode::FAILURE
+        })?);
+        disks.push(SimDisk::new(
+            format!("scratch{i}"),
+            catalog::uncapped(),
+            storage,
+            Pacing::Modeled,
+            None,
+        ));
+    }
+    Ok(Arc::new(Volume::new(Arc::new(IoEngine::new(disks)))))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let pool = PoolConfig {
+        mem_total: flags.num("--pool-mem", 256u64 << 20)?,
+        scratch_total: flags.num("--pool-scratch", 1u64 << 30)?,
+    };
+    let admission = AdmissionConfig {
+        queue_bound: flags.num("--queue-bound", 256usize)?,
+        bypass_limit: flags.num("--bypass-limit", 8u32)?,
+    };
+    let backing = match flags.get("--scratch-dir") {
+        Some(dir) => ScratchBacking::SharedVolume(shared_volume(dir)?, SCRATCH_CHUNK),
+        None => ScratchBacking::Memory,
+    };
+    let daemon = Sortd::start(SortdConfig {
+        listen: flags.get("--listen").unwrap_or("127.0.0.1:0").to_string(),
+        pool,
+        admission,
+        backing,
+        client_read_timeout: Duration::from_secs(
+            flags.num("--client-timeout-secs", 120u64)?,
+        ),
+    })
+    .map_err(|e| {
+        eprintln!("cannot start daemon: {e}");
+        ExitCode::FAILURE
+    })?;
+    // The resolved-port line is the startup handshake scripts wait for.
+    println!("sortd listening on {}", daemon.addr());
+    std::io::stdout().flush().ok();
+    // Serve until a client drains us. The handle blocks here; all work
+    // happens on the daemon's connection threads.
+    daemon.wait_drained();
+    let stats = daemon.stats();
+    eprintln!("sortd drained: {}", stats.dump());
+    if daemon.pool_idle() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("pool accounting not zero after drain");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_submit(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let addr = flags.addr()?;
+    let (data, fingerprint) = match (flags.get("--in"), flags.get("--gen")) {
+        (Some(path), None) => {
+            let data = std::fs::read(path).map_err(|e| {
+                eprintln!("cannot read {path}: {e}");
+                ExitCode::FAILURE
+            })?;
+            (data, None)
+        }
+        (None, Some(spec)) => {
+            let (n, seed) = match spec.split_once(':') {
+                Some((n, s)) => (
+                    n.parse().map_err(|_| usage())?,
+                    s.parse().map_err(|_| usage())?,
+                ),
+                None => (spec.parse().map_err(|_| usage())?, 42u64),
+            };
+            let (data, checksum) = generate(GenConfig::datamation(n, seed));
+            (data, Some(checksum))
+        }
+        _ => {
+            eprintln!("exactly one of --in or --gen is required");
+            return Err(usage());
+        }
+    };
+    let spec = JobSpec {
+        name: flags.get("--name").unwrap_or("cli").to_string(),
+        input_bytes: data.len() as u64,
+        mem_budget: flags.num("--mem", 64u64 << 20)?,
+        scratch_budget: flags.num("--scratch", data.len() as u64 + RECORD_LEN as u64)?,
+        merge_workers: flags.num("--merge-workers", 0usize)?,
+    };
+    let client = Client::new(addr).with_timeout(Duration::from_secs(600));
+    let started = Instant::now();
+    let res = client.submit(&spec, &data).map_err(|e| {
+        eprintln!("submit failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    eprintln!(
+        "job {} ({}): {} records sorted in {:.3} s ({}{})",
+        res.job_id,
+        res.plan,
+        res.records,
+        started.elapsed().as_secs_f64(),
+        if res.queued { "queued, then ran" } else { "ran immediately" },
+        if res.queued {
+            format!(" at depth {}", res.queue_depth)
+        } else {
+            String::new()
+        },
+    );
+    if let Some(path) = flags.get("--out") {
+        std::fs::write(path, &res.output).map_err(|e| {
+            eprintln!("cannot write {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        eprintln!("wrote {} bytes to {path}", res.output.len());
+    }
+    if let Some(c) = fingerprint {
+        // The line valsort --expect consumes.
+        println!("checksum {}:{}:{}", c.count, c.sum, c.xor);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fleet(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let addr = flags.addr()?;
+    let jobs: u64 = flags.num("--jobs", 64)?;
+    let threads: u64 = flags.num("--threads", 8)?;
+    let records: u64 = flags.num("--records", 1_000)?;
+    let mem: u64 = flags.num("--mem", 1u64 << 20)?;
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        handles.push(thread::spawn(move || -> Result<u64, String> {
+            let client = Client::new(addr).with_timeout(Duration::from_secs(600));
+            let mut ran = 0;
+            for j in (t..jobs).step_by(threads.max(1) as usize) {
+                let (data, _) = generate(GenConfig::datamation(records, 7_000 + j));
+                let spec = JobSpec {
+                    name: format!("fleet-{j}"),
+                    input_bytes: data.len() as u64,
+                    mem_budget: mem,
+                    scratch_budget: data.len() as u64 + RECORD_LEN as u64,
+                    merge_workers: 0,
+                };
+                let mut delay = Duration::from_millis(5);
+                let res = loop {
+                    match client.submit(&spec, &data) {
+                        Ok(r) => break r,
+                        Err(e) if e.retryable() => {
+                            thread::sleep(delay);
+                            delay = (delay * 2).min(Duration::from_millis(250));
+                        }
+                        Err(e) => return Err(format!("fleet-{j}: {e}")),
+                    }
+                };
+                let mut want = data.clone();
+                records_of_mut(&mut want).sort_by_key(|r| r.key);
+                if res.output != want {
+                    return Err(format!("fleet-{j}: output diverged from oracle"));
+                }
+                ran += 1;
+            }
+            Ok(ran)
+        }));
+    }
+    let mut total = 0;
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("fleet thread panicked") {
+            Ok(n) => total += n,
+            Err(e) => failures.push(e),
+        }
+    }
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "fleet: {total}/{jobs} jobs ok in {secs:.3} s ({:.1} jobs/s), all outputs oracle-checked",
+        total as f64 / secs
+    );
+    if failures.is_empty() && total == jobs {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_stats(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let doc = Client::new(flags.addr()?).stats().map_err(|e| {
+        eprintln!("stats failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    println!("{}", doc.dump_pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let job = flags.num("--job", u64::MAX)?;
+    if job == u64::MAX {
+        eprintln!("--job is required");
+        return Err(usage());
+    }
+    let doc = Client::new(flags.addr()?).status(job).map_err(|e| {
+        eprintln!("status failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    println!("{}", doc.dump_pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_cancel(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let job = flags.num("--job", u64::MAX)?;
+    if job == u64::MAX {
+        eprintln!("--job is required");
+        return Err(usage());
+    }
+    let hit = Client::new(flags.addr()?).cancel(job).map_err(|e| {
+        eprintln!("cancel failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    if hit {
+        eprintln!("job {job} canceled");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("job {job} was not queued (already running, done, or unknown)");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_drain(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let doc = Client::new(flags.addr()?)
+        .with_timeout(Duration::from_secs(600))
+        .drain()
+        .map_err(|e| {
+            eprintln!("drain failed: {e}");
+            ExitCode::FAILURE
+        })?;
+    println!("{}", doc.dump());
+    Ok(ExitCode::SUCCESS)
+}

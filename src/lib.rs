@@ -11,6 +11,7 @@
 //! * [`perfmodel`] — 1993 price catalog, analytic phase model, metrics
 //! * [`netsort`] — distributed shared-nothing sort over the local pipeline
 //! * [`obs`] — tracing + metrics (spans, Figure 7 report, Chrome traces)
+//! * [`sortd`] — sort-as-a-service daemon: job manifests, admission control
 
 pub use alphasort_cachesim as cachesim;
 pub use alphasort_core as sort;
@@ -19,4 +20,5 @@ pub use alphasort_iosim as iosim;
 pub use alphasort_netsort as netsort;
 pub use alphasort_obs as obs;
 pub use alphasort_perfmodel as perfmodel;
+pub use alphasort_sortd as sortd;
 pub use alphasort_stripefs as stripefs;
