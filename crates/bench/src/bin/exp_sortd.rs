@@ -139,7 +139,7 @@ fn main() {
     }
     let wall = started.elapsed().as_secs_f64();
 
-    let (completed, failed_queued) = daemon.drain();
+    let (total_done, failed_queued) = daemon.drain();
     assert_eq!(failed_queued, 0);
     assert!(daemon.pool_idle(), "pool accounting not zero after drain");
 
@@ -160,7 +160,7 @@ fn main() {
     let mem_util = mem_hwm as f64 / pool.mem_total as f64;
     let queued = *queued_count.lock().unwrap();
 
-    println!("jobs completed        {completed} (all oracle-checked)");
+    println!("jobs completed        {total_done} (all oracle-checked)");
     println!("wall clock            {wall:.3} s");
     println!("throughput            {jobs_per_sec:.1} jobs/s");
     println!("latency p50           {:.1} ms", p50 * 1e3);

@@ -11,7 +11,9 @@
 //! drains enough for it to run. Past the queue bound, submits are shed
 //! with the typed [`SortdError::Backpressure`] error. Aging is counted in
 //! scheduling decisions (bypasses), not wall-clock — deterministic under
-//! test and immune to clock skew.
+//! test and immune to clock skew. A `bypass_limit` of 0 degenerates to
+//! strict FIFO: every queued job is born a barrier, backfill never
+//! happens.
 //!
 //! The struct is pure state-machine — no threads, no clocks, no IO — so
 //! the satellite unit tests (exhaustion queues, bound rejects, aging
@@ -30,9 +32,20 @@ use crate::pool::{Pool, PoolConfig};
 pub struct AdmissionConfig {
     /// Maximum queued (not yet admitted) jobs before submits are shed with
     /// [`SortdError::Backpressure`].
+    ///
+    /// Note the server holds each queued job's *full input payload* in
+    /// memory (outside pool accounting) plus one parked connection
+    /// thread, so worst-case queued residency is `queue_bound × max
+    /// input size` — size this against that product, not queue depth
+    /// taste alone.
     pub queue_bound: usize,
     /// How many times a queued job may be bypassed by backfill before it
     /// becomes a barrier no later job may jump — the no-starvation bound.
+    ///
+    /// `0` is an explicit **strict-FIFO** mode: every queued job is a
+    /// barrier from birth, so backfill is disabled and nothing ever jumps
+    /// the queue. In that mode no bypass can occur, so the `bypasses` and
+    /// `aged_barriers` stats legitimately stay at zero.
     pub bypass_limit: u32,
 }
 
@@ -332,6 +345,26 @@ mod tests {
         let mut promoted = Vec::new();
         a.release(40, 0, &mut promoted);
         assert_eq!(promoted, vec![2, 6], "starved job first, then the queue");
+        a.release(90, 0, &mut Vec::new());
+        a.release(10, 0, &mut Vec::new());
+        assert!(a.pool().idle());
+    }
+
+    #[test]
+    fn bypass_limit_zero_is_strict_fifo() {
+        let mut a = adm(100, 16, 0);
+        assert_eq!(offer(&mut a, 1, 80), Offer::Admitted);
+        // The head doesn't fit (needs 90, 20 free) and is born a barrier.
+        assert_eq!(offer(&mut a, 2, 90), Offer::Queued { depth: 1 });
+        // Job 3 *would* fit beside job 1 (10 ≤ 20 free) but may not jump
+        // the barrier head: strict FIFO queues it behind.
+        assert_eq!(offer(&mut a, 3, 10), Offer::Queued { depth: 2 });
+        assert_eq!(a.bypasses, 0, "no backfill in strict FIFO");
+        assert_eq!(a.aged_barriers, 0, "nothing ages when nothing jumps");
+        // Releases admit in pure queue order.
+        let mut promoted = Vec::new();
+        a.release(80, 0, &mut promoted);
+        assert_eq!(promoted, vec![2, 3], "head first, then its follower");
         a.release(90, 0, &mut Vec::new());
         a.release(10, 0, &mut Vec::new());
         assert!(a.pool().idle());

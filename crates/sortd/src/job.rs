@@ -148,6 +148,9 @@ pub enum SortdError {
     Draining,
     /// The client canceled the job.
     Canceled,
+    /// The client's connection died before the job could run (e.g. the
+    /// ack write failed after admission); the job was settled unrun.
+    ClientGone,
     /// A budget exceeds the pool's total capacity — never admittable.
     BudgetTooLarge {
         /// Which budget (`"memory"` or `"scratch"`).
@@ -179,6 +182,7 @@ impl SortdError {
             SortdError::Backpressure { .. } => "backpressure",
             SortdError::Draining => "draining",
             SortdError::Canceled => "canceled",
+            SortdError::ClientGone => "client_gone",
             SortdError::BudgetTooLarge { .. } => "budget_too_large",
             SortdError::BudgetTooSmall { .. } => "budget_too_small",
             SortdError::BadManifest(_) => "bad_manifest",
@@ -206,6 +210,9 @@ impl std::fmt::Display for SortdError {
             ),
             SortdError::Draining => write!(f, "daemon is draining; retry against another instance"),
             SortdError::Canceled => write!(f, "job canceled by client"),
+            SortdError::ClientGone => {
+                write!(f, "client disconnected before the job ran")
+            }
             SortdError::BudgetTooLarge { what, asked, total } => write!(
                 f,
                 "{what} budget {asked} exceeds the pool total {total}; the job can never be admitted"

@@ -127,6 +127,35 @@ pub fn read_payload(r: &mut impl Read, expect: u64) -> io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Cap on bytes discarded while draining a rejected submit's payload.
+/// The declared length is untrusted on reject paths (validation just
+/// failed), so the drain is bounded by this instead of the manifest.
+pub const REJECT_DRAIN_CAP: u64 = 64 << 20;
+
+/// Read and **discard** payload frames until the payload `Done`, end of
+/// stream, or `cap` total bytes — one frame in memory at a time, nothing
+/// accumulated. Reject paths use this instead of [`read_payload`]: a
+/// manifest that failed validation must not get to size a server-side
+/// buffer. Always returns `Ok` on a termination condition so the caller
+/// can still send its error document; a client that streams past the cap
+/// simply has the rest of its payload unread when the connection closes.
+pub fn drain_payload(r: &mut impl Read, cap: u64) -> io::Result<()> {
+    let mut dropped = 0u64;
+    loop {
+        match Frame::read_from(r)? {
+            Some(Frame::Data { from: PAYLOAD, records }) => {
+                dropped += records.len() as u64;
+                if dropped > cap {
+                    return Ok(());
+                }
+            }
+            // Done, an off-channel frame, or EOF all end the drain; the
+            // connection is being torn down either way.
+            Some(_) | None => return Ok(()),
+        }
+    }
+}
+
 /// Build an `error` response document from a typed error.
 pub fn error_doc(job_id: Option<u64>, err: &crate::job::SortdError) -> Json {
     let mut fields = vec![
@@ -189,6 +218,29 @@ mod tests {
         let err = read_payload(&mut wire.as_slice(), 400).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn drain_payload_discards_to_done_and_stops_at_the_cap() {
+        // A well-terminated payload drains cleanly and consumes its Done.
+        let mut wire = Vec::new();
+        send_payload(&mut wire, &[3u8; 10_000]).unwrap();
+        let mut r = wire.as_slice();
+        drain_payload(&mut r, 1 << 20).unwrap();
+        assert!(r.is_empty(), "drain consumed payload and Done");
+        // Past the cap the drain stops without reading further frames —
+        // the oversized tail (and its Done) stays on the wire unread.
+        let mut wire = Vec::new();
+        send_payload(&mut wire, &vec![9u8; 3 * PAYLOAD_BATCH]).unwrap();
+        let mut r = wire.as_slice();
+        drain_payload(&mut r, PAYLOAD_BATCH as u64).unwrap();
+        assert!(!r.is_empty(), "drain stopped at the cap, tail unread");
+        // A truncated stream (no Done) terminates instead of erroring.
+        let mut wire = Vec::new();
+        Frame::Data { from: PAYLOAD, records: vec![1u8; 64] }
+            .write_to(&mut wire)
+            .unwrap();
+        drain_payload(&mut wire.as_slice(), 1 << 20).unwrap();
     }
 
     #[test]

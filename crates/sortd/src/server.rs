@@ -4,7 +4,14 @@
 //! Threading model — one thread per connection, and the job *runs on the
 //! connection thread that submitted it*. Admission is the concurrency
 //! limiter: a job holds a thread while queued (parked on a channel, not
-//! spinning) and while running, but only holds pool budget while running.
+//! spinning) and while running. Pool *budget* is held only while running,
+//! but a queued job is not free: its full input payload already sits in
+//! daemon memory (the payload is read before the admission offer, so a
+//! slow client can never stall the admission lock), and that residency is
+//! outside pool accounting. Per job it is bounded by manifest validation
+//! (an input can't exceed the larger pool total), so the worst case is
+//! `queue_bound × max input size` — size `queue_bound` with that product
+//! in mind, not just queue-depth taste.
 //! The shared `Core` behind one mutex holds the admission state machine,
 //! the job table, and the waiter channels; the sort itself never runs
 //! under the lock.
@@ -20,7 +27,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -172,8 +179,11 @@ impl Sortd {
         self.addr
     }
 
-    /// Graceful drain; returns `(completed, failed_queued)` once every
-    /// running job has finished and the pool is idle.
+    /// Graceful drain; returns `(total_done, failed_queued)` once every
+    /// running job has finished and the pool is idle. `total_done` is the
+    /// daemon's *lifetime* completed-job count (not just jobs that
+    /// finished during this drain); `failed_queued` is how many queued
+    /// jobs this drain failed with the retryable `draining` error.
     pub fn drain(&self) -> (u64, u64) {
         drain_impl(&self.state)
     }
@@ -227,7 +237,7 @@ fn drain_impl(state: &State) -> (u64, u64) {
     while core.running > 0 {
         core = state.cv.wait(core).unwrap();
     }
-    let completed = core.counters.done;
+    let total_done = core.counters.done;
     drop(core);
     if let Some(mut a) = state.acceptor.lock().unwrap().take() {
         a.stop();
@@ -236,7 +246,7 @@ fn drain_impl(state: &State) -> (u64, u64) {
     // running job's own notify when the queue was already empty).
     state.cv.notify_all();
     obs::metrics::counter_add("sortd.drained", 1);
-    (completed, failed_queued)
+    (total_done, failed_queued)
 }
 
 fn stats_doc(core: &Core) -> Json {
@@ -294,12 +304,12 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<State>) -> io::Result<()>
         }
         "cancel" => handle_cancel(&mut stream, state, &doc),
         "drain" => {
-            let (completed, failed_queued) = drain_impl(state);
+            let (total_done, failed_queued) = drain_impl(state);
             proto::send_ctrl(
                 &mut stream,
                 &Json::Obj(vec![
                     ("type".into(), Json::from("drained")),
-                    ("completed".into(), Json::from(completed)),
+                    ("total_done".into(), Json::from(total_done)),
                     ("failed_queued".into(), Json::from(failed_queued)),
                 ]),
             )
@@ -315,7 +325,11 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-fn handle_submit(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::Result<()> {
+fn handle_submit(
+    stream: &mut (impl io::Read + io::Write),
+    state: &Arc<State>,
+    doc: &Json,
+) -> io::Result<()> {
     let _span = obs::span(obs::phase::SORTD_JOB);
     let spec = match JobSpec::from_json(doc) {
         Ok(s) => s,
@@ -338,8 +352,10 @@ fn handle_submit(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::
             core.counters.rejected += 1;
             drop(core);
             // Drain the payload the client is already streaming so its
-            // writes don't die on a reset before it reads our error.
-            let _ = proto::read_payload(stream, spec.input_bytes);
+            // writes don't die on a reset before it reads our error. The
+            // manifest just failed validation, so its declared length is
+            // untrusted: discard under a fixed cap, buffer nothing.
+            let _ = proto::drain_payload(stream, proto::REJECT_DRAIN_CAP);
             return proto::send_ctrl(stream, &proto::error_doc(None, &err));
         }
     }
@@ -381,14 +397,23 @@ fn handle_submit(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::
                 }
                 core.running += 1;
                 drop(core);
-                send_ack(stream, id, "running", 0)?;
+                // Budget is reserved and `running` counted from here on:
+                // if the ack cannot reach the client, the admission must
+                // be unwound or drain() waits on a job that never runs.
+                if let Err(e) = send_ack(stream, id, "running", 0) {
+                    settle_never_ran(state, id, &spec);
+                    return Err(e);
+                }
                 (id, None)
             }
             Offer::Queued { depth } => {
                 let (tx, rx) = channel();
                 core.waiters.insert(id, tx);
                 drop(core);
-                send_ack(stream, id, "queued", depth)?;
+                if let Err(e) = send_ack(stream, id, "queued", depth) {
+                    abort_queued(state, id, &spec, &rx);
+                    return Err(e);
+                }
                 (id, Some(rx))
             }
         }
@@ -460,7 +485,52 @@ fn handle_submit(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::
     }
 }
 
-fn send_ack(stream: &mut TcpStream, id: u64, st: &str, depth: usize) -> io::Result<()> {
+/// Unwind a job that was admitted (budget reserved, `running` counted)
+/// but will never run because its client connection died: release the
+/// budget, promote successors, record the failure, and wake drain.
+fn settle_never_ran(state: &State, id: u64, spec: &JobSpec) {
+    let mut core = state.core.lock().unwrap();
+    let mut promoted = Vec::new();
+    core.admission
+        .release(spec.mem_budget, spec.scratch_budget, &mut promoted);
+    core.wake_promoted(promoted);
+    core.running -= 1;
+    core.counters.failed += 1;
+    if let Some(rec) = core.jobs.get_mut(&id) {
+        rec.state = JobState::Failed;
+        rec.error = Some(SortdError::ClientGone.code());
+    }
+    state.cv.notify_all();
+}
+
+/// Settle a job stranded in the admission queue by a failed ack write.
+/// This races concurrent promotion, but both promotion and drain/cancel
+/// wake the waiter *while holding the core lock* — so once we hold it,
+/// the job is either still queued or its wake message is already in `rx`.
+fn abort_queued(state: &State, id: u64, spec: &JobSpec, rx: &Receiver<Wake>) {
+    let mut core = state.core.lock().unwrap();
+    if core.admission.cancel_queued(id) {
+        // Still queued: nothing reserved, just remove every trace.
+        core.waiters.remove(&id);
+        core.counters.failed += 1;
+        if let Some(rec) = core.jobs.get_mut(&id) {
+            rec.state = JobState::Failed;
+            rec.error = Some(SortdError::ClientGone.code());
+        }
+        return;
+    }
+    drop(core);
+    match rx.try_recv() {
+        // Promoted while the ack write was failing: the promoter reserved
+        // budget and counted us running — undo the admission.
+        Ok(Wake::Admitted) => settle_never_ran(state, id, spec),
+        // Drain or cancel already failed the job and settled its record;
+        // nothing is held on its behalf.
+        Ok(Wake::Failed(_)) | Err(_) => {}
+    }
+}
+
+fn send_ack(stream: &mut impl io::Write, id: u64, st: &str, depth: usize) -> io::Result<()> {
     proto::send_ctrl(
         stream,
         &Json::Obj(vec![
@@ -524,4 +594,125 @@ fn handle_cancel(stream: &mut TcpStream, state: &Arc<State>, doc: &Json) -> io::
     };
     drop(core);
     proto::send_ctrl(stream, &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::MIN_JOB_MEM;
+    use alphasort_dmgen::RECORD_LEN;
+
+    /// A client whose connection died: the request is readable, but every
+    /// response write fails — the shape of a peer that hung up after
+    /// streaming its payload.
+    struct BrokenClient {
+        input: io::Cursor<Vec<u8>>,
+    }
+
+    impl io::Read for BrokenClient {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            io::Read::read(&mut self.input, buf)
+        }
+    }
+
+    impl io::Write for BrokenClient {
+        fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "client gone"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn test_state(pool: PoolConfig) -> Arc<State> {
+        Arc::new(State {
+            core: Mutex::new(Core {
+                admission: Admission::new(pool, AdmissionConfig::default()),
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                running: 0,
+                active_conns: 0,
+                counters: Counters::default(),
+                waiters: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            backing: ScratchBacking::Memory,
+            read_timeout: Duration::from_secs(5),
+            acceptor: Mutex::new(None),
+        })
+    }
+
+    fn one_record_spec(mem: u64) -> JobSpec {
+        JobSpec {
+            name: "t".into(),
+            input_bytes: RECORD_LEN as u64,
+            mem_budget: mem,
+            scratch_budget: 0,
+            merge_workers: 0,
+        }
+    }
+
+    fn submit_via_broken_client(state: &Arc<State>, spec: &JobSpec) -> io::Result<()> {
+        let mut wire = Vec::new();
+        proto::send_payload(&mut wire, &vec![0u8; spec.input_bytes as usize]).unwrap();
+        let mut client = BrokenClient {
+            input: io::Cursor::new(wire),
+        };
+        handle_submit(&mut client, state, &spec.to_json())
+    }
+
+    #[test]
+    fn failed_ack_after_admission_releases_budget_and_running() {
+        let state = test_state(PoolConfig {
+            mem_total: 1 << 20,
+            scratch_total: 1 << 20,
+        });
+        let err = submit_via_broken_client(&state, &one_record_spec(MIN_JOB_MEM)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let core = state.core.lock().unwrap();
+        assert_eq!(core.running, 0, "running count must unwind");
+        assert!(core.admission.pool().idle(), "budget must be released");
+        assert!(core.waiters.is_empty());
+        assert_eq!(core.counters.failed, 1);
+        let rec = core.jobs.get(&1).expect("job recorded");
+        assert_eq!(rec.state, JobState::Failed);
+        assert_eq!(rec.error, Some("client_gone"));
+    }
+
+    #[test]
+    fn failed_ack_of_a_queued_job_leaves_no_stranded_waiter() {
+        let state = test_state(PoolConfig {
+            mem_total: 1 << 20,
+            scratch_total: 1 << 20,
+        });
+        // A resident job holds the whole pool, so the submit must queue.
+        {
+            let mut core = state.core.lock().unwrap();
+            let mut promoted = Vec::new();
+            assert_eq!(
+                core.admission.offer(999, 1 << 20, 0, &mut promoted),
+                Offer::Admitted
+            );
+            core.running += 1;
+        }
+        let err = submit_via_broken_client(&state, &one_record_spec(MIN_JOB_MEM)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        {
+            let core = state.core.lock().unwrap();
+            assert_eq!(core.admission.queue_depth(), 0, "job removed from queue");
+            assert!(core.waiters.is_empty(), "no orphaned waiter");
+            assert_eq!(core.counters.failed, 1);
+            let rec = core.jobs.get(&1).expect("job recorded");
+            assert_eq!(rec.state, JobState::Failed);
+            assert_eq!(rec.error, Some("client_gone"));
+        }
+        // The resident's release finds nothing to promote — the stranded
+        // job is truly gone — and the pool zeroes out.
+        let mut core = state.core.lock().unwrap();
+        let mut promoted = Vec::new();
+        core.admission.release(1 << 20, 0, &mut promoted);
+        core.running -= 1;
+        assert!(promoted.is_empty(), "no ghost promotion");
+        assert!(core.admission.pool().idle());
+    }
 }

@@ -87,7 +87,7 @@ fn drain_mid_fleet_finishes_running_and_fails_queued_retryably() {
         .drain()
         .expect("drain request");
     assert_eq!(resp.field_str("type").unwrap(), "drained");
-    assert_eq!(resp.field_u64("completed").unwrap(), 1, "only the big job ran");
+    assert_eq!(resp.field_u64("total_done").unwrap(), 1, "only the big job ran");
     assert_eq!(resp.field_u64("failed_queued").unwrap(), 2);
 
     big.join().expect("big job client panicked");
@@ -130,10 +130,10 @@ fn wait(daemon: &Sortd, pred: impl Fn(u64, u64) -> bool) {
 fn drain_of_an_idle_daemon_is_immediate_and_idempotent() {
     let daemon = Sortd::start(SortdConfig::default()).expect("daemon starts");
     let addr = daemon.addr();
-    let (completed, failed) = daemon.drain();
-    assert_eq!((completed, failed), (0, 0));
-    let (completed, failed) = daemon.drain();
-    assert_eq!((completed, failed), (0, 0));
+    let (total_done, failed) = daemon.drain();
+    assert_eq!((total_done, failed), (0, 0));
+    let (total_done, failed) = daemon.drain();
+    assert_eq!((total_done, failed), (0, 0));
     assert!(daemon.pool_idle());
     assert!(TcpStream::connect(addr).is_err(), "listener survived drain");
 }

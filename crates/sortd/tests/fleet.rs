@@ -160,9 +160,9 @@ fn fleet_of_small_jobs_races_huge_ones() {
 
     // Service-level invariants after the storm.
     const ALL_JOBS: u64 = SMALL_JOBS + 2;
-    let (completed, failed_queued) = daemon.drain();
+    let (total_done, failed_queued) = daemon.drain();
     assert_eq!(failed_queued, 0, "no jobs were left queued at drain");
-    assert_eq!(completed, ALL_JOBS, "every job completed");
+    assert_eq!(total_done, ALL_JOBS, "every job completed");
     assert!(daemon.pool_idle(), "pool accounting did not return to zero");
 
     let stats = daemon.stats();
