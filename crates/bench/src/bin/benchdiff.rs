@@ -1,0 +1,129 @@
+//! The trajectory gate: diff two BENCH files' `tracked` sections and exit
+//! nonzero on regression.
+//!
+//! Usage: `benchdiff OLD.json NEW.json [--max-regression-pct P] [--scale-new F]`
+//!
+//! Every `tracked` metric is a higher-is-better rate (records/s, jobs/s).
+//! For each metric in OLD the regression is `(old - new) / old`; any
+//! metric regressing more than P percent (default 10), or present in OLD
+//! but missing from NEW, fails the diff. Metrics only in NEW are reported
+//! but never gate — adding coverage must not break the build that adds it.
+//!
+//! `--scale-new F` multiplies every NEW value by F before comparing. Its
+//! purpose is the gate's own self-test: `benchdiff X X --scale-new 0.85`
+//! simulates a 15% across-the-board slowdown deterministically, with no
+//! dependence on machine speed, so CI can prove the gate actually fires.
+
+use std::process::ExitCode;
+
+use alphasort_minijson::Json;
+
+fn tracked(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(Json::Obj(fields)) = doc.get("tracked") else {
+        return Err(format!("{path}: no `tracked` object — not a trajectory BENCH file"));
+    };
+    fields
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|x| (k.clone(), x))
+                .ok_or_else(|| format!("{path}: tracked.{k} is not a number"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // a flag consumes its value
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let [old_path, new_path] = positional[..] else {
+        eprintln!("usage: benchdiff OLD.json NEW.json [--max-regression-pct P] [--scale-new F]");
+        return ExitCode::from(2);
+    };
+    let max_pct: f64 = match flag("--max-regression-pct").map(|v| v.parse()) {
+        Some(Ok(p)) => p,
+        Some(Err(_)) => {
+            eprintln!("bad --max-regression-pct value");
+            return ExitCode::from(2);
+        }
+        None => 10.0,
+    };
+    let scale: f64 = match flag("--scale-new").map(|v| v.parse()) {
+        Some(Ok(f)) => f,
+        Some(Err(_)) => {
+            eprintln!("bad --scale-new value");
+            return ExitCode::from(2);
+        }
+        None => 1.0,
+    };
+
+    let (old, new) = match (tracked(old_path), tracked(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "benchdiff: {old_path} -> {new_path} (gate: >{max_pct:.0}% regression{})",
+        if scale != 1.0 {
+            format!(", new scaled by {scale}")
+        } else {
+            String::new()
+        }
+    );
+    println!("{:<28} {:>14} {:>14} {:>9}  verdict", "tracked metric", "old", "new", "delta");
+    let mut failures = 0u32;
+    for (name, old_v) in &old {
+        match new.iter().find(|(k, _)| k == name) {
+            Some((_, new_raw)) => {
+                let new_v = new_raw * scale;
+                let delta_pct = if *old_v > 0.0 {
+                    100.0 * (new_v - old_v) / old_v
+                } else {
+                    0.0
+                };
+                let regressed = -delta_pct > max_pct;
+                if regressed {
+                    failures += 1;
+                }
+                println!(
+                    "{name:<28} {old_v:>14.1} {new_v:>14.1} {delta_pct:>+8.1}%  {}",
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            None => {
+                failures += 1;
+                println!("{name:<28} {old_v:>14.1} {:>14} {:>9}  MISSING", "-", "-");
+            }
+        }
+    }
+    for (name, new_v) in &new {
+        if !old.iter().any(|(k, _)| k == name) {
+            println!("{name:<28} {:>14} {new_v:>14.1} {:>9}  new (not gated)", "-", "-");
+        }
+    }
+    if failures > 0 {
+        eprintln!("benchdiff: FAIL — {failures} tracked metric(s) regressed past {max_pct:.0}%");
+        ExitCode::FAILURE
+    } else {
+        println!("benchdiff: ok — no tracked metric regressed past {max_pct:.0}%");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,290 @@
+//! The perf-trajectory driver (ROADMAP item 4): one canonical set of
+//! kernel + service workloads, one JSON snapshot per PR, one gate.
+//!
+//! Usage: `exp_trajectory [--json OUT.json] [--records N] [--jobs N]
+//! [--repeat N]` (defaults: 400 000-record kernel runs, 120-job service
+//! fleet, best-of-5 kernel timing).
+//!
+//! Kernel rates are **best-of-N** (`--repeat`): each kernel runs N times
+//! and the snapshot keeps the fastest. On a shared/noisy box the slow
+//! runs measure the neighbor, not the sort — best-of converges to the
+//! machine's actual speed, which is what a trajectory should track. The
+//! service fleet runs once (its wall clock is 120 jobs wide and
+//! self-averaging).
+//!
+//! Three kernel shapes cover the hot paths the repo has grown so far —
+//! the serial one-pass sort, the forced two-pass spill, and the
+//! partitioned parallel merge (4 ranges, 4 workers) — plus the sortd
+//! service fleet whose latency quantiles come from the *daemon's* own
+//! histograms over the `metrics` channel, not client-side stopwatches.
+//! Every output is oracle- or fingerprint-checked; a wrong sort never
+//! produces a number.
+//!
+//! The emitted document ends with a `tracked` section of higher-is-better
+//! rates. That section is the trajectory contract: `benchdiff OLD NEW`
+//! compares only `tracked` and fails CI on >10% regression, so the other
+//! fields can grow freely without becoming accidental gates.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use alphasort_core::driver::{one_pass, two_pass, MemScratch};
+use alphasort_core::io::{MemSink, MemSource};
+use alphasort_core::stats::SortStats;
+use alphasort_core::SortConfig;
+use alphasort_dmgen::{generate, records_of_mut, validate_records, GenConfig, RECORD_LEN};
+use alphasort_minijson::Json;
+use alphasort_obs::MetricsSnapshot;
+use alphasort_sortd::{
+    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+};
+
+fn kernel_doc(name: &str, st: &SortStats, elapsed_s: f64) -> (f64, Json) {
+    let bytes = st.records * RECORD_LEN as u64;
+    let rps = st.records as f64 / elapsed_s;
+    let doc = Json::Obj(vec![
+        ("records".into(), Json::from(st.records)),
+        ("bytes".into(), Json::from(bytes)),
+        ("elapsed_s".into(), Json::Float(elapsed_s)),
+        ("records_per_sec".into(), Json::Float(rps)),
+        (
+            "mb_per_sec".into(),
+            Json::Float(bytes as f64 / 1e6 / elapsed_s),
+        ),
+        (
+            "phases_s".into(),
+            Json::Obj(vec![
+                ("read_wait".into(), Json::Float(st.read_wait.as_secs_f64())),
+                ("sort".into(), Json::Float(st.sort_time.as_secs_f64())),
+                ("merge".into(), Json::Float(st.merge_time.as_secs_f64())),
+                ("gather".into(), Json::Float(st.gather_time.as_secs_f64())),
+                ("write_wait".into(), Json::Float(st.write_wait.as_secs_f64())),
+                ("spill".into(), Json::Float(st.spill_time.as_secs_f64())),
+            ]),
+        ),
+    ]);
+    println!(
+        "  {name:<8} {:>9.0} records/s  ({:.1} MB/s, {:.3} s)",
+        rps,
+        bytes as f64 / 1e6 / elapsed_s,
+        elapsed_s
+    );
+    (rps, doc)
+}
+
+/// Run `run` `repeat` times and report the fastest attempt (highest
+/// records/sec). Slow attempts on a contended box measure the neighbor,
+/// not the kernel.
+fn best_of(
+    repeat: usize,
+    name: &str,
+    mut run: impl FnMut() -> (SortStats, f64),
+) -> (f64, Json) {
+    let mut best: Option<(SortStats, f64)> = None;
+    for _ in 0..repeat.max(1) {
+        let (st, elapsed_s) = run();
+        let faster = best
+            .as_ref()
+            .map(|(b_st, b_s)| st.records as f64 / elapsed_s > b_st.records as f64 / *b_s)
+            .unwrap_or(true);
+        if faster {
+            best = Some((st, elapsed_s));
+        }
+    }
+    let (st, elapsed_s) = best.expect("at least one attempt ran");
+    kernel_doc(name, &st, elapsed_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_out = flag("--json");
+    let records: u64 = flag("--records").and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let jobs: u64 = flag("--jobs").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let repeat: usize = flag("--repeat").and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    println!("== perf trajectory: canonical kernel + service workloads ==\n");
+    let (data, cs) = generate(GenConfig::datamation(records, 7));
+
+    // Kernel 1: the serial one-pass sort (the paper's core loop).
+    println!("kernel ({records} records, best of {repeat}):");
+    let cfg = SortConfig {
+        run_records: 100_000,
+        gather_batch: 10_000,
+        ..Default::default()
+    };
+    let (onepass_rps, onepass_doc) = best_of(repeat, "onepass", || {
+        let t0 = Instant::now();
+        let mut src = MemSource::new(data.clone(), 1 << 20);
+        let mut sink = MemSink::new();
+        let one = one_pass(&mut src, &mut sink, &cfg).expect("one-pass sorts");
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        validate_records(sink.data(), cs).expect("one-pass output validates");
+        (one.stats, elapsed_s)
+    });
+
+    // Kernel 2: the forced two-pass spill through memory scratch.
+    let (twopass_rps, twopass_doc) = best_of(repeat, "twopass", || {
+        let t0 = Instant::now();
+        let mut src = MemSource::new(data.clone(), 1 << 20);
+        let mut sink = MemSink::new();
+        let mut scratch = MemScratch::new(10_000 * RECORD_LEN);
+        let two = two_pass(&mut src, &mut sink, &mut scratch, &cfg).expect("two-pass sorts");
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        validate_records(sink.data(), cs).expect("two-pass output validates");
+        (two.stats, elapsed_s)
+    });
+
+    // Kernel 3: the partitioned parallel merge (PR 5) — 4 key ranges,
+    // 4 sort/gather workers, same data, byte-identical output.
+    let pcfg = SortConfig {
+        workers: 4,
+        merge_workers: 4,
+        ..cfg
+    };
+    let (pmerge_rps, pmerge_doc) = best_of(repeat, "pmerge4", || {
+        let t0 = Instant::now();
+        let mut src = MemSource::new(data.clone(), 1 << 20);
+        let mut sink = MemSink::new();
+        let pm = one_pass(&mut src, &mut sink, &pcfg).expect("partitioned merge sorts");
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        validate_records(sink.data(), cs).expect("partitioned-merge output validates");
+        (pm.stats, elapsed_s)
+    });
+    drop(data);
+
+    // Service: an in-process sortd under a contended pool; throughput is
+    // client-side wall clock, latency quantiles are daemon-reported.
+    const THREADS: u64 = 8;
+    const JOB_RECORDS: u64 = 3_000;
+    println!("\nservice ({jobs} x {JOB_RECORDS}-record jobs, {THREADS} client threads):");
+    let pool = PoolConfig {
+        mem_total: 4 << 20,
+        scratch_total: 64 << 20,
+    };
+    let daemon = Sortd::start(SortdConfig {
+        listen: "127.0.0.1:0".into(),
+        pool,
+        admission: AdmissionConfig {
+            queue_bound: 1024,
+            bypass_limit: 16,
+        },
+        backing: ScratchBacking::Memory,
+        client_read_timeout: Duration::from_secs(300),
+    })
+    .expect("daemon starts");
+    let addr = daemon.addr();
+    let client_lat_ms = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let lat = Arc::clone(&client_lat_ms);
+        handles.push(thread::spawn(move || {
+            let client = Client::new(addr).with_timeout(Duration::from_secs(300));
+            for j in (t..jobs).step_by(THREADS as usize) {
+                let (mut data, _) = generate(GenConfig::datamation(JOB_RECORDS, 11_000 + j));
+                let spec = JobSpec {
+                    name: format!("traj-{j}"),
+                    input_bytes: data.len() as u64,
+                    mem_budget: 1 << 20,
+                    scratch_budget: 0,
+                    merge_workers: 0,
+                };
+                let t0 = Instant::now();
+                let res = client.submit(&spec, &data).expect("submit succeeds");
+                lat.lock().unwrap().push(t0.elapsed().as_secs_f64() * 1e3);
+                records_of_mut(&mut data).sort_by_key(|r| r.key);
+                assert_eq!(res.output, data, "traj-{j} diverged from oracle");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let jobs_per_sec = jobs as f64 / wall_s;
+
+    // Daemon-side quantiles over the metrics wire channel, before drain
+    // closes the listener.
+    let wire = Client::new(addr).metrics().expect("metrics request answers");
+    let snap = MetricsSnapshot::from_json(&wire).expect("metrics doc decodes");
+    let q = |name: &str, p: f64| {
+        snap.histograms
+            .get(name)
+            .and_then(|h| h.quantile(p))
+            .unwrap_or(0.0)
+    };
+    daemon.drain();
+    assert!(daemon.pool_idle(), "pool accounting not zero after drain");
+
+    let mut lat = client_lat_ms.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    println!(
+        "  fleet    {jobs_per_sec:>9.1} jobs/s     (client p99 {:.1} ms, daemon e2e p99 {:.1} ms)",
+        pct(&lat, 0.99),
+        q("sortd.e2e_us", 0.99) / 1e3,
+    );
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::from("perf trajectory")),
+        ("schema".into(), Json::from(1u64)),
+        ("kernel_best_of".into(), Json::from(repeat as u64)),
+        (
+            "kernel".into(),
+            Json::Obj(vec![
+                ("onepass".into(), onepass_doc),
+                ("twopass".into(), twopass_doc),
+                ("pmerge4".into(), pmerge_doc),
+            ]),
+        ),
+        (
+            "service".into(),
+            Json::Obj(vec![
+                ("jobs".into(), Json::from(jobs)),
+                ("client_threads".into(), Json::from(THREADS)),
+                ("records_per_job".into(), Json::from(JOB_RECORDS)),
+                ("pool_mem_bytes".into(), Json::from(pool.mem_total)),
+                ("wall_s".into(), Json::Float(wall_s)),
+                ("jobs_per_sec".into(), Json::Float(jobs_per_sec)),
+                ("client_p50_ms".into(), Json::Float(pct(&lat, 0.50))),
+                ("client_p99_ms".into(), Json::Float(pct(&lat, 0.99))),
+                (
+                    "daemon".into(),
+                    Json::Obj(vec![
+                        ("e2e_p50_us".into(), Json::Float(q("sortd.e2e_us", 0.50))),
+                        ("e2e_p99_us".into(), Json::Float(q("sortd.e2e_us", 0.99))),
+                        ("exec_p50_us".into(), Json::Float(q("sortd.exec_us", 0.50))),
+                        ("exec_p99_us".into(), Json::Float(q("sortd.exec_us", 0.99))),
+                        (
+                            "queue_wait_p99_us".into(),
+                            Json::Float(q("sortd.queue_wait_us", 0.99)),
+                        ),
+                    ]),
+                ),
+                ("all_outputs_oracle_checked".into(), Json::Bool(true)),
+            ]),
+        ),
+        // The gated contract: higher-is-better rates only. benchdiff
+        // compares exactly these keys.
+        (
+            "tracked".into(),
+            Json::Obj(vec![
+                ("onepass_records_per_sec".into(), Json::Float(onepass_rps)),
+                ("twopass_records_per_sec".into(), Json::Float(twopass_rps)),
+                ("pmerge4_records_per_sec".into(), Json::Float(pmerge_rps)),
+                ("service_jobs_per_sec".into(), Json::Float(jobs_per_sec)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = json_out {
+        std::fs::write(&path, doc.dump_pretty()).expect("write JSON snapshot");
+        println!("\nwrote {path}");
+    }
+}

@@ -114,6 +114,22 @@ pub fn chrome_trace(snap: &TraceSnapshot) -> Json {
     ])
 }
 
+/// Compact latency-style summary of one histogram: `count`, `mean`,
+/// `p50`/`p90`/`p99` (via [`crate::metrics::Histogram::quantile`]'s
+/// interpolation), and
+/// `max`. This is the shape service stats documents embed when the full
+/// bucket array would be noise — sortd's `stats` latency section uses it.
+pub fn histogram_summary(h: &crate::metrics::Histogram) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), Json::from(h.count())),
+        ("mean".to_string(), Json::Float(h.mean())),
+        ("p50".to_string(), Json::Float(h.quantile(0.50).unwrap_or(0.0))),
+        ("p90".to_string(), Json::Float(h.quantile(0.90).unwrap_or(0.0))),
+        ("p99".to_string(), Json::Float(h.quantile(0.99).unwrap_or(0.0))),
+        ("max".to_string(), Json::from(h.max().unwrap_or(0))),
+    ])
+}
+
 /// Render a metrics snapshot as a JSON document.
 pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
     let counters = snap

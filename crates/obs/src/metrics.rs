@@ -16,6 +16,8 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
+use alphasort_minijson::Json;
+
 use crate::recorder::is_enabled;
 
 /// Number of histogram buckets: the zero bucket plus one per bit of `u64`.
@@ -117,6 +119,114 @@ impl Histogram {
                 (lo, hi, c)
             })
             .collect()
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) by walking the
+    /// log2 buckets and linearly interpolating within the bucket that
+    /// contains the target rank.
+    ///
+    /// The interpolation range of the first and last non-empty buckets is
+    /// clamped to the observed `min`/`max`, so `quantile(0.0)` is exactly
+    /// the minimum and `quantile(1.0)` exactly the maximum. For interior
+    /// quantiles the estimate lands inside the true value's power-of-two
+    /// bucket — a worst-case factor-of-two error, and far tighter when the
+    /// distribution is locally uniform (linear interpolation is then
+    /// exact up to bucket granularity). Returns `None` when empty.
+    ///
+    /// ```
+    /// let mut h = alphasort_obs::Histogram::default();
+    /// for v in 0..1000u64 {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.quantile(0.0), Some(0.0));
+    /// assert_eq!(h.quantile(1.0), Some(999.0));
+    /// let p50 = h.quantile(0.5).unwrap();
+    /// assert!((p50 - 500.0).abs() < 20.0, "{p50}");
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        if q == 1.0 {
+            return Some(self.max as f64);
+        }
+        let target = q * self.count as f64;
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let c = self.counts[i];
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // The bucket holding `min` starts at `min`, the bucket
+                // holding `max` ends just past `max`: never extrapolate
+                // beyond observed data.
+                let lo = (lo as f64).max(self.min as f64);
+                let hi = (hi as f64).min(self.max as f64 + 1.0);
+                let frac = (target - seen as f64) / c as f64;
+                return Some(lo + frac * (hi - lo).max(0.0));
+            }
+            seen += c;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Full-fidelity JSON encoding: every non-empty bucket by index, plus
+    /// the summary fields, so [`from_json`](Self::from_json) reconstructs
+    /// the histogram exactly. This is the wire format services ship
+    /// histograms in (sortd's `metrics` request); the lossier
+    /// charting-oriented rendering lives in
+    /// [`export::metrics_json`](crate::export::metrics_json).
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::from(i as u64), Json::from(c)]))
+            .collect();
+        Json::Obj(vec![
+            ("count".to_string(), Json::from(self.count)),
+            ("sum".to_string(), Json::from(self.sum)),
+            ("min".to_string(), Json::from(self.min().unwrap_or(0))),
+            ("max".to_string(), Json::from(self.max().unwrap_or(0))),
+            ("buckets".to_string(), Json::Arr(buckets)),
+        ])
+    }
+
+    /// Decode a histogram encoded by [`to_json`](Self::to_json).
+    pub fn from_json(doc: &Json) -> Result<Histogram, String> {
+        let mut h = Histogram {
+            count: doc.field_u64("count").map_err(|e| e.to_string())?,
+            sum: doc.field_u64("sum").map_err(|e| e.to_string())?,
+            min: doc.field_u64("min").map_err(|e| e.to_string())?,
+            max: doc.field_u64("max").map_err(|e| e.to_string())?,
+            counts: [0; HISTOGRAM_BUCKETS],
+        };
+        if h.count == 0 {
+            // `min` is meaningless when empty; restore the sentinel.
+            h.min = u64::MAX;
+        }
+        for b in doc.field_arr("buckets").map_err(|e| e.to_string())? {
+            let pair = b.as_arr().ok_or("bucket entry is not a pair")?;
+            let (idx, c) = match pair {
+                [i, c] => (
+                    i.as_u64().ok_or("bucket index is not an integer")?,
+                    c.as_u64().ok_or("bucket count is not an integer")?,
+                ),
+                _ => return Err("bucket entry is not a [index, count] pair".into()),
+            };
+            if idx as usize >= HISTOGRAM_BUCKETS {
+                return Err(format!("bucket index {idx} out of range"));
+            }
+            h.counts[idx as usize] = c;
+        }
+        Ok(h)
     }
 
     /// This histogram minus an earlier one (per-bucket saturating).
@@ -233,6 +343,74 @@ impl MetricsSnapshot {
             histograms,
         }
     }
+
+    /// Round-trippable JSON encoding: `counters`/`gauges`/`histograms`
+    /// objects, with each histogram in its full-fidelity
+    /// [`Histogram::to_json`] form. This is the wire document the sortd
+    /// `metrics` request answers with (plus its own envelope fields);
+    /// [`from_json`](Self::from_json) on the receiving side restores a
+    /// snapshot that diffs and quantiles exactly like the original.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode a snapshot from [`to_json`](Self::to_json) output. Unknown
+    /// sibling fields (a carrying document's envelope) are ignored; a
+    /// missing section decodes as empty.
+    pub fn from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
+        fn entries(doc: &Json, key: &str) -> Result<Vec<(String, Json)>, String> {
+            match doc.get(key) {
+                None => Ok(Vec::new()),
+                Some(Json::Obj(fields)) => Ok(fields.clone()),
+                Some(_) => Err(format!("{key} is not an object")),
+            }
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (k, v) in entries(doc, "counters")? {
+            let n = v.as_u64().ok_or_else(|| format!("counter {k} is not a u64"))?;
+            snap.counters.insert(k, n);
+        }
+        for (k, v) in entries(doc, "gauges")? {
+            let n = match v {
+                Json::Int(n) => n,
+                _ => return Err(format!("gauge {k} is not an integer")),
+            };
+            snap.gauges.insert(k, n);
+        }
+        for (k, v) in entries(doc, "histograms")? {
+            let h = Histogram::from_json(&v).map_err(|e| format!("histogram {k}: {e}"))?;
+            snap.histograms.insert(k, h);
+        }
+        Ok(snap)
+    }
 }
 
 /// Copy out every metric recorded so far.
@@ -295,6 +473,139 @@ mod tests {
         assert_eq!(h.bucket_count(3), 1); // 4
         assert_eq!(h.bucket_count(11), 1); // 1024
         assert_eq!(h.nonzero_buckets().len(), 5);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_of_point_mass_pins_the_value() {
+        // Every observation is 1000: any quantile must land within the
+        // one-value interpolation range [1000, 1001).
+        let mut h = Histogram::default();
+        for _ in 0..500 {
+            h.record(1_000);
+        }
+        assert_eq!(h.quantile(0.0), Some(1_000.0));
+        assert_eq!(h.quantile(1.0), Some(1_000.0));
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q).unwrap();
+            assert!((1_000.0..1_001.0).contains(&v), "q={q} -> {v}");
+        }
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(1_000.0));
+        assert_eq!(h.quantile(7.0), Some(1_000.0));
+    }
+
+    #[test]
+    fn quantile_of_uniform_distribution_interpolates_tightly() {
+        // Uniform over [0, 65536): within a log2 bucket the distribution is
+        // uniform, so linear interpolation should be accurate to well under
+        // 1% — this is the accuracy bound the satellite pins.
+        let mut h = Histogram::default();
+        for v in 0..65_536u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.10, 6_553.6), (0.50, 32_768.0), (0.90, 58_982.4)] {
+            let got = h.quantile(q).unwrap();
+            let err = (got - want).abs() / want;
+            assert!(err < 0.01, "q={q}: got {got}, want {want} (err {err:.4})");
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(65_535.0));
+    }
+
+    #[test]
+    fn quantile_of_two_clusters_stays_in_the_right_bucket() {
+        // Half the mass at 10, half at 1_000_000. Quantiles clearly inside
+        // a cluster must land in that cluster's power-of-two bucket —
+        // the log2 worst-case bound — and the low cluster's clamped bucket
+        // is [10, 11), so those are near-exact.
+        let mut h = Histogram::default();
+        for _ in 0..500 {
+            h.record(10);
+            h.record(1_000_000);
+        }
+        // The low cluster's bucket is [8, 16), clamped below by min=10:
+        // interpolation may land anywhere in [10, 16), never outside it.
+        let low = h.quantile(0.25).unwrap();
+        assert!((10.0..16.0).contains(&low), "q=0.25 -> {low}");
+        let high = h.quantile(0.75).unwrap();
+        // 1_000_000's bucket is [2^19, 2^20) = [524288, 1048576), clamped
+        // above by max+1.
+        assert!(
+            (524_288.0..1_000_001.0).contains(&high),
+            "q=0.75 -> {high}"
+        );
+        // The median sits at the cluster boundary; it must not wander past
+        // the low cluster's bucket.
+        let mid = h.quantile(0.5).unwrap();
+        assert!(mid <= 16.0, "q=0.50 -> {mid}");
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn histogram_json_roundtrips_exactly() {
+        // Values up to 2^40: well past 32 bits, still inside minijson's
+        // faithful i64 integer range (counts and sums past 2^63 would
+        // round-trip through Float and lose exactness).
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 7, 1_000, 1_000, 1 << 40] {
+            h.record(v);
+        }
+        let doc = h.to_json();
+        // Survives an actual wire trip through the parser.
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        let back = Histogram::from_json(&parsed).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+
+        // Empty histograms restore their min sentinel.
+        let empty = Histogram::from_json(&Histogram::default().to_json()).unwrap();
+        assert_eq!(empty, Histogram::default());
+        assert_eq!(empty.min(), None);
+
+        // Corrupt bucket indexes are an error, not a panic.
+        let bad = Json::parse(
+            r#"{"count":1,"sum":1,"min":1,"max":1,"buckets":[[99,1]]}"#,
+        )
+        .unwrap();
+        assert!(Histogram::from_json(&bad).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_and_tolerates_envelopes() {
+        let mut h = Histogram::default();
+        h.record(42);
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("jobs.done".into(), 17);
+        snap.gauges.insert("queue.depth".into(), -2);
+        snap.histograms.insert("e2e_us".into(), h);
+        let doc = snap.to_json();
+        let back = MetricsSnapshot::from_json(&Json::parse(&doc.dump()).unwrap()).unwrap();
+        assert_eq!(back, snap);
+
+        // A carrying document with envelope fields (the sortd metrics
+        // response shape) decodes the same snapshot.
+        let mut fields = vec![
+            ("type".to_string(), Json::from("metrics")),
+            ("uptime_ms".to_string(), Json::from(1234u64)),
+        ];
+        if let Json::Obj(inner) = doc {
+            fields.extend(inner);
+        }
+        let envelope = Json::Obj(fields);
+        assert_eq!(MetricsSnapshot::from_json(&envelope).unwrap(), snap);
+
+        // Missing sections decode as empty rather than erroring.
+        let empty = MetricsSnapshot::from_json(&Json::Obj(vec![])).unwrap();
+        assert_eq!(empty, MetricsSnapshot::default());
     }
 
     #[test]

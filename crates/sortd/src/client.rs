@@ -161,6 +161,14 @@ impl Client {
         self.roundtrip(Json::Obj(vec![("type".into(), Json::from("stats"))]))
     }
 
+    /// Fetch the daemon's full metrics document (the `metrics` request).
+    /// The payload past the `type`/`uptime_ms` envelope decodes with
+    /// `obs::MetricsSnapshot::from_json`, so two polls can be `diff()`ed
+    /// into interval rates — `sortd top` is built on this.
+    pub fn metrics(&self) -> Result<Json, ClientError> {
+        self.roundtrip(Json::Obj(vec![("type".into(), Json::from("metrics"))]))
+    }
+
     /// Cancel a queued job. Returns `true` if the cancel landed while the
     /// job was still queued.
     pub fn cancel(&self, job_id: u64) -> Result<bool, ClientError> {

@@ -16,7 +16,8 @@
 //! * [`proto`] — the ctrl/payload channel convention over netsort frames,
 //! * [`executor`] — per-job runs through the one-/two-pass drivers,
 //! * [`server`] — accept loop, dispatch, graceful drain,
-//! * [`client`] — a blocking client with honest retry typing.
+//! * [`client`] — a blocking client with honest retry typing,
+//! * [`telemetry`] — always-on uptime + per-job latency histograms.
 
 pub mod admission;
 pub mod client;
@@ -25,6 +26,7 @@ pub mod job;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use admission::{Admission, AdmissionConfig, Offer};
 pub use client::{Client, ClientError, SubmitResult};
@@ -32,3 +34,4 @@ pub use executor::ScratchBacking;
 pub use job::{JobSpec, JobState, SortdError, MIN_JOB_MEM};
 pub use pool::{Pool, PoolConfig};
 pub use server::{Sortd, SortdConfig};
+pub use telemetry::Telemetry;

@@ -125,8 +125,8 @@ impl Pool {
 
     /// Mirror the pool into obs gauges.
     fn publish(&self) {
-        obs::metrics::gauge_set("sortd.pool.mem_used", self.mem_used as i64);
-        obs::metrics::gauge_set("sortd.pool.scratch_used", self.scratch_used as i64);
+        obs::metrics::gauge_set("sortd.pool.mem_in_use", self.mem_used as i64);
+        obs::metrics::gauge_set("sortd.pool.scratch_in_use", self.scratch_used as i64);
     }
 }
 

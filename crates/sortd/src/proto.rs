@@ -6,8 +6,8 @@
 //! in netsort, is repurposed as a **channel tag**:
 //!
 //! * [`CTRL`] frames carry one minijson document (`submit`, `status`,
-//!   `stats`, `cancel`, `drain` requests; `ack`, `result`, `error`
-//!   responses),
+//!   `stats`, `metrics`, `cancel`, `drain` requests; `ack`, `result`,
+//!   `error` responses),
 //! * [`PAYLOAD`] frames carry raw record bytes, batched under the frame
 //!   cap and terminated by a `Done` frame on the payload channel.
 //!
@@ -23,8 +23,49 @@
 //!        or         Data(CTRL, error {code, retryable, …})
 //! ```
 //!
-//! `status`/`stats`/`cancel`/`drain` are single request/response pairs on
-//! their own connections.
+//! `status`/`stats`/`metrics`/`cancel`/`drain` are single request/response
+//! pairs on their own connections.
+//!
+//! # Telemetry documents (stable field names)
+//!
+//! The `stats` response is the human-scale snapshot:
+//!
+//! ```text
+//! { "type": "stats", "uptime_ms": N,
+//!   "pool":  { mem_total, mem_in_use, mem_hwm,
+//!              scratch_total, scratch_in_use, scratch_hwm },
+//!   "queue": { depth, bound, bypasses, aged_barriers },
+//!   "running": N, "draining": bool,
+//!   "jobs":  { queued, running, done, failed, canceled },   // per-state counts
+//!   "counters": { submitted, done, failed, rejected, canceled },
+//!   "latency": { queue_wait_us, exec_us, e2e_us } }         // each a summary:
+//!                                            // { count, mean, p50, p90, p99, max }
+//! ```
+//!
+//! The `metrics` response is the machine-scale snapshot: the same state as
+//! one obs `MetricsSnapshot` JSON document (decodable with
+//! `MetricsSnapshot::from_json`, so clients can `diff()` successive polls —
+//! `sortd top` does exactly that) under a two-field envelope:
+//!
+//! ```text
+//! { "type": "metrics", "uptime_ms": N,
+//!   "counters":   { "sortd.jobs.submitted", "sortd.jobs.done",
+//!                   "sortd.jobs.failed", "sortd.jobs.rejected",
+//!                   "sortd.jobs.canceled", "sortd.admission.bypasses",
+//!                   "sortd.admission.aged_barriers" },
+//!   "gauges":     { "sortd.pool.mem_total", "sortd.pool.mem_in_use",
+//!                   "sortd.pool.mem_hwm", "sortd.pool.scratch_total",
+//!                   "sortd.pool.scratch_in_use", "sortd.pool.scratch_hwm",
+//!                   "sortd.queue.depth", "sortd.queue.bound",
+//!                   "sortd.running", "sortd.draining" },
+//!   "histograms": { "sortd.queue_wait_us", "sortd.exec_us",
+//!                   "sortd.e2e_us" } }      // full log2 bucket arrays
+//! ```
+//!
+//! All latencies are microseconds. The histograms are recorded for every
+//! job that ran (successes and execution failures) and are never reset —
+//! they survive drain. These names are a wire contract: renaming one is a
+//! breaking protocol change.
 
 use std::io::{self, Read, Write};
 

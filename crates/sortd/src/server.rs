@@ -30,7 +30,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use alphasort_minijson::Json;
 use alphasort_netsort::AcceptLoop;
@@ -41,6 +41,7 @@ use crate::executor::{run_job, ScratchBacking};
 use crate::job::{JobSpec, JobState, SortdError};
 use crate::pool::PoolConfig;
 use crate::proto;
+use crate::telemetry::Telemetry;
 
 /// Daemon configuration.
 #[derive(Clone)]
@@ -107,6 +108,8 @@ struct Core {
     active_conns: usize,
     counters: Counters,
     waiters: HashMap<u64, Sender<Wake>>,
+    /// Always-on service telemetry: uptime + latency histograms.
+    telemetry: Telemetry,
 }
 
 impl Core {
@@ -153,6 +156,7 @@ impl Sortd {
                 active_conns: 0,
                 counters: Counters::default(),
                 waiters: HashMap::new(),
+                telemetry: Telemetry::new(),
             }),
             cv: Condvar::new(),
             backing: cfg.backing.clone(),
@@ -208,6 +212,13 @@ impl Sortd {
         let core = self.state.core.lock().unwrap();
         stats_doc(&core)
     }
+
+    /// Full metrics snapshot (same document the wire `metrics` request
+    /// returns); see [`proto`] for the schema.
+    pub fn metrics(&self) -> Json {
+        let core = self.state.core.lock().unwrap();
+        metrics_doc(&core)
+    }
 }
 
 impl Drop for Sortd {
@@ -249,18 +260,41 @@ fn drain_impl(state: &State) -> (u64, u64) {
     (total_done, failed_queued)
 }
 
+/// Jobs in the table counted by lifecycle state (the `jobs` stats section).
+fn job_state_counts(core: &Core) -> Json {
+    let mut counts = [0u64; 5];
+    for rec in core.jobs.values() {
+        let slot = match rec.state {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Canceled => 4,
+        };
+        counts[slot] += 1;
+    }
+    Json::Obj(vec![
+        ("queued".into(), Json::from(counts[0])),
+        ("running".into(), Json::from(counts[1])),
+        ("done".into(), Json::from(counts[2])),
+        ("failed".into(), Json::from(counts[3])),
+        ("canceled".into(), Json::from(counts[4])),
+    ])
+}
+
 fn stats_doc(core: &Core) -> Json {
     let pool = core.admission.pool();
     Json::Obj(vec![
         ("type".into(), Json::from("stats")),
+        ("uptime_ms".into(), Json::from(core.telemetry.uptime_ms())),
         (
             "pool".into(),
             Json::Obj(vec![
                 ("mem_total".into(), Json::from(pool.mem_total())),
-                ("mem_used".into(), Json::from(pool.mem_used())),
+                ("mem_in_use".into(), Json::from(pool.mem_used())),
                 ("mem_hwm".into(), Json::from(pool.mem_hwm())),
                 ("scratch_total".into(), Json::from(pool.scratch_total())),
-                ("scratch_used".into(), Json::from(pool.scratch_used())),
+                ("scratch_in_use".into(), Json::from(pool.scratch_used())),
                 ("scratch_hwm".into(), Json::from(pool.scratch_hwm())),
             ]),
         ),
@@ -275,6 +309,7 @@ fn stats_doc(core: &Core) -> Json {
         ),
         ("running".into(), Json::from(core.running as u64)),
         ("draining".into(), Json::Bool(core.admission.draining())),
+        ("jobs".into(), job_state_counts(core)),
         (
             "counters".into(),
             Json::Obj(vec![
@@ -285,7 +320,54 @@ fn stats_doc(core: &Core) -> Json {
                 ("canceled".into(), Json::from(core.counters.canceled)),
             ]),
         ),
+        ("latency".into(), core.telemetry.summaries()),
     ])
+}
+
+/// The `metrics` wire doc: the whole service state as one
+/// [`obs::MetricsSnapshot`] (counters/gauges/full-fidelity histograms)
+/// under a `type`/`uptime_ms` envelope, so a client can decode it with
+/// `MetricsSnapshot::from_json` and diff successive polls — `sortd top`'s
+/// whole input. Field names are a stable wire contract; see [`proto`].
+fn metrics_doc(core: &Core) -> Json {
+    let pool = core.admission.pool();
+    let mut snap = obs::MetricsSnapshot::default();
+    for (name, v) in [
+        ("sortd.jobs.submitted", core.counters.submitted),
+        ("sortd.jobs.done", core.counters.done),
+        ("sortd.jobs.failed", core.counters.failed),
+        ("sortd.jobs.rejected", core.counters.rejected),
+        ("sortd.jobs.canceled", core.counters.canceled),
+        ("sortd.admission.bypasses", core.admission.bypasses),
+        ("sortd.admission.aged_barriers", core.admission.aged_barriers),
+    ] {
+        snap.counters.insert(name.to_string(), v);
+    }
+    for (name, v) in [
+        ("sortd.pool.mem_total", pool.mem_total() as i64),
+        ("sortd.pool.mem_in_use", pool.mem_used() as i64),
+        ("sortd.pool.mem_hwm", pool.mem_hwm() as i64),
+        ("sortd.pool.scratch_total", pool.scratch_total() as i64),
+        ("sortd.pool.scratch_in_use", pool.scratch_used() as i64),
+        ("sortd.pool.scratch_hwm", pool.scratch_hwm() as i64),
+        ("sortd.queue.depth", core.admission.queue_depth() as i64),
+        ("sortd.queue.bound", core.admission.queue_bound() as i64),
+        ("sortd.running", core.running as i64),
+        ("sortd.draining", core.admission.draining() as i64),
+    ] {
+        snap.gauges.insert(name.to_string(), v);
+    }
+    for (name, h) in core.telemetry.histograms() {
+        snap.histograms.insert(name.to_string(), h.clone());
+    }
+    let mut fields = vec![
+        ("type".into(), Json::from("metrics")),
+        ("uptime_ms".into(), Json::from(core.telemetry.uptime_ms())),
+    ];
+    if let Json::Obj(inner) = snap.to_json() {
+        fields.extend(inner);
+    }
+    Json::Obj(fields)
 }
 
 /// Dispatch one client connection: read the request document, route it.
@@ -299,6 +381,12 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<State>) -> io::Result<()>
         "stats" => {
             let core = state.core.lock().unwrap();
             let out = stats_doc(&core);
+            drop(core);
+            proto::send_ctrl(&mut stream, &out)
+        }
+        "metrics" => {
+            let core = state.core.lock().unwrap();
+            let out = metrics_doc(&core);
             drop(core);
             proto::send_ctrl(&mut stream, &out)
         }
@@ -331,6 +419,8 @@ fn handle_submit(
     doc: &Json,
 ) -> io::Result<()> {
     let _span = obs::span(obs::phase::SORTD_JOB);
+    // e2e clock: manifest parsed to result settled (telemetry's `e2e_us`).
+    let submit_start = Instant::now();
     let spec = match JobSpec::from_json(doc) {
         Ok(s) => s,
         Err(e) => {
@@ -421,9 +511,14 @@ fn handle_submit(
 
     // Park until admitted (queued path). The channel never hangs: drain and
     // cancel both wake it, and the sender lives in the core's waiter map.
+    // Immediate admits record a true zero queue wait.
+    let mut queue_wait = Duration::ZERO;
     if let Some(rx) = rx {
         let _q = obs::span(obs::phase::SORTD_QUEUE);
-        match rx.recv() {
+        let parked = Instant::now();
+        let wake = rx.recv();
+        queue_wait = parked.elapsed();
+        match wake {
             Ok(Wake::Admitted) => {}
             Ok(Wake::Failed(err)) => {
                 // State and counters were updated by whoever failed us.
@@ -437,7 +532,9 @@ fn handle_submit(
     }
 
     // Run — no lock held.
+    let exec_start = Instant::now();
     let result = run_job(id, &spec, input, &state.backing);
+    let exec = exec_start.elapsed();
 
     // Release the budget, promote successors, settle the record.
     let mut core = state.core.lock().unwrap();
@@ -464,6 +561,9 @@ fn handle_submit(
             Err(err)
         }
     };
+    // Every job that ran — success or exec failure — lands in the latency
+    // histograms; jobs that never ran (reject/drain/cancel) do not.
+    core.telemetry.record_job(queue_wait, exec, submit_start.elapsed());
     state.cv.notify_all();
     drop(core);
 
@@ -634,6 +734,7 @@ mod tests {
                 active_conns: 0,
                 counters: Counters::default(),
                 waiters: HashMap::new(),
+                telemetry: Telemetry::new(),
             }),
             cv: Condvar::new(),
             backing: ScratchBacking::Memory,

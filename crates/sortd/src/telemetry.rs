@@ -1,0 +1,127 @@
+//! Daemon-owned service telemetry: uptime and per-job latency histograms.
+//!
+//! The obs crate's process-global metrics store only records when tracing
+//! was explicitly enabled — right for near-zero-overhead CLI runs, wrong
+//! for a service whose operators expect `stats` to answer "what are my
+//! latencies" at any moment. So the daemon owns its histograms directly:
+//! a [`Telemetry`] lives inside the server's `Core` (under the same mutex
+//! the admission state already takes per job), reusing
+//! [`obs::Histogram`](alphasort_obs::Histogram) as the data structure but
+//! recording unconditionally. Three per-job latencies are tracked, all in
+//! microseconds:
+//!
+//! * `queue_wait_us` — time parked in the admission queue (0 when admitted
+//!   immediately, so the count equals jobs that ran),
+//! * `exec_us` — the sort itself, budget held,
+//! * `e2e_us` — request receipt (manifest parsed) to result settled; the
+//!   daemon-side view of what a client measures around `submit`, minus
+//!   connect and response streaming.
+//!
+//! Histograms are recorded for every job that ran, successes and execution
+//! failures alike, and are never reset — drain stops admission, not
+//! accounting, so post-drain `stats` still reports the service's full
+//! latency history (the fleet test pins this).
+
+use std::time::{Duration, Instant};
+
+use alphasort_minijson::Json;
+use alphasort_obs::{export::histogram_summary, Histogram};
+
+/// The daemon's always-on metrics: start time plus latency histograms.
+pub struct Telemetry {
+    started: Instant,
+    /// Time jobs spent parked in the admission queue, in microseconds.
+    pub queue_wait_us: Histogram,
+    /// Sort execution time under a reserved budget, in microseconds.
+    pub exec_us: Histogram,
+    /// Manifest-parsed to result-settled time, in microseconds.
+    pub e2e_us: Histogram,
+}
+
+impl Telemetry {
+    /// Fresh telemetry; the daemon's uptime clock starts now.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            started: Instant::now(),
+            queue_wait_us: Histogram::default(),
+            exec_us: Histogram::default(),
+            e2e_us: Histogram::default(),
+        }
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Record one finished job's three latencies.
+    pub fn record_job(&mut self, queue_wait: Duration, exec: Duration, e2e: Duration) {
+        self.queue_wait_us.record(queue_wait.as_micros() as u64);
+        self.exec_us.record(exec.as_micros() as u64);
+        self.e2e_us.record(e2e.as_micros() as u64);
+    }
+
+    /// The `latency` section of the `stats` wire doc: one
+    /// count/mean/p50/p90/p99/max summary per histogram (see
+    /// [`proto`](crate::proto) for the schema).
+    pub fn summaries(&self) -> Json {
+        Json::Obj(vec![
+            ("queue_wait_us".into(), histogram_summary(&self.queue_wait_us)),
+            ("exec_us".into(), histogram_summary(&self.exec_us)),
+            ("e2e_us".into(), histogram_summary(&self.e2e_us)),
+        ])
+    }
+
+    /// The full-fidelity histograms, named as they appear in the `metrics`
+    /// wire doc's `histograms` section.
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 3] {
+        [
+            ("sortd.queue_wait_us", &self.queue_wait_us),
+            ("sortd.exec_us", &self.exec_us),
+            ("sortd.e2e_us", &self.e2e_us),
+        ]
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_job_lands_in_all_three_histograms() {
+        let mut t = Telemetry::new();
+        t.record_job(
+            Duration::from_micros(100),
+            Duration::from_micros(2_000),
+            Duration::from_micros(2_150),
+        );
+        t.record_job(Duration::ZERO, Duration::from_micros(900), Duration::from_micros(950));
+        assert_eq!(t.queue_wait_us.count(), 2);
+        assert_eq!(t.exec_us.count(), 2);
+        assert_eq!(t.e2e_us.count(), 2);
+        // The immediate admit recorded a true zero wait.
+        assert_eq!(t.queue_wait_us.min(), Some(0));
+
+        let doc = t.summaries();
+        let e2e = doc.get("e2e_us").unwrap();
+        assert_eq!(e2e.field_u64("count").unwrap(), 2);
+        assert_eq!(e2e.field_u64("max").unwrap(), 2_150);
+        assert!(e2e.field_f64("p50").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn histogram_names_are_the_wire_names() {
+        let t = Telemetry::new();
+        let names: Vec<&str> = t.histograms().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["sortd.queue_wait_us", "sortd.exec_us", "sortd.e2e_us"]
+        );
+    }
+}

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use alphasort_dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
 use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
+use alphasort_obs::MetricsSnapshot;
 use alphasort_sortd::{
     AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
 };
@@ -170,8 +171,12 @@ fn fleet_of_small_jobs_races_huge_ones() {
     assert_eq!(counters.field_u64("done").unwrap(), ALL_JOBS);
     assert_eq!(counters.field_u64("failed").unwrap(), 0);
     let pool = stats.get("pool").unwrap();
-    assert_eq!(pool.field_u64("mem_used").unwrap(), 0);
-    assert_eq!(pool.field_u64("scratch_used").unwrap(), 0);
+    assert_eq!(pool.field_u64("mem_in_use").unwrap(), 0);
+    assert_eq!(pool.field_u64("scratch_in_use").unwrap(), 0);
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.field_u64("done").unwrap(), ALL_JOBS);
+    assert_eq!(jobs.field_u64("queued").unwrap(), 0);
+    assert_eq!(jobs.field_u64("running").unwrap(), 0);
     // The pool was actually contended: its high-water mark exceeds any
     // single job's budget (a small ran beside a huge), at least one job
     // queued, and the fleet backfilled past the queued huge job.
@@ -247,6 +252,97 @@ fn concurrent_two_pass_jobs_share_a_striped_volume() {
     }
     daemon.drain();
     assert!(daemon.pool_idle());
+}
+
+/// The daemon's own latency histograms must agree with what clients
+/// measure from the outside, and must survive drain.
+///
+/// Each client thread times its `submit` calls wall-clock; the daemon
+/// records `e2e_us` from manifest-parsed to result-settled. The daemon's
+/// window is a strict subset of the client's (connect, payload upload,
+/// and response download are outside it) and log2 buckets bound quantile
+/// accuracy at a factor of two — so the assertion is agreement within a
+/// band, not equality.
+#[test]
+fn daemon_latency_quantiles_agree_with_clients() {
+    // A pool that runs two 512 KB jobs at a time under eight client
+    // threads, so a real fraction of jobs queue and both sides see
+    // queue wait inside their e2e windows.
+    let daemon = start_daemon(
+        PoolConfig {
+            mem_total: 1 << 20,
+            scratch_total: 1 << 20,
+        },
+        AdmissionConfig {
+            queue_bound: 512, // deep enough that nothing hits backpressure
+            bypass_limit: 16,
+        },
+        ScratchBacking::Memory,
+    );
+    let addr = daemon.addr();
+
+    const JOBS: u64 = 64;
+    const THREADS: u64 = 8;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        handles.push(thread::spawn(move || {
+            let mut lat_us = Vec::new();
+            for j in 0..(JOBS / THREADS) {
+                let id = t * (JOBS / THREADS) + j;
+                let (data, _) = generate(GenConfig::datamation(1_500 + id, 9_000 + id));
+                let spec = JobSpec {
+                    name: format!("lat-{id}"),
+                    input_bytes: data.len() as u64,
+                    mem_budget: 512 << 10,
+                    scratch_budget: 0,
+                    merge_workers: 0,
+                };
+                let client = Client::new(addr).with_timeout(Duration::from_secs(120));
+                let start = std::time::Instant::now();
+                let res = client.submit(&spec, &data).expect("submit succeeds");
+                lat_us.push(start.elapsed().as_micros() as f64);
+                assert_eq!(res.output, oracle(data), "lat-{id} diverged from oracle");
+            }
+            lat_us
+        }));
+    }
+    let mut client_us: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    client_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // The wire `metrics` request, asked before drain closes the listener.
+    let wire = Client::new(addr).metrics().expect("metrics request answers");
+    assert_eq!(wire.field_str("type").unwrap(), "metrics");
+    assert!(wire.field_u64("uptime_ms").is_ok());
+    let snap = MetricsSnapshot::from_json(&wire).expect("decodes as a MetricsSnapshot");
+    assert_eq!(snap.counters["sortd.jobs.submitted"], JOBS);
+    assert_eq!(snap.counters["sortd.jobs.done"], JOBS);
+    let e2e = &snap.histograms["sortd.e2e_us"];
+    assert_eq!(e2e.count(), JOBS, "one e2e sample per job that ran");
+    // Contention actually happened: somebody waited in the queue.
+    assert!(
+        snap.histograms["sortd.queue_wait_us"].max().unwrap() > 0,
+        "no job ever queued; the test is too easy"
+    );
+
+    let pct = |v: &[f64], q: f64| v[((v.len() - 1) as f64 * q) as usize];
+    for q in [0.50, 0.99] {
+        let daemon_q = e2e.quantile(q).unwrap();
+        let client_q = pct(&client_us, q);
+        assert!(
+            daemon_q <= client_q * 2.5 + 5_000.0 && daemon_q >= client_q / 3.0 - 5_000.0,
+            "q{q}: daemon {daemon_q:.0}µs vs client {client_q:.0}µs out of band"
+        );
+    }
+
+    // Histograms survive drain: accounting stops admitting, not counting.
+    daemon.drain();
+    let stats = daemon.stats();
+    let e2e_summary = stats.get("latency").unwrap().get("e2e_us").unwrap();
+    assert_eq!(e2e_summary.field_u64("count").unwrap(), JOBS);
+    assert!(e2e_summary.field_f64("p99").unwrap() > 0.0);
 }
 
 /// Oversized manifests are rejected immediately with a non-retryable

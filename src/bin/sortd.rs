@@ -3,10 +3,12 @@
 //! ```text
 //! sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]
 //!              [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]
+//!              [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]
 //!              [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]
 //! sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]
 //! sortd stats  --addr ADDR
+//! sortd top    --addr ADDR [--interval-ms N] [--iters N]
 //! sortd status --addr ADDR --job ID
 //! sortd cancel --addr ADDR --job ID
 //! sortd drain  --addr ADDR
@@ -26,6 +28,17 @@
 //! `fleet` is a synthetic client fleet for smoke tests: N generated jobs
 //! over T client threads, every output checked against an in-process
 //! stable sort; exits non-zero on any mismatch or non-retryable failure.
+//!
+//! `top` polls the daemon's `metrics` wire document and diffs successive
+//! snapshots into interval rates: jobs/s by outcome, admission
+//! bypass/aging rates, pool utilization, and live p50/p99 latencies from
+//! the histogram delta. With `--iters 0` (the default) it refreshes the
+//! terminal forever; a finite `--iters` prints that many plain blocks and
+//! exits — the scriptable form CI uses.
+//!
+//! `serve --trace-out`/`--metrics-out` mirror sortcli and netsort: the
+//! daemon runs with tracing enabled and writes a Chrome trace and/or an
+//! obs metrics document when it drains.
 
 use std::io::Write;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -37,6 +50,8 @@ use std::time::{Duration, Instant};
 
 use alphasort_suite::dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
 use alphasort_suite::iosim::{catalog, FileStorage, IoEngine, Pacing, SimDisk, Storage};
+use alphasort_suite::obs;
+use alphasort_suite::obs::MetricsSnapshot;
 use alphasort_suite::sortd::{
     AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
 };
@@ -46,10 +61,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]\n\
          \x20                [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]\n\
+         \x20                [--trace-out TRACE.json] [--metrics-out METRICS.json]\n\
          \x20      sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]\n\
          \x20                [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]\n\
          \x20      sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]\n\
          \x20      sortd stats  --addr ADDR\n\
+         \x20      sortd top    --addr ADDR [--interval-ms N] [--iters N]\n\
          \x20      sortd status --addr ADDR --job ID\n\
          \x20      sortd cancel --addr ADDR --job ID\n\
          \x20      sortd drain  --addr ADDR"
@@ -120,6 +137,7 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&flags),
         "fleet" => cmd_fleet(&flags),
         "stats" => cmd_stats(&flags),
+        "top" => cmd_top(&flags),
         "status" => cmd_status(&flags),
         "cancel" => cmd_cancel(&flags),
         "drain" => cmd_drain(&flags),
@@ -175,6 +193,13 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, ExitCode> {
         Some(dir) => ScratchBacking::SharedVolume(shared_volume(dir)?, SCRATCH_CHUNK),
         None => ScratchBacking::Memory,
     };
+    // Parity with sortcli/netsort: record the daemon's whole lifetime and
+    // write the artifacts at drain. (Daemon latency *histograms* are
+    // always on regardless; these flags add span traces + obs metrics.)
+    let tracing = flags.get("--trace-out").is_some() || flags.get("--metrics-out").is_some();
+    if tracing {
+        obs::enable(obs::DEFAULT_CAPACITY);
+    }
     let daemon = Sortd::start(SortdConfig {
         listen: flags.get("--listen").unwrap_or("127.0.0.1:0").to_string(),
         pool,
@@ -196,6 +221,29 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, ExitCode> {
     daemon.wait_drained();
     let stats = daemon.stats();
     eprintln!("sortd drained: {}", stats.dump());
+    if tracing {
+        obs::disable();
+        let snap = obs::snapshot();
+        if let Some(path) = flags.get("--trace-out") {
+            let doc = obs::export::chrome_trace(&snap);
+            if let Err(e) = std::fs::write(path, doc.dump()) {
+                eprintln!("cannot write trace {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+            eprintln!(
+                "trace: {} events -> {path} (open in Perfetto / chrome://tracing)",
+                snap.events.len()
+            );
+        }
+        if let Some(path) = flags.get("--metrics-out") {
+            let doc = obs::export::metrics_json(&obs::metrics_snapshot());
+            if let Err(e) = std::fs::write(path, doc.dump_pretty()) {
+                eprintln!("cannot write metrics {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+            eprintln!("metrics: -> {path}");
+        }
+    }
     if daemon.pool_idle() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -342,6 +390,106 @@ fn cmd_stats(flags: &Flags) -> Result<ExitCode, ExitCode> {
     })?;
     println!("{}", doc.dump_pretty());
     Ok(ExitCode::SUCCESS)
+}
+
+/// `sortd top`: poll the `metrics` wire doc, diff successive snapshots
+/// into interval rates, render. Counter deltas over the *daemon's* uptime
+/// delta (not local wall clock) so rates are immune to poll jitter;
+/// latency quantiles come from the histogram diff, so they describe only
+/// the jobs that finished in the interval.
+fn cmd_top(flags: &Flags) -> Result<ExitCode, ExitCode> {
+    let addr = flags.addr()?;
+    let interval = Duration::from_millis(flags.num("--interval-ms", 1_000u64)?.max(10));
+    let iters: u64 = flags.num("--iters", 0)?; // 0 = refresh forever
+    let client = Client::new(addr).with_timeout(Duration::from_secs(30));
+    let fetch = || -> Result<(MetricsSnapshot, u64), ExitCode> {
+        let doc = client.metrics().map_err(|e| {
+            eprintln!("metrics request failed: {e}");
+            ExitCode::FAILURE
+        })?;
+        let uptime = doc.field_u64("uptime_ms").unwrap_or(0);
+        let snap = MetricsSnapshot::from_json(&doc).map_err(|e| {
+            eprintln!("cannot decode metrics doc: {e}");
+            ExitCode::FAILURE
+        })?;
+        Ok((snap, uptime))
+    };
+    let (mut prev, mut prev_uptime) = fetch()?;
+    let mut shown = 0u64;
+    loop {
+        thread::sleep(interval);
+        let (cur, uptime) = fetch()?;
+        let dt_s = uptime.saturating_sub(prev_uptime).max(1) as f64 / 1_000.0;
+        let delta = cur.diff(&prev);
+        if iters == 0 {
+            // Clear screen + home: a live refreshing view.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(addr, &cur, &delta, dt_s, uptime);
+        std::io::stdout().flush().ok();
+        (prev, prev_uptime) = (cur, uptime);
+        shown += 1;
+        if iters > 0 && shown >= iters {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+}
+
+fn render_top(addr: SocketAddr, cur: &MetricsSnapshot, delta: &MetricsSnapshot, dt_s: f64, uptime_ms: u64) {
+    let rate = |name: &str| delta.counters.get(name).copied().unwrap_or(0) as f64 / dt_s;
+    let gauge = |name: &str| cur.gauges.get(name).copied().unwrap_or(0);
+    let pct_of = |used: i64, total: i64| {
+        if total > 0 { 100.0 * used as f64 / total as f64 } else { 0.0 }
+    };
+    let mb = |v: i64| v as f64 / (1 << 20) as f64;
+    println!(
+        "sortd top — {addr} · up {:.1} s · interval {dt_s:.1} s",
+        uptime_ms as f64 / 1_000.0
+    );
+    println!(
+        "jobs      {:.1} jobs/s done · {:.1}/s submitted · {:.1}/s failed · {:.1}/s rejected · {:.1}/s canceled",
+        rate("sortd.jobs.done"),
+        rate("sortd.jobs.submitted"),
+        rate("sortd.jobs.failed"),
+        rate("sortd.jobs.rejected"),
+        rate("sortd.jobs.canceled"),
+    );
+    println!(
+        "admission {:.1}/s bypasses · {:.1}/s aged barriers · queue {}/{} · running {} · draining {}",
+        rate("sortd.admission.bypasses"),
+        rate("sortd.admission.aged_barriers"),
+        gauge("sortd.queue.depth"),
+        gauge("sortd.queue.bound"),
+        gauge("sortd.running"),
+        if gauge("sortd.draining") != 0 { "yes" } else { "no" },
+    );
+    println!(
+        "pool      mem {:.1}/{:.1} MB ({:.0}%) · scratch {:.1}/{:.1} MB ({:.0}%)",
+        mb(gauge("sortd.pool.mem_in_use")),
+        mb(gauge("sortd.pool.mem_total")),
+        pct_of(gauge("sortd.pool.mem_in_use"), gauge("sortd.pool.mem_total")),
+        mb(gauge("sortd.pool.scratch_in_use")),
+        mb(gauge("sortd.pool.scratch_total")),
+        pct_of(gauge("sortd.pool.scratch_in_use"), gauge("sortd.pool.scratch_total")),
+    );
+    // Interval quantiles: only jobs finished this interval. A quiet
+    // interval has no samples, so show dashes rather than stale numbers.
+    let q = |h: Option<&obs::Histogram>, p: f64| h.and_then(|h| h.quantile(p));
+    let fmt_q = |v: Option<f64>| match v {
+        Some(us) => format!("{us:.0} µs"),
+        None => "-".to_string(),
+    };
+    let e2e = delta.histograms.get("sortd.e2e_us");
+    let exec = delta.histograms.get("sortd.exec_us");
+    let wait = delta.histograms.get("sortd.queue_wait_us");
+    println!(
+        "latency   e2e p50 {} · p99 {} · exec p50 {} · queue-wait p99 {} ({} jobs this interval)",
+        fmt_q(q(e2e, 0.50)),
+        fmt_q(q(e2e, 0.99)),
+        fmt_q(q(exec, 0.50)),
+        fmt_q(q(wait, 0.99)),
+        e2e.map(|h| h.count()).unwrap_or(0),
+    );
 }
 
 fn cmd_status(flags: &Flags) -> Result<ExitCode, ExitCode> {
