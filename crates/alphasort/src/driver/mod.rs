@@ -18,6 +18,7 @@ pub use twopass::two_pass;
 use std::io;
 
 use crate::io::{RecordSink, RecordSource};
+use crate::kernels::Kernel;
 use crate::planner::{PassPlan, Planner};
 use crate::runform::Representation;
 use crate::stats::SortStats;
@@ -47,6 +48,10 @@ pub struct SortConfig {
     /// disjoint key ranges by sampled splitters and each range merges
     /// independently — output stays byte-identical to the serial merge.
     pub merge_workers: usize,
+    /// Hot-path kernel variant for run formation and tree replay (see
+    /// [`crate::kernels`]). Every kernel is byte-identical to the default
+    /// scalar oracle; the choice only moves CPU time.
+    pub kernel: Kernel,
 }
 
 impl Default for SortConfig {
@@ -59,6 +64,7 @@ impl Default for SortConfig {
             memory_budget: 256 << 20,
             max_fanin: 128,
             merge_workers: 0,
+            kernel: Kernel::Scalar,
         }
     }
 }
@@ -106,7 +112,10 @@ impl ExternalSorter {
     {
         let planner = Planner::new(self.cfg.memory_budget);
         let plan = match source.size_hint() {
-            Some(bytes) => planner.plan(bytes),
+            Some(bytes) => {
+                let (plan, _kernel) = planner.plan_with_kernel(bytes, self.cfg.kernel);
+                plan
+            }
             None => PassPlan::TwoPass,
         };
         match plan {

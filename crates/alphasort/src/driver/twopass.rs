@@ -65,7 +65,7 @@ where
     // Absolute byte position within the input.
     let mut abs: u64 = 0;
     let mut cur: Vec<u8> = Vec::with_capacity(run_bytes);
-    let mut pool = SortPool::new(cfg.workers, cfg.representation);
+    let mut pool = SortPool::with_kernel(cfg.workers, cfg.representation, cfg.kernel);
     let spill = |run: &SortedRun, stats: &mut SortStats, scratch: &mut Scr| -> io::Result<()> {
         stats.runs += 1;
         stats.run_lengths.push(run.len() as u64);
@@ -221,7 +221,7 @@ where
             for s in group {
                 streams.push(BufferedRunStream::new(s)?);
             }
-            let mut merger = StreamMerger::new(streams);
+            let mut merger = StreamMerger::new_with_kernel(streams, cfg.kernel.tree());
             timed_phase(
                 obs::phase::SPILL,
                 &mut stats.spill_time,
@@ -265,7 +265,7 @@ where
     for s in sources {
         streams.push(BufferedRunStream::new(s)?);
     }
-    let mut merger = StreamMerger::new(streams);
+    let mut merger = StreamMerger::new_with_kernel(streams, cfg.kernel.tree());
     let mut staging = Vec::with_capacity(cfg.gather_batch * RECORD_LEN);
     let batch_bytes = cfg.gather_batch * RECORD_LEN;
     loop {
@@ -347,6 +347,7 @@ where
     }
 
     let batch_bytes = cfg.gather_batch * RECORD_LEN;
+    let tree_kernel = cfg.kernel.tree();
     let track = obs::current_track();
     let durations = std::thread::scope(|scope| -> io::Result<Vec<Duration>> {
         let mut handles = Vec::with_capacity(range_sources.len());
@@ -371,7 +372,7 @@ where
                 for s in srcs {
                     streams.push(BufferedRunStream::new(s)?);
                 }
-                let mut merger = StreamMerger::new(streams);
+                let mut merger = StreamMerger::new_with_kernel(streams, tree_kernel);
                 let mut staging = Vec::with_capacity(batch_bytes);
                 'merge: loop {
                     let done = loop {

@@ -8,6 +8,30 @@
 
 use alphasort_dmgen::{Record, KEY_LEN};
 
+/// Hard ceiling on records addressable within one run: the entry types
+/// carry 32-bit record indices, so a run may hold at most `u32::MAX`
+/// records (≈ 400 GB of 100-byte records — runs are sized to memory and
+/// sit orders of magnitude below this). Keeping the ceiling at
+/// `u32::MAX` rather than `u32::MAX + 1` also reserves `u32::MAX` as a
+/// sentinel index no real entry can carry.
+pub const MAX_RUN_RECORDS: usize = u32::MAX as usize;
+
+/// Convert a run length (or in-run position) into the 32-bit entry index
+/// space, panicking with an attributed message instead of wrapping.
+///
+/// Silent `as u32` truncation here would mis-sort quietly: record
+/// 2³² of a run would alias record 0. Every extract and merge-bound site
+/// funnels through this check; `what` names the site in the panic.
+#[inline]
+pub fn checked_run_len(len: usize, what: &str) -> u32 {
+    assert!(
+        len <= MAX_RUN_RECORDS,
+        "{what}: {len} records exceed the {MAX_RUN_RECORDS}-records-per-run \
+         limit of the 32-bit entry index"
+    );
+    len as u32
+}
+
 /// A *(key-prefix, pointer)* pair — AlphaSort's choice.
 ///
 /// 8 prefix bytes as a big-endian `u64` plus a 4-byte record index: 12 bytes
@@ -34,6 +58,7 @@ impl PrefixEntry {
     /// Extract the entry array for a whole record buffer — the paper's
     /// "streamed into an array" step that runs while input arrives.
     pub fn extract(records: &[Record]) -> Vec<PrefixEntry> {
+        checked_run_len(records.len(), "PrefixEntry::extract");
         records
             .iter()
             .enumerate()
@@ -88,7 +113,7 @@ impl CodewordEntry {
 
     /// Extract the entry array for a whole record buffer.
     pub fn extract(records: &[Record]) -> Vec<CodewordEntry> {
-        (0..records.len() as u32)
+        (0..checked_run_len(records.len(), "CodewordEntry::extract"))
             .map(|i| CodewordEntry::of(records, i))
             .collect()
     }
@@ -115,6 +140,7 @@ impl KeyEntry {
 
     /// Extract the entry array for a whole record buffer.
     pub fn extract(records: &[Record]) -> Vec<KeyEntry> {
+        checked_run_len(records.len(), "KeyEntry::extract");
         records
             .iter()
             .enumerate()
@@ -147,6 +173,29 @@ mod tests {
             assert_eq!(e.idx as usize, i);
             assert_eq!(e.prefix, records[i].prefix());
         }
+    }
+
+    #[test]
+    fn checked_run_len_accepts_up_to_the_index_ceiling() {
+        // Contract-level boundary check: no 400 GB allocation needed, the
+        // conversion itself carries the invariant.
+        assert_eq!(checked_run_len(0, "t"), 0);
+        assert_eq!(checked_run_len(1, "t"), 1);
+        assert_eq!(checked_run_len(MAX_RUN_RECORDS, "t"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "records-per-run")]
+    fn checked_run_len_panics_past_the_ceiling() {
+        // The old `as u32` wrapped this to 0 silently; it must refuse, and
+        // the message must attribute the site.
+        checked_run_len(MAX_RUN_RECORDS + 1, "boundary-test");
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary-test")]
+    fn checked_run_len_panic_names_the_site() {
+        checked_run_len(1 << 33, "boundary-test");
     }
 
     #[test]

@@ -56,7 +56,14 @@ fn quicksort_rec<T: Copy, F: FnMut(&T, &T) -> bool>(mut v: &mut [T], less: &mut 
 
 /// Median-of-three pivot selection + Hoare-style partition.
 /// Returns the pivot's final index; everything left is `!less(pivot, x)`.
-fn partition<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) -> usize {
+///
+/// The scan loops are bounds-guarded: the sentinel at `v[n-1]` makes the
+/// guards free in practice (a consistent comparator stops the scans before
+/// the guards trip), but an *inconsistent* comparator — one where
+/// `less(a, b)` and `less(b, a)` can both hold, as a buggy caller predicate
+/// or a NaN-style partial order produces — must yield at worst a mis-sorted
+/// slice, never an out-of-bounds index or a `0 - 1` underflow.
+pub(crate) fn partition<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) -> usize {
     let n = v.len();
     let mid = n / 2;
     // Sort v[0], v[mid], v[n-1] so the median lands at mid.
@@ -77,11 +84,14 @@ fn partition<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) -> us
     loop {
         loop {
             i += 1;
-            if !less(&v[i], &pivot) {
+            if i >= n - 1 || !less(&v[i], &pivot) {
                 break;
             }
         }
         loop {
+            if j == 0 {
+                break;
+            }
             j -= 1;
             if !less(&pivot, &v[j]) {
                 break;
@@ -92,8 +102,11 @@ fn partition<T: Copy, F: FnMut(&T, &T) -> bool>(v: &mut [T], less: &mut F) -> us
         }
         v.swap(i, j);
     }
-    v.swap(i, n - 2);
-    i
+    // With a consistent comparator i ≤ n-2 always holds; the clamp only
+    // matters when a broken predicate ran the upward scan into the sentinel.
+    let p = i.min(n - 2);
+    v.swap(p, n - 2);
+    p
 }
 
 /// Insertion sort (used below [`INSERTION_CUTOFF`] and directly by tests).
@@ -200,6 +213,48 @@ mod tests {
         // Anything under 4 M rules out accidental quadratic behaviour.
         assert!(compares < 4_000_000, "compares: {compares}");
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Output contract for inconsistent comparators: still a permutation of
+    /// the input (likely mis-sorted), reached without a panic.
+    fn check_permutes(mut v: Vec<u64>, mut less: impl FnMut(&u64, &u64) -> bool) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort_by(&mut v, &mut less);
+        v.sort_unstable();
+        assert_eq!(v, expect, "inconsistent comparator lost or invented elements");
+    }
+
+    #[test]
+    fn adversarial_always_true_comparator_is_safe() {
+        // `less` that always answers true drives Hoare's upward scan past
+        // the sentinel (every element "is less than" the pivot) and the
+        // downward scan past index 0 — the exact OOB/underflow bug.
+        for n in [2usize, 3, 25, 26, 100, 1_000] {
+            check_permutes((0..n as u64).collect(), |_, _| true);
+        }
+    }
+
+    #[test]
+    fn adversarial_always_false_comparator_is_safe() {
+        for n in [2usize, 3, 25, 100, 1_000] {
+            check_permutes((0..n as u64).rev().collect(), |_, _| false);
+        }
+    }
+
+    #[test]
+    fn adversarial_random_comparator_is_safe() {
+        // A pseudo-random predicate answers `less(a, b)` and `less(b, a)`
+        // independently, violating strict-order consistency in both
+        // directions across the partition scans.
+        let mut state = 0xDEADBEEFu64;
+        for trial in 0..20 {
+            let v: Vec<u64> = (0..500).map(|i| (i * 7919 + trial) % 97).collect();
+            check_permutes(v, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 63) == 1
+            });
+        }
     }
 
     #[test]

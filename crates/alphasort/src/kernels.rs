@@ -1,0 +1,450 @@
+//! Hot-path kernel registry: named variants of the two CPU hot loops.
+//!
+//! §4 and §7 of the paper spend most of their instruction-budget analysis
+//! on run formation's QuickSort and the merge tournament. This module is
+//! the `sortasm.c`-style registry of variants for those loops: every
+//! kernel is selectable at runtime (`--kernel` on sortcli, the `kernel`
+//! manifest field on sortd, [`crate::SortConfig::kernel`] everywhere
+//! else), every kernel produces **byte-identical** output to the scalar
+//! oracle, and the bench trajectory reports records/sec per kernel so a
+//! variant that stops paying for itself is visible in CI.
+//!
+//! The registered variants:
+//!
+//! | kernel            | run formation                  | tree replay |
+//! |-------------------|--------------------------------|-------------|
+//! | `scalar`          | QuickSort (oracle baseline)    | branchy     |
+//! | `branchless-tree` | QuickSort                      | cond-move   |
+//! | `radix`           | 256-bucket prefix radix + QS   | branchy     |
+//! | `simd`            | sorting-network base case      | branchy     |
+//!
+//! Each variant changes exactly one hot loop against the baseline, so an
+//! end-to-end records/sec difference is attributable to that loop.
+//!
+//! * `radix` is the DPG key-prefix bucketing: one counting pass over the
+//!   top prefix byte scatters entries into 256 buckets that are already in
+//!   relative order, then each bucket QuickSorts with the scalar
+//!   comparator. Bucketing is consistent with the total order, so the
+//!   permutation is identical to the global QuickSort's.
+//! * `simd` replaces QuickSort's insertion-sort base case with a Batcher
+//!   odd-even merge network over packed `(prefix, idx)` words. The network
+//!   is data-independent compare-exchange; with `--features simd` the
+//!   exchanges run as struct-of-arrays u64 lane arithmetic in mask-select
+//!   form (autovectorizable), without the feature the always-compiled
+//!   scalar network runs. Both produce the same permutation.
+//!
+//! The run-formation variants apply to the `KeyPrefix` representation
+//! (the paper's choice and the default); the other representations keep
+//! the scalar QuickSort regardless of kernel.
+
+use alphasort_dmgen::{records_of, Record};
+
+use crate::entry::PrefixEntry;
+use crate::kernel::{partition, quicksort_by};
+
+/// A named hot-path kernel variant. `Scalar` is the correctness oracle;
+/// every other variant must match it byte for byte (`tests/kernel_fuzz.rs`
+/// and the driver oracle enforce this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// The existing scalar QuickSort + branchy loser tree (baseline).
+    Scalar,
+    /// Scalar QuickSort, but the merge tournament's `replay` uses
+    /// conditional-move selects instead of a data-dependent branch.
+    BranchlessTree,
+    /// Top-byte radix bucketing before the in-cache QuickSort (DPG).
+    Radix,
+    /// Sorting-network base case for `(prefix, idx)` pairs; vectorized
+    /// lane form behind `--features simd`, scalar network otherwise.
+    Simd,
+}
+
+impl Kernel {
+    /// Every registered kernel, oracle first.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Scalar,
+        Kernel::BranchlessTree,
+        Kernel::Radix,
+        Kernel::Simd,
+    ];
+
+    /// Registry name (CLI flag value, manifest field value, bench key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::BranchlessTree => "branchless-tree",
+            Kernel::Radix => "radix",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// Look a kernel up by its registry name.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The run-formation strategy this kernel selects.
+    pub fn runform(self) -> RunFormKernel {
+        match self {
+            Kernel::Scalar | Kernel::BranchlessTree => RunFormKernel::Quicksort,
+            Kernel::Radix => RunFormKernel::Radix,
+            Kernel::Simd => RunFormKernel::Network,
+        }
+    }
+
+    /// The loser-tree replay strategy this kernel selects.
+    pub fn tree(self) -> TreeKernel {
+        match self {
+            Kernel::BranchlessTree => TreeKernel::Branchless,
+            _ => TreeKernel::Branchy,
+        }
+    }
+
+    /// Whether this kernel's network pass actually runs in the lane
+    /// (vectorizable) form in this build. `simd` without the cargo feature
+    /// still runs — on the scalar network — and still sorts identically.
+    pub fn is_vectorized(self) -> bool {
+        self == Kernel::Simd && cfg!(feature = "simd")
+    }
+
+    /// One-line description for help text and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar QuickSort + branchy loser tree (oracle baseline)",
+            Kernel::BranchlessTree => "conditional-move loser-tree replay, scalar QuickSort",
+            Kernel::Radix => "256-bucket key-prefix radix before the in-cache QuickSort",
+            Kernel::Simd => "sorting-network base case (lane form with --features simd)",
+        }
+    }
+}
+
+/// How run formation sorts the `(prefix, idx)` entry array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunFormKernel {
+    /// Median-of-three QuickSort with an insertion-sort finish.
+    Quicksort,
+    /// Top-byte counting scatter into 256 buckets, QuickSort per bucket.
+    Radix,
+    /// QuickSort recursion with a Batcher network base case.
+    Network,
+}
+
+/// How the merge tournament replays the winner's root path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKernel {
+    /// Branch on the comparison, swap when the parked loser wins.
+    Branchy,
+    /// Mask-select update: no data-dependent branch on the outcome.
+    Branchless,
+}
+
+/// The scalar contract every run-formation kernel must reproduce: prefix
+/// order, full-key order on prefix ties, arrival index last (which makes
+/// the order total and the sorted permutation unique).
+#[inline]
+pub fn prefix_entry_less(records: &[Record], a: &PrefixEntry, b: &PrefixEntry) -> bool {
+    if a.prefix != b.prefix {
+        a.prefix < b.prefix
+    } else {
+        (&records[a.idx as usize].key, a.idx) < (&records[b.idx as usize].key, b.idx)
+    }
+}
+
+/// DPG-style radix run formation: one counting pass over the top prefix
+/// byte scatters the entries into 256 buckets, then each bucket QuickSorts
+/// under the scalar comparator. The bucket key is the comparator's own
+/// most-significant byte, so bucket order refines to exactly the scalar
+/// permutation — byte-identical output with near-sequential scatter writes
+/// and 256 much smaller (cache-resident) QuickSorts.
+pub fn radix_prefix_order(buf: &[u8]) -> Vec<u32> {
+    let records = records_of(buf);
+    let entries = PrefixEntry::extract(records);
+    let mut counts = [0usize; 256];
+    for e in &entries {
+        counts[(e.prefix >> 56) as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0usize;
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += counts[b];
+    }
+    let mut bucketed = vec![PrefixEntry { prefix: 0, idx: 0 }; entries.len()];
+    let mut cursor = starts;
+    for e in entries {
+        let b = (e.prefix >> 56) as usize;
+        bucketed[cursor[b]] = e;
+        cursor[b] += 1;
+    }
+    for b in 0..256 {
+        let (s, e) = (starts[b], starts[b] + counts[b]);
+        if e - s > 1 {
+            quicksort_by(&mut bucketed[s..e], |x, y| prefix_entry_less(records, x, y));
+        }
+    }
+    bucketed.into_iter().map(|e| e.idx).collect()
+}
+
+/// Entries per sorting-network block (padded to this width with +∞).
+const NET_BLOCK: usize = 16;
+
+/// Pack an entry into one orderable word: prefix in the high 64+32 bits,
+/// index in the low 32. Word order equals `(prefix, idx)` order, and
+/// `u128::MAX` is strictly above every real entry (the high 32 bits of a
+/// real packed word are zero), so it pads partial blocks safely. The
+/// checked length contract in [`crate::entry`] keeps every real index
+/// below `u32::MAX`.
+#[inline]
+fn pack(e: &PrefixEntry) -> u128 {
+    ((e.prefix as u128) << 32) | e.idx as u128
+}
+
+/// Network run formation: QuickSort recursion down to `NET_BLOCK`-sized
+/// blocks, each finished by a Batcher odd-even merge network on the packed
+/// `(prefix, idx)` words, then a fix-up pass that re-sorts equal-prefix
+/// spans under the full-key comparator (the network cannot see full keys,
+/// so it orders ties by index; the fix-up restores the scalar contract).
+pub fn network_prefix_order(buf: &[u8]) -> Vec<u32> {
+    let records = records_of(buf);
+    let entries = PrefixEntry::extract(records);
+    let mut packed: Vec<u128> = entries.iter().map(pack).collect();
+    network_quicksort(&mut packed);
+    let mut order: Vec<u32> = packed.iter().map(|&p| p as u32).collect();
+    // Fix-up: within each equal-prefix span the network's (prefix, idx)
+    // order must become (prefix, full key, idx) order. Spans are rare on
+    // random keys and the span bounds come straight off the packed words.
+    let mut i = 0;
+    while i < packed.len() {
+        let pfx = packed[i] >> 32;
+        let mut j = i + 1;
+        while j < packed.len() && (packed[j] >> 32) == pfx {
+            j += 1;
+        }
+        if j - i > 1 {
+            quicksort_by(&mut order[i..j], |&a, &b| {
+                (&records[a as usize].key, a) < (&records[b as usize].key, b)
+            });
+        }
+        i = j;
+    }
+    order
+}
+
+/// Smaller-side-recursion QuickSort over packed words with the network as
+/// base case (mirrors [`crate::kernel::quicksort_by`]'s shape).
+fn network_quicksort(mut v: &mut [u128]) {
+    loop {
+        let n = v.len();
+        if n <= NET_BLOCK {
+            sort_block(v);
+            return;
+        }
+        let p = partition(v, &mut |a: &u128, b: &u128| a < b);
+        let (lo, hi) = v.split_at_mut(p);
+        let hi = &mut hi[1..]; // pivot already placed
+        if lo.len() < hi.len() {
+            network_quicksort(lo);
+            v = hi;
+        } else {
+            network_quicksort(hi);
+            v = lo;
+        }
+    }
+}
+
+/// Sort up to [`NET_BLOCK`] words by padding to a full block with +∞ and
+/// running the fixed network.
+fn sort_block(v: &mut [u128]) {
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    let mut block = [u128::MAX; NET_BLOCK];
+    block[..n].copy_from_slice(v);
+    net16(&mut block);
+    v.copy_from_slice(&block[..n]);
+}
+
+/// Visit Batcher's odd-even merge sort comparator pairs for a
+/// [`NET_BLOCK`]-input network, in layer order. The pair sequence is
+/// data-independent — the property that makes the exchanges branch-free
+/// and lane-packable — and the 0-1 principle test below proves it sorts.
+fn batcher_pairs(mut cex: impl FnMut(usize, usize)) {
+    let n = NET_BLOCK;
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k.min(n - j - k) {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        cex(i + j, i + j + k);
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+/// One-word network: mask-select compare-exchange on `u128`s. Always
+/// compiled — this is the `simd` kernel's guaranteed fallback.
+#[cfg_attr(feature = "simd", allow(dead_code))]
+fn net16_scalar(v: &mut [u128; NET_BLOCK]) {
+    batcher_pairs(|a, b| {
+        let (x, y) = (v[a], v[b]);
+        let m = 0u128.wrapping_sub((y < x) as u128);
+        v[a] = (y & m) | (x & !m);
+        v[b] = (x & m) | (y & !m);
+    });
+}
+
+/// Lane-form network: the block is split into two struct-of-arrays `u64`
+/// halves (the packed word's high and low 64 bits; lexicographic order of
+/// the halves equals word order) and every exchange is mask-select lane
+/// arithmetic, the form the autovectorizer packs. Identical permutation to
+/// [`net16_scalar`] — same network, same comparator.
+#[cfg(feature = "simd")]
+fn net16_lanes(v: &mut [u128; NET_BLOCK]) {
+    let mut hi = [0u64; NET_BLOCK];
+    let mut lo = [0u64; NET_BLOCK];
+    for i in 0..NET_BLOCK {
+        hi[i] = (v[i] >> 64) as u64;
+        lo[i] = v[i] as u64;
+    }
+    batcher_pairs(|a, b| {
+        let (ha, la, hb, lb) = (hi[a], lo[a], hi[b], lo[b]);
+        let swap = (hb < ha) | ((hb == ha) & (lb < la));
+        let m = (swap as u64).wrapping_neg();
+        hi[a] = (hb & m) | (ha & !m);
+        lo[a] = (lb & m) | (la & !m);
+        hi[b] = (ha & m) | (hb & !m);
+        lo[b] = (la & m) | (lb & !m);
+    });
+    for i in 0..NET_BLOCK {
+        v[i] = ((hi[i] as u128) << 64) | lo[i] as u128;
+    }
+}
+
+fn net16(v: &mut [u128; NET_BLOCK]) {
+    #[cfg(feature = "simd")]
+    {
+        net16_lanes(v)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        net16_scalar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runform::key_prefix_order;
+    use alphasort_dmgen::{generate, GenConfig, KeyDistribution};
+
+    #[test]
+    fn registry_names_round_trip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+            assert!(!k.describe().is_empty());
+        }
+        assert_eq!(Kernel::from_name("no-such-kernel"), None);
+    }
+
+    #[test]
+    fn oracle_is_first_and_scalar() {
+        assert_eq!(Kernel::ALL[0], Kernel::Scalar);
+        assert_eq!(Kernel::Scalar.runform(), RunFormKernel::Quicksort);
+        assert_eq!(Kernel::Scalar.tree(), TreeKernel::Branchy);
+        assert_eq!(Kernel::BranchlessTree.tree(), TreeKernel::Branchless);
+    }
+
+    #[test]
+    fn network_sorts_by_zero_one_principle() {
+        // A data-independent comparator network sorts every input iff it
+        // sorts every 0-1 input (Knuth 5.3.4). 2^16 cases is exhaustive
+        // proof for the 16-input Batcher network.
+        for bits in 0..(1u32 << NET_BLOCK) {
+            let mut v = [0u128; NET_BLOCK];
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = ((bits >> i) & 1) as u128;
+            }
+            net16_scalar(&mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn network_sorts_random_words_and_partial_blocks() {
+        let mut state = 0x5EEDu128;
+        for n in 1..=NET_BLOCK {
+            for _ in 0..50 {
+                let mut v: Vec<u128> = (0..n)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(97);
+                        state
+                    })
+                    .collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_block(&mut v);
+                assert_eq!(v, expect, "block of {n}");
+            }
+        }
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn lane_network_matches_scalar_network() {
+        let mut state = 0xABCDu128;
+        for _ in 0..500 {
+            let mut a = [0u128; NET_BLOCK];
+            for slot in a.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *slot = state;
+            }
+            let mut b = a;
+            net16_scalar(&mut a);
+            net16_lanes(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    fn dataset(n: u64, seed: u64, dist: KeyDistribution) -> Vec<u8> {
+        generate(GenConfig {
+            records: n,
+            seed,
+            dist,
+        })
+        .0
+    }
+
+    #[test]
+    fn radix_and_network_orders_match_scalar_quicksort() {
+        for dist in [
+            KeyDistribution::Random,
+            KeyDistribution::DupHeavy { cardinality: 3 },
+            KeyDistribution::Sorted,
+            KeyDistribution::Reverse,
+            KeyDistribution::CommonPrefix { shared: 8 },
+        ] {
+            let data = dataset(2_500, 0x6B31, dist);
+            let want = key_prefix_order(&data);
+            assert_eq!(radix_prefix_order(&data), want, "radix on {dist:?}");
+            assert_eq!(network_prefix_order(&data), want, "network on {dist:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(radix_prefix_order(&[]).is_empty());
+        assert!(network_prefix_order(&[]).is_empty());
+        let data = dataset(1, 7, KeyDistribution::Random);
+        assert_eq!(radix_prefix_order(&data), vec![0]);
+        assert_eq!(network_prefix_order(&data), vec![0]);
+    }
+}

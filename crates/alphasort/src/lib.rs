@@ -56,6 +56,7 @@ pub mod gather;
 pub mod io;
 pub mod io_file;
 pub mod kernel;
+pub mod kernels;
 pub mod merge;
 pub mod mergeplan;
 pub mod ovc;
@@ -70,6 +71,7 @@ pub mod stats;
 
 pub use driver::{ExternalSorter, SortConfig, SortOutcome};
 pub use entry::{CodewordEntry, KeyEntry, PrefixEntry};
+pub use kernels::Kernel;
 pub use io::{MemSink, MemSource, RecordSink, RecordSource};
 pub use planner::{PassPlan, Planner};
 pub use runform::{Representation, SortedRun};

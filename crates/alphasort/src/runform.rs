@@ -16,6 +16,7 @@ use alphasort_dmgen::{records_of, records_of_mut, Record, RECORD_LEN};
 
 use crate::entry::{KeyEntry, PrefixEntry};
 use crate::kernel::quicksort_by;
+use crate::kernels::{prefix_entry_less, Kernel, RunFormKernel};
 
 /// Which sort-array representation run formation uses.
 ///
@@ -114,11 +115,24 @@ impl SortedRun {
     }
 }
 
-/// Form a sorted run from a record buffer using `rep`.
+/// Form a sorted run from a record buffer using `rep` and the scalar
+/// (oracle) kernel.
 ///
 /// # Panics
 /// If `buf.len()` is not a multiple of the record length.
-pub fn form_run(mut buf: Vec<u8>, rep: Representation) -> SortedRun {
+pub fn form_run(buf: Vec<u8>, rep: Representation) -> SortedRun {
+    form_run_with(buf, rep, Kernel::Scalar)
+}
+
+/// Form a sorted run using `rep`, selecting the run-formation hot loop from
+/// the kernel registry. Only the `KeyPrefix` representation has registered
+/// variants (it is the paper's representation and the one the registry
+/// optimizes); every other representation sorts with the scalar QuickSort
+/// regardless of `kernel`. All kernels produce byte-identical runs.
+///
+/// # Panics
+/// If `buf.len()` is not a multiple of the record length.
+pub fn form_run_with(mut buf: Vec<u8>, rep: Representation, kernel: Kernel) -> SortedRun {
     match rep {
         Representation::Record => {
             sort_records_in_place(&mut buf);
@@ -139,7 +153,11 @@ pub fn form_run(mut buf: Vec<u8>, rep: Representation) -> SortedRun {
             }
         }
         Representation::KeyPrefix => {
-            let order = key_prefix_order(&buf);
+            let order = match kernel.runform() {
+                RunFormKernel::Quicksort => key_prefix_order(&buf),
+                RunFormKernel::Radix => crate::kernels::radix_prefix_order(&buf),
+                RunFormKernel::Network => crate::kernels::network_prefix_order(&buf),
+            };
             SortedRun {
                 buf,
                 order: Some(order),
@@ -189,13 +207,7 @@ pub fn key_order(buf: &[u8]) -> Vec<u32> {
 pub fn key_prefix_order(buf: &[u8]) -> Vec<u32> {
     let records = records_of(buf);
     let mut entries = PrefixEntry::extract(records);
-    quicksort_by(&mut entries, |a, b| {
-        if a.prefix != b.prefix {
-            a.prefix < b.prefix
-        } else {
-            (&records[a.idx as usize].key, a.idx) < (&records[b.idx as usize].key, b.idx)
-        }
-    });
+    quicksort_by(&mut entries, |a, b| prefix_entry_less(records, a, b));
     entries.into_iter().map(|e| e.idx).collect()
 }
 
@@ -262,6 +274,27 @@ mod tests {
             let run = form_run(data.clone(), rep);
             let keys: Vec<[u8; 10]> = run.iter_sorted().map(|r| r.key).collect();
             assert_eq!(keys, reference, "{} disagrees", rep.name());
+        }
+    }
+
+    #[test]
+    fn every_kernel_forms_an_identical_key_prefix_run() {
+        for dist in [
+            KeyDistribution::Random,
+            KeyDistribution::DupHeavy { cardinality: 2 },
+            KeyDistribution::CommonPrefix { shared: 8 },
+        ] {
+            let data = dataset(1_200, dist);
+            let reference: Vec<u32> = key_prefix_order(&data);
+            for kernel in Kernel::ALL {
+                let run = form_run_with(data.clone(), Representation::KeyPrefix, kernel);
+                assert_eq!(
+                    run.order.as_deref(),
+                    Some(&reference[..]),
+                    "{} on {dist:?}",
+                    kernel.name()
+                );
+            }
         }
     }
 

@@ -1,0 +1,125 @@
+//! Kernel differential fuzz: every registered hot-path kernel variant
+//! against the scalar oracle, at two levels.
+//!
+//! **Run level** — [`form_run_with`] under each kernel must produce the
+//! *same permutation* as the scalar QuickSort for the KeyPrefix
+//! representation. The within-run order (prefix, then full key, then
+//! input index) is a total order, so the correct permutation is unique
+//! and the comparison can be exact, not merely "sorted".
+//!
+//! **End-to-end level** — the one-pass driver under each kernel must emit
+//! **byte-identical** output: the branchless loser tree and the
+//! alternative run-formation kernels are pure CPU-time choices and may
+//! not move a single byte.
+//!
+//! Inputs sweep the oracle's seven key distributions plus the degenerate
+//! shapes a cleverer kernel is most likely to get wrong: all-equal keys
+//! (one radix bucket, maximal prefix ties), already sorted, reversed, and
+//! prefix-tie-heavy (shared 8-byte prefix, so the sorting network's
+//! packed words collide and the tie-fixup pass must run).
+
+use alphasort_core::driver::one_pass;
+use alphasort_core::io::{MemSink, MemSource};
+use alphasort_core::runform::{form_run_with, Representation, SortedRun};
+use alphasort_core::{Kernel, SortConfig};
+use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution, RECORD_LEN};
+
+/// The sweep: the seven oracle distributions, then the degenerate shapes.
+fn distributions() -> Vec<(&'static str, KeyDistribution)> {
+    vec![
+        ("random", KeyDistribution::Random),
+        ("printable", KeyDistribution::RandomPrintable),
+        ("sorted", KeyDistribution::Sorted),
+        ("reverse", KeyDistribution::Reverse),
+        ("nearly-sorted", KeyDistribution::NearlySorted { permille: 50 }),
+        ("dup-heavy", KeyDistribution::DupHeavy { cardinality: 5 }),
+        ("common-prefix", KeyDistribution::CommonPrefix { shared: 9 }),
+        ("all-equal", KeyDistribution::DupHeavy { cardinality: 1 }),
+        ("two-keys", KeyDistribution::DupHeavy { cardinality: 2 }),
+        ("prefix-ties", KeyDistribution::CommonPrefix { shared: 8 }),
+    ]
+}
+
+/// Render a formed run to its sorted byte string.
+fn materialize(run: &SortedRun) -> Vec<u8> {
+    let mut out = Vec::with_capacity(run.len() * RECORD_LEN);
+    for r in run.iter_sorted() {
+        out.extend_from_slice(r.as_bytes());
+    }
+    out
+}
+
+/// Every kernel's KeyPrefix run formation must be byte-identical to the
+/// scalar oracle's, across every distribution and at sizes straddling the
+/// sorting network's block, the insertion cutoff, and radix bucket skew.
+#[test]
+fn run_formation_matches_scalar_oracle_everywhere() {
+    for (dist_name, dist) in distributions() {
+        for records in [1u64, 2, 15, 16, 17, 100, 1_000, 4_096] {
+            let (data, _) = generate(GenConfig {
+                records,
+                seed: 0xF0221 ^ records,
+                dist,
+            });
+            let oracle = form_run_with(data.clone(), Representation::KeyPrefix, Kernel::Scalar);
+            let oracle_bytes = materialize(&oracle);
+            // The reference itself must be sorted by full key and stable —
+            // guard the guard before using it to judge the variants.
+            let recs = records_of(&oracle_bytes);
+            assert!(
+                recs.windows(2).all(|w| w[0].key <= w[1].key),
+                "scalar oracle unsorted [{dist_name}, n={records}]"
+            );
+            for kernel in Kernel::ALL {
+                if kernel == Kernel::Scalar {
+                    continue;
+                }
+                let run = form_run_with(data.clone(), Representation::KeyPrefix, kernel);
+                assert_eq!(
+                    materialize(&run),
+                    oracle_bytes,
+                    "kernel {} diverged from scalar [{dist_name}, n={records}]",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: the one-pass driver (run formation + loser-tree merge +
+/// gather) under every kernel, against the scalar driver's bytes.
+#[test]
+fn one_pass_driver_is_byte_identical_under_every_kernel() {
+    for (dist_name, dist) in distributions() {
+        let (data, _) = generate(GenConfig {
+            records: 3_000,
+            seed: 0xF0222,
+            dist,
+        });
+        let run = |kernel: Kernel| {
+            let cfg = SortConfig {
+                run_records: 450, // 7 runs — a real merge, not a passthrough
+                gather_batch: 128,
+                workers: 2,
+                kernel,
+                ..Default::default()
+            };
+            let mut src = MemSource::new(data.clone(), 9_973);
+            let mut sink = MemSink::new();
+            one_pass(&mut src, &mut sink, &cfg).unwrap();
+            sink.into_inner()
+        };
+        let want = run(Kernel::Scalar);
+        for kernel in Kernel::ALL {
+            if kernel == Kernel::Scalar {
+                continue;
+            }
+            assert_eq!(
+                run(kernel),
+                want,
+                "one-pass under {} diverged [{dist_name}]",
+                kernel.name()
+            );
+        }
+    }
+}

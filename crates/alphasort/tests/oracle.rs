@@ -13,12 +13,15 @@
 //!
 //! The partitioned-merge worker counts default to 1, 2, 4 and 8 and can be
 //! pinned from the outside (CI's merge matrix) via `ORACLE_MERGE_WORKERS`,
-//! a comma-separated list.
+//! a comma-separated list. The hot-path kernel variant defaults to the
+//! scalar oracle and is pinned the same way (CI's kernel matrix) via
+//! `ORACLE_KERNEL` — every registered kernel must pass the whole oracle
+//! unchanged, because kernel choice is a pure CPU-time decision.
 
 use alphasort_core::baseline::{partition_sort, PartitionSortConfig};
 use alphasort_core::driver::{one_pass, two_pass, MemScratch, ScratchStore};
 use alphasort_core::io::{MemSink, MemSource};
-use alphasort_core::SortConfig;
+use alphasort_core::{Kernel, SortConfig};
 use alphasort_dmgen::{
     generate, records_of, records_of_mut, GenConfig, KeyDistribution, RECORD_LEN,
 };
@@ -32,6 +35,14 @@ fn stable_reference(data: &[u8]) -> Vec<u8> {
         out.extend_from_slice(r.as_bytes());
     }
     out
+}
+
+/// Hot-path kernel under test (overridable by CI's kernel matrix).
+fn kernel_under_test() -> Kernel {
+    match std::env::var("ORACLE_KERNEL") {
+        Ok(v) => Kernel::from_name(v.trim()).expect("ORACLE_KERNEL: unknown kernel name"),
+        Err(_) => Kernel::Scalar,
+    }
 }
 
 /// Merge-worker counts under test (overridable by CI's merge matrix).
@@ -109,6 +120,7 @@ fn oracle_case(records: u64, seed: u64, dist: KeyDistribution) {
         run_records,
         gather_batch: 128,
         workers: 2,
+        kernel: kernel_under_test(),
         ..Default::default()
     };
 
@@ -196,6 +208,34 @@ fn oracle_common_prefix_keys() {
 #[test]
 fn oracle_nearly_sorted_input() {
     oracle_case(2_000, 0xAC1E7, KeyDistribution::NearlySorted { permille: 50 });
+}
+
+/// Every registered kernel, in one process, against the same reference —
+/// the in-repo complement of CI's `ORACLE_KERNEL` matrix. One-pass and
+/// two-pass both run so the run-formation *and* loser-tree swaps are
+/// exercised per kernel.
+#[test]
+fn oracle_every_registered_kernel() {
+    let (data, _) = generate(GenConfig {
+        records: 2_500,
+        seed: 0xAC1E9,
+        dist: KeyDistribution::DupHeavy { cardinality: 7 },
+    });
+    let want = stable_reference(&data);
+    for kernel in Kernel::ALL {
+        let cfg = SortConfig {
+            run_records: 400,
+            gather_batch: 128,
+            workers: 2,
+            merge_workers: 2,
+            kernel,
+            ..Default::default()
+        };
+        let got = run_one_pass(&data, &cfg);
+        assert_identical(&got, &want, &format!("one-pass [{}]", kernel.name()));
+        let got = run_two_pass(&data, &cfg, MemScratch::new(40 * RECORD_LEN));
+        assert_identical(&got, &want, &format!("two-pass [{}]", kernel.name()));
+    }
 }
 
 /// The trait-level range plumbing the partitioned merge relies on: windows

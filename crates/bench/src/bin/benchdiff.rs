@@ -3,35 +3,103 @@
 //!
 //! Usage: `benchdiff OLD.json NEW.json [--max-regression-pct P] [--scale-new F]`
 //!
-//! Every `tracked` metric is a higher-is-better rate (records/s, jobs/s).
-//! For each metric in OLD the regression is `(old - new) / old`; any
-//! metric regressing more than P percent (default 10), or present in OLD
-//! but missing from NEW, fails the diff. Metrics only in NEW are reported
-//! but never gate — adding coverage must not break the build that adds it.
+//! Most `tracked` metrics are higher-is-better rates (records/s, jobs/s),
+//! but not all of them — a latency quantile regresses by going *up*. The
+//! BENCH file's optional `tracked_meta` object declares the exceptions:
+//! `"tracked_meta": { "service_e2e_p99_ms": "lower_is_better" }`. A metric
+//! absent from `tracked_meta` (or a file without the object at all — every
+//! BENCH file before PR 8) is gated as higher-is-better, so old files keep
+//! diffing unchanged. Direction comes from the OLD file's metadata,
+//! falling back to NEW's for metrics OLD has not annotated — the baseline
+//! owns the contract, but a newly-annotated metric is honored the first
+//! time it appears.
+//!
+//! For each metric in OLD the signed delta is `(new - old) / old`; a
+//! higher-is-better metric fails when the delta is *below* −P percent, a
+//! lower-is-better one when it is *above* +P percent (default P = 10).
+//! A metric present in OLD but missing from NEW fails the diff. Metrics
+//! only in NEW are reported but never gate — adding coverage must not
+//! break the build that adds it.
 //!
 //! `--scale-new F` multiplies every NEW value by F before comparing. Its
 //! purpose is the gate's own self-test: `benchdiff X X --scale-new 0.85`
 //! simulates a 15% across-the-board slowdown deterministically, with no
-//! dependence on machine speed, so CI can prove the gate actually fires.
+//! dependence on machine speed, so CI can prove the gate fires in *both*
+//! directions — 0.85 must trip the rate metrics, 1.2 must trip the
+//! latency ones.
 
 use std::process::ExitCode;
 
 use alphasort_minijson::Json;
 
-fn tracked(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// Which way a tracked metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    /// Rates: a drop past the gate is a regression (the default).
+    HigherIsBetter,
+    /// Latencies: a rise past the gate is a regression.
+    LowerIsBetter,
+}
+
+impl Direction {
+    fn from_meta(s: &str) -> Option<Direction> {
+        match s {
+            "higher_is_better" => Some(Direction::HigherIsBetter),
+            "lower_is_better" => Some(Direction::LowerIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// A BENCH file's gate-relevant content: tracked metrics in file order,
+/// plus the per-metric direction annotations.
+struct TrackedDoc {
+    metrics: Vec<(String, f64)>,
+    meta: Vec<(String, Direction)>,
+}
+
+impl TrackedDoc {
+    fn direction_of(&self, name: &str) -> Option<Direction> {
+        self.meta.iter().find(|(k, _)| k == name).map(|(_, d)| *d)
+    }
+}
+
+fn tracked(path: &str) -> Result<TrackedDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let Some(Json::Obj(fields)) = doc.get("tracked") else {
         return Err(format!("{path}: no `tracked` object — not a trajectory BENCH file"));
     };
-    fields
+    let metrics = fields
         .iter()
         .map(|(k, v)| {
             v.as_f64()
                 .map(|x| (k.clone(), x))
                 .ok_or_else(|| format!("{path}: tracked.{k} is not a number"))
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    // `tracked_meta` is optional (pre-PR-8 files lack it) but must be
+    // well-formed when present: an unknown direction string is a file
+    // error, not a silent higher-is-better default.
+    let meta = match doc.get("tracked_meta") {
+        None => Vec::new(),
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .and_then(Direction::from_meta)
+                    .map(|d| (k.clone(), d))
+                    .ok_or_else(|| {
+                        format!(
+                            "{path}: tracked_meta.{k} must be \
+                             \"higher_is_better\" or \"lower_is_better\""
+                        )
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err(format!("{path}: `tracked_meta` must be an object")),
+    };
+    Ok(TrackedDoc { metrics, meta })
 }
 
 fn main() -> ExitCode {
@@ -90,8 +158,12 @@ fn main() -> ExitCode {
     );
     println!("{:<28} {:>14} {:>14} {:>9}  verdict", "tracked metric", "old", "new", "delta");
     let mut failures = 0u32;
-    for (name, old_v) in &old {
-        match new.iter().find(|(k, _)| k == name) {
+    for (name, old_v) in &old.metrics {
+        let dir = old
+            .direction_of(name)
+            .or_else(|| new.direction_of(name))
+            .unwrap_or(Direction::HigherIsBetter);
+        match new.metrics.iter().find(|(k, _)| k == name) {
             Some((_, new_raw)) => {
                 let new_v = new_raw * scale;
                 let delta_pct = if *old_v > 0.0 {
@@ -99,13 +171,20 @@ fn main() -> ExitCode {
                 } else {
                     0.0
                 };
-                let regressed = -delta_pct > max_pct;
+                let regressed = match dir {
+                    Direction::HigherIsBetter => -delta_pct > max_pct,
+                    Direction::LowerIsBetter => delta_pct > max_pct,
+                };
                 if regressed {
                     failures += 1;
                 }
                 println!(
                     "{name:<28} {old_v:>14.1} {new_v:>14.1} {delta_pct:>+8.1}%  {}",
-                    if regressed { "REGRESSED" } else { "ok" }
+                    match (regressed, dir) {
+                        (true, _) => "REGRESSED",
+                        (false, Direction::HigherIsBetter) => "ok",
+                        (false, Direction::LowerIsBetter) => "ok (lower is better)",
+                    }
                 );
             }
             None => {
@@ -114,8 +193,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (name, new_v) in &new {
-        if !old.iter().any(|(k, _)| k == name) {
+    for (name, new_v) in &new.metrics {
+        if !old.metrics.iter().any(|(k, _)| k == name) {
             println!("{name:<28} {:>14} {new_v:>14.1} {:>9}  new (not gated)", "-", "-");
         }
     }

@@ -20,10 +20,18 @@
 //! Every output is oracle- or fingerprint-checked; a wrong sort never
 //! produces a number.
 //!
-//! The emitted document ends with a `tracked` section of higher-is-better
-//! rates. That section is the trajectory contract: `benchdiff OLD NEW`
-//! compares only `tracked` and fails CI on >10% regression, so the other
-//! fields can grow freely without becoming accidental gates.
+//! PR 8 adds a **kernel registry** group: the same one-pass workload under
+//! every registered hot-path kernel variant (scalar, branchless-tree,
+//! radix, simd), each tracked as `kernel_<name>_records_per_sec` so a
+//! regression in any variant — not just the default — trips the gate.
+//!
+//! The emitted document ends with a `tracked` section. Most entries are
+//! higher-is-better rates; the exceptions (daemon e2e p99 latency) are
+//! declared in the sibling `tracked_meta` object as `lower_is_better`,
+//! which `benchdiff` honors when gating. That section is the trajectory
+//! contract: `benchdiff OLD NEW` compares only `tracked` and fails CI
+//! past 10% regression, so the other fields can grow freely without
+//! becoming accidental gates.
 
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -32,7 +40,7 @@ use std::time::{Duration, Instant};
 use alphasort_core::driver::{one_pass, two_pass, MemScratch};
 use alphasort_core::io::{MemSink, MemSource};
 use alphasort_core::stats::SortStats;
-use alphasort_core::SortConfig;
+use alphasort_core::{Kernel, SortConfig};
 use alphasort_dmgen::{generate, records_of_mut, validate_records, GenConfig, RECORD_LEN};
 use alphasort_minijson::Json;
 use alphasort_obs::MetricsSnapshot;
@@ -157,6 +165,31 @@ fn main() {
         validate_records(sink.data(), cs).expect("partitioned-merge output validates");
         (pm.stats, elapsed_s)
     });
+
+    // Kernel registry (PR 8): the serial one-pass workload under every
+    // registered hot-path variant. All four must produce validating
+    // output; each lands its own tracked rate so a slow kernel cannot
+    // hide behind the default.
+    println!("\nkernel registry ({records} records, best of {repeat}):");
+    let mut kernel_variants: Vec<(String, f64, Json)> = Vec::new();
+    for kernel in Kernel::ALL {
+        let kcfg = SortConfig {
+            run_records: 100_000,
+            gather_batch: 10_000,
+            kernel,
+            ..Default::default()
+        };
+        let (rps, doc) = best_of(repeat, kernel.name(), || {
+            let t0 = Instant::now();
+            let mut src = MemSource::new(data.clone(), 1 << 20);
+            let mut sink = MemSink::new();
+            let run = one_pass(&mut src, &mut sink, &kcfg).expect("kernel variant sorts");
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            validate_records(sink.data(), cs).expect("kernel variant output validates");
+            (run.stats, elapsed_s)
+        });
+        kernel_variants.push((kernel.name().replace('-', "_"), rps, doc));
+    }
     drop(data);
 
     // Service: an in-process sortd under a contended pool; throughput is
@@ -195,6 +228,7 @@ fn main() {
                     mem_budget: 1 << 20,
                     scratch_budget: 0,
                     merge_workers: 0,
+                    kernel: Kernel::Scalar,
                 };
                 let t0 = Instant::now();
                 let res = client.submit(&spec, &data).expect("submit succeeds");
@@ -242,6 +276,15 @@ fn main() {
                 ("onepass".into(), onepass_doc),
                 ("twopass".into(), twopass_doc),
                 ("pmerge4".into(), pmerge_doc),
+                (
+                    "registry".into(),
+                    Json::Obj(
+                        kernel_variants
+                            .iter()
+                            .map(|(name, _, doc)| (name.clone(), doc.clone()))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (
@@ -271,16 +314,36 @@ fn main() {
                 ("all_outputs_oracle_checked".into(), Json::Bool(true)),
             ]),
         ),
-        // The gated contract: higher-is-better rates only. benchdiff
-        // compares exactly these keys.
+        // The gated contract. benchdiff compares exactly these keys;
+        // directions for the non-rate entries live in `tracked_meta`.
         (
             "tracked".into(),
-            Json::Obj(vec![
-                ("onepass_records_per_sec".into(), Json::Float(onepass_rps)),
-                ("twopass_records_per_sec".into(), Json::Float(twopass_rps)),
-                ("pmerge4_records_per_sec".into(), Json::Float(pmerge_rps)),
-                ("service_jobs_per_sec".into(), Json::Float(jobs_per_sec)),
-            ]),
+            Json::Obj(
+                vec![
+                    ("onepass_records_per_sec".into(), Json::Float(onepass_rps)),
+                    ("twopass_records_per_sec".into(), Json::Float(twopass_rps)),
+                    ("pmerge4_records_per_sec".into(), Json::Float(pmerge_rps)),
+                    ("service_jobs_per_sec".into(), Json::Float(jobs_per_sec)),
+                ]
+                .into_iter()
+                .chain(kernel_variants.iter().map(|(name, rps, _)| {
+                    (format!("kernel_{name}_records_per_sec"), Json::Float(*rps))
+                }))
+                .chain([(
+                    "service_e2e_p99_ms".into(),
+                    Json::Float(q("sortd.e2e_us", 0.99) / 1e3),
+                )])
+                .collect(),
+            ),
+        ),
+        // Per-metric gate directions; anything absent here is
+        // higher-is-better (the rate default).
+        (
+            "tracked_meta".into(),
+            Json::Obj(vec![(
+                "service_e2e_p99_ms".into(),
+                Json::from("lower_is_better"),
+            )]),
         ),
     ]);
     if let Some(path) = json_out {

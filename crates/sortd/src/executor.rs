@@ -44,6 +44,7 @@ pub fn config_for(spec: &JobSpec) -> SortConfig {
         memory_budget: spec.mem_budget,
         merge_workers: spec.merge_workers,
         gather_batch: run_records.min(10_000),
+        kernel: spec.kernel,
         ..SortConfig::default()
     }
 }
@@ -108,6 +109,7 @@ mod tests {
             mem_budget: mem,
             scratch_budget: scratch,
             merge_workers: 0,
+            kernel: alphasort_core::Kernel::Scalar,
         }
     }
 

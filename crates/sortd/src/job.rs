@@ -8,7 +8,7 @@
 //! forever — and against the plan the budgets imply (a two-pass job whose
 //! scratch budget cannot hold its runs is equally hopeless).
 
-use alphasort_core::{PassPlan, Planner};
+use alphasort_core::{Kernel, PassPlan, Planner};
 use alphasort_dmgen::RECORD_LEN;
 use alphasort_minijson::Json;
 
@@ -30,6 +30,10 @@ pub struct JobSpec {
     pub scratch_budget: u64,
     /// Key ranges for the partitioned parallel merge (0 = serial).
     pub merge_workers: usize,
+    /// Hot-path kernel variant (see `alphasort_core::kernels`). Optional on
+    /// the wire; absent means the scalar oracle, so old clients keep
+    /// working unchanged.
+    pub kernel: Kernel,
 }
 
 impl JobSpec {
@@ -42,17 +46,28 @@ impl JobSpec {
             ("mem_budget".into(), Json::from(self.mem_budget)),
             ("scratch_budget".into(), Json::from(self.scratch_budget)),
             ("merge_workers".into(), Json::from(self.merge_workers as u64)),
+            ("kernel".into(), Json::from(self.kernel.name())),
         ])
     }
 
-    /// Parse from a submit frame.
+    /// Parse from a submit frame. `kernel` is optional (default scalar);
+    /// an *unknown* kernel name is a manifest error, not a silent default —
+    /// the client asked for something this daemon does not register.
     pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        let kernel = match doc.get("kernel") {
+            None => Kernel::Scalar,
+            Some(v) => {
+                let name = v.as_str().ok_or("kernel: expected a string")?;
+                Kernel::from_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?
+            }
+        };
         Ok(JobSpec {
             name: doc.field_str("name").map_err(|e| e.to_string())?.to_string(),
             input_bytes: doc.field_u64("input_bytes").map_err(|e| e.to_string())?,
             mem_budget: doc.field_u64("mem_budget").map_err(|e| e.to_string())?,
             scratch_budget: doc.field_u64("scratch_budget").map_err(|e| e.to_string())?,
             merge_workers: doc.field_u64("merge_workers").map_err(|e| e.to_string())? as usize,
+            kernel,
         })
     }
 
@@ -239,6 +254,7 @@ mod tests {
             mem_budget: mem,
             scratch_budget: scratch,
             merge_workers: 0,
+            kernel: Kernel::Scalar,
         }
     }
 
@@ -247,6 +263,26 @@ mod tests {
         let s = spec(1_000 * RECORD_LEN as u64, 1 << 20, 2 << 20);
         let got = JobSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(got, s);
+        for kernel in Kernel::ALL {
+            let s = JobSpec { kernel, ..s.clone() };
+            assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn kernel_field_is_optional_but_validated() {
+        // An old client's manifest (no `kernel` field) defaults to scalar.
+        let s = spec(1_000 * RECORD_LEN as u64, 1 << 20, 0);
+        let Json::Obj(fields) = s.to_json() else { panic!() };
+        let without: Vec<_> = fields.into_iter().filter(|(k, _)| k != "kernel").collect();
+        let got = JobSpec::from_json(&Json::Obj(without.clone())).unwrap();
+        assert_eq!(got.kernel, Kernel::Scalar);
+        // An unknown kernel name is a parse error (→ bad_manifest), not a
+        // silent fallback.
+        let mut bad = without;
+        bad.push(("kernel".into(), Json::from("warp-drive")));
+        let err = JobSpec::from_json(&Json::Obj(bad)).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
     }
 
     #[test]

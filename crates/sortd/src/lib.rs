@@ -31,6 +31,7 @@ pub mod telemetry;
 pub use admission::{Admission, AdmissionConfig, Offer};
 pub use client::{Client, ClientError, SubmitResult};
 pub use executor::ScratchBacking;
+pub use alphasort_core::Kernel;
 pub use job::{JobSpec, JobState, SortdError, MIN_JOB_MEM};
 pub use pool::{Pool, PoolConfig};
 pub use server::{Sortd, SortdConfig};

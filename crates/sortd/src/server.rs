@@ -750,6 +750,7 @@ mod tests {
             mem_budget: mem,
             scratch_budget: 0,
             merge_workers: 0,
+            kernel: alphasort_core::Kernel::Scalar,
         }
     }
 

@@ -15,7 +15,8 @@ use std::time::Duration;
 
 use alphasort_dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
 use alphasort_sortd::{
-    AdmissionConfig, Client, ClientError, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+    AdmissionConfig, Client, ClientError, JobSpec, Kernel, PoolConfig, ScratchBacking, Sortd,
+    SortdConfig,
 };
 
 fn oracle(mut data: Vec<u8>) -> Vec<u8> {
@@ -30,6 +31,7 @@ fn spec(name: &str, input: u64, mem: u64, scratch: u64) -> JobSpec {
         mem_budget: mem,
         scratch_budget: scratch,
         merge_workers: 0,
+        kernel: Kernel::Scalar,
     }
 }
 

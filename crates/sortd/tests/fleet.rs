@@ -16,7 +16,7 @@ use alphasort_dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
 use alphasort_iosim::{catalog, IoEngine, MemStorage, Pacing, SimDisk};
 use alphasort_obs::MetricsSnapshot;
 use alphasort_sortd::{
-    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+    AdmissionConfig, Client, JobSpec, Kernel, PoolConfig, ScratchBacking, Sortd, SortdConfig,
 };
 use alphasort_stripefs::Volume;
 
@@ -49,6 +49,7 @@ fn submit_data(
         mem_budget: mem,
         scratch_budget: scratch,
         merge_workers: 0,
+        kernel: Kernel::Scalar,
     };
     let client = Client::new(addr).with_timeout(Duration::from_secs(120));
     let mut delay = Duration::from_millis(5);
@@ -296,6 +297,7 @@ fn daemon_latency_quantiles_agree_with_clients() {
                     mem_budget: 512 << 10,
                     scratch_budget: 0,
                     merge_workers: 0,
+                    kernel: Kernel::Scalar,
                 };
                 let client = Client::new(addr).with_timeout(Duration::from_secs(120));
                 let start = std::time::Instant::now();
@@ -364,6 +366,7 @@ fn hopeless_manifest_is_rejected_not_queued() {
         mem_budget: 8 << 20, // eight times the pool total
         scratch_budget: 0,
         merge_workers: 0,
+        kernel: Kernel::Scalar,
     };
     let client = Client::new(daemon.addr()).with_timeout(Duration::from_secs(10));
     let err = client.submit(&spec, &data).expect_err("must be rejected");

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! sortcli <input> <output> [--mem BYTES] [--workers N] [--run RECORDS]
-//!         [--rep record|pointer|key|key-prefix|codeword] [--two-pass]
+//!         [--rep record|pointer|key|key-prefix|codeword]
+//!         [--kernel scalar|branchless-tree|radix|simd] [--two-pass]
 //!         [--merge-workers N]
 //!         [--scratch-dir DIR] [--resume] [--io-retries N] [--io-backoff-ms MS]
 //!         [--gen RECORDS[:SEED]] [--verify]
@@ -46,7 +47,7 @@ use alphasort_suite::obs;
 use alphasort_suite::sort::driver::{one_pass, two_pass, MemScratch, ResumeReport, StripeScratch};
 use alphasort_suite::sort::io::RecordSink;
 use alphasort_suite::sort::io_file::{FileSink, FileSource};
-use alphasort_suite::sort::{Representation, SortConfig};
+use alphasort_suite::sort::{Kernel, Representation, SortConfig};
 use alphasort_suite::stripefs::{RetryPolicy, Volume};
 
 struct Args {
@@ -56,6 +57,7 @@ struct Args {
     workers: usize,
     run_records: usize,
     rep: Representation,
+    kernel: Kernel,
     two_pass: bool,
     merge_workers: usize,
     scratch_dir: Option<String>,
@@ -71,7 +73,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sortcli <input> <output> [--mem BYTES] [--workers N] \
-         [--run RECORDS] [--rep NAME] [--two-pass] [--merge-workers N] \
+         [--run RECORDS] [--rep NAME] [--kernel NAME] [--two-pass] [--merge-workers N] \
          [--scratch-dir DIR] [--resume] [--io-retries N] [--io-backoff-ms MS] \
          [--gen RECORDS[:SEED]] [--verify] \
          [--trace-out TRACE.json] [--metrics-out METRICS.json]"
@@ -88,6 +90,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         workers: 0,
         run_records: 100_000,
         rep: Representation::KeyPrefix,
+        kernel: Kernel::Scalar,
         two_pass: false,
         merge_workers: 0,
         scratch_dir: None,
@@ -120,6 +123,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                         eprintln!("unknown representation {v}");
                         usage()
                     })?;
+            }
+            "--kernel" => {
+                let v = value("--kernel")?;
+                args.kernel = Kernel::from_name(&v).ok_or_else(|| {
+                    let names: Vec<&str> = Kernel::ALL.into_iter().map(|k| k.name()).collect();
+                    eprintln!("unknown kernel {v} (one of: {})", names.join(", "));
+                    usage()
+                })?;
             }
             "--two-pass" => args.two_pass = true,
             "--merge-workers" => {
@@ -303,6 +314,7 @@ fn main() -> ExitCode {
         memory_budget: args.mem,
         max_fanin: 128,
         merge_workers: args.merge_workers,
+        kernel: args.kernel,
     };
 
     // Start recording after generation so the trace covers only the sort.

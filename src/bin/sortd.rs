@@ -6,7 +6,9 @@
 //!              [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]
 //!              [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]
+//!              [--kernel scalar|branchless-tree|radix|simd]
 //! sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]
+//!              [--kernel NAME]
 //! sortd stats  --addr ADDR
 //! sortd top    --addr ADDR [--interval-ms N] [--iters N]
 //! sortd status --addr ADDR --job ID
@@ -52,6 +54,7 @@ use alphasort_suite::dmgen::{generate, records_of_mut, GenConfig, RECORD_LEN};
 use alphasort_suite::iosim::{catalog, FileStorage, IoEngine, Pacing, SimDisk, Storage};
 use alphasort_suite::obs;
 use alphasort_suite::obs::MetricsSnapshot;
+use alphasort_suite::sort::Kernel;
 use alphasort_suite::sortd::{
     AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
 };
@@ -64,7 +67,9 @@ fn usage() -> ExitCode {
          \x20                [--trace-out TRACE.json] [--metrics-out METRICS.json]\n\
          \x20      sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]\n\
          \x20                [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]\n\
+         \x20                [--kernel NAME]\n\
          \x20      sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]\n\
+         \x20                [--kernel NAME]\n\
          \x20      sortd stats  --addr ADDR\n\
          \x20      sortd top    --addr ADDR [--interval-ms N] [--iters N]\n\
          \x20      sortd status --addr ADDR --job ID\n\
@@ -105,6 +110,17 @@ impl Flags {
                 usage()
             }),
             None => Ok(default),
+        }
+    }
+
+    fn kernel(&self) -> Result<Kernel, ExitCode> {
+        match self.get("--kernel") {
+            None => Ok(Kernel::Scalar),
+            Some(v) => Kernel::from_name(v).ok_or_else(|| {
+                let names: Vec<&str> = Kernel::ALL.into_iter().map(|k| k.name()).collect();
+                eprintln!("unknown kernel {v} (one of: {})", names.join(", "));
+                usage()
+            }),
         }
     }
 
@@ -284,6 +300,7 @@ fn cmd_submit(flags: &Flags) -> Result<ExitCode, ExitCode> {
         mem_budget: flags.num("--mem", 64u64 << 20)?,
         scratch_budget: flags.num("--scratch", data.len() as u64 + RECORD_LEN as u64)?,
         merge_workers: flags.num("--merge-workers", 0usize)?,
+        kernel: flags.kernel()?,
     };
     let client = Client::new(addr).with_timeout(Duration::from_secs(600));
     let started = Instant::now();
@@ -324,6 +341,7 @@ fn cmd_fleet(flags: &Flags) -> Result<ExitCode, ExitCode> {
     let threads: u64 = flags.num("--threads", 8)?;
     let records: u64 = flags.num("--records", 1_000)?;
     let mem: u64 = flags.num("--mem", 1u64 << 20)?;
+    let kernel = flags.kernel()?;
     let started = Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads {
@@ -338,6 +356,7 @@ fn cmd_fleet(flags: &Flags) -> Result<ExitCode, ExitCode> {
                     mem_budget: mem,
                     scratch_budget: data.len() as u64 + RECORD_LEN as u64,
                     merge_workers: 0,
+                    kernel,
                 };
                 let mut delay = Duration::from_millis(5);
                 let res = loop {
