@@ -345,7 +345,23 @@ impl StripeScratch {
         run_records: u64,
     ) -> io::Result<Self> {
         let mut s = Self::new(volume, chunk);
-        s.manifest = Some(ManifestState {
+        s.attach_manifest(path, input_bytes, run_records)?;
+        Ok(s)
+    }
+
+    /// Attach a run manifest to an existing (possibly [`named`](Self::named))
+    /// scratch — the builder-order-friendly form of
+    /// [`with_manifest`](Self::with_manifest): the prefix is already set
+    /// when the first manifest is written, so a crash before any seal still
+    /// resumes under the right namespace. `sortd` uses this to manifest its
+    /// per-job namespaced scratches.
+    pub fn attach_manifest(
+        &mut self,
+        path: impl Into<PathBuf>,
+        input_bytes: u64,
+        run_records: u64,
+    ) -> io::Result<()> {
+        self.manifest = Some(ManifestState {
             path: path.into(),
             input_bytes,
             run_records,
@@ -353,8 +369,37 @@ impl StripeScratch {
         });
         // Write the empty manifest up front: a crash before the first seal
         // must still resume (recovering nothing) rather than error.
-        s.write_manifest()?;
-        Ok(s)
+        self.write_manifest()
+    }
+
+    /// Free a dead scratch's extents from its manifest at `path` without
+    /// validating run contents: every manifested run file is deleted from
+    /// `volume`, then the manifest itself is removed. Checksums are not
+    /// read — this is for scratch nobody will ever resume (a journaling
+    /// daemon sweeping a crashed job whose client never came back), so the
+    /// only thing worth reclaiming is the space. Returns how many run
+    /// files were deleted.
+    pub fn dispose_at(volume: &Arc<Volume>, path: &Path) -> io::Result<u64> {
+        let bad = |e: &dyn std::fmt::Display| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("scratch manifest '{}': {e}", path.display()),
+            )
+        };
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| bad(&e))?;
+        let mut freed = 0u64;
+        for entry in doc.field_arr("runs").map_err(|e| bad(&e))? {
+            let def = entry
+                .get("def")
+                .ok_or_else(|| bad(&"run entry missing `def`"))
+                .and_then(|v| StripeDef::from_json(v).map_err(|e| bad(&e)))?;
+            let file = Arc::new(volume.open(def));
+            volume.delete(&file);
+            freed += 1;
+        }
+        std::fs::remove_file(path)?;
+        Ok(freed)
     }
 
     /// Reload a previous attempt's scratch from its manifest at `path`.
@@ -1043,6 +1088,34 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 30]);
+    }
+
+    #[test]
+    fn dispose_at_frees_manifested_runs_without_reading_them() {
+        let storages: Vec<Arc<MemStorage>> = (0..2).map(|_| Arc::new(MemStorage::new())).collect();
+        let path = tmp_manifest("dispose");
+        let run_a = run_payload(40, 5);
+        let run_b = run_payload(40, 6);
+        {
+            let volume = striped_volume(2, Some(&storages));
+            let mut s = StripeScratch::new(volume, 256).named("jobX-run");
+            s.attach_manifest(&path, (run_a.len() + run_b.len()) as u64, 40).unwrap();
+            for payload in [&run_a, &run_b] {
+                let mut w = s.create_run(payload.len() as u64).unwrap();
+                w.push(payload).unwrap();
+                s.seal_run(w).unwrap();
+            }
+            // "Crash": scratch dropped; manifest and run files survive.
+        }
+        let volume = striped_volume(2, Some(&storages));
+        let freed = StripeScratch::dispose_at(&volume, &path).unwrap();
+        assert_eq!(freed, 2);
+        assert!(!path.exists(), "manifest removed after disposal");
+        assert!(
+            volume.free_bytes() >= (run_a.len() + run_b.len()) as u64,
+            "extents back on the free lists, freed only {}",
+            volume.free_bytes()
+        );
     }
 
     #[test]

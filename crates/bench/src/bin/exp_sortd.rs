@@ -60,6 +60,7 @@ fn main() {
         },
         backing: ScratchBacking::Memory,
         client_read_timeout: Duration::from_secs(300),
+        ..SortdConfig::default()
     })
     .expect("daemon starts");
     let addr = daemon.addr();
@@ -88,6 +89,7 @@ fn main() {
                 scratch_budget: data.len() as u64 + RECORD_LEN as u64,
                 merge_workers: 0,
                 kernel: Kernel::Scalar,
+                ..JobSpec::default()
             };
             let client = Client::new(addr).with_timeout(Duration::from_secs(300));
             let t0 = Instant::now();
@@ -114,6 +116,7 @@ fn main() {
                     scratch_budget: data.len() as u64 + RECORD_LEN as u64,
                     merge_workers: 0,
                     kernel: Kernel::Scalar,
+                    ..JobSpec::default()
                 };
                 let t0 = Instant::now();
                 let mut delay = Duration::from_millis(2);

@@ -25,6 +25,12 @@
 //! radix, simd), each tracked as `kernel_<name>_records_per_sec` so a
 //! regression in any variant — not just the default — trips the gate.
 //!
+//! PR 9 adds a **restart recovery** probe: the time from `Sortd::start`
+//! over a journal populated with 200 job records (replay included) to a
+//! probe job admitted and completed, tracked as
+//! `service_restart_recovery_ms` (lower is better) so journal replay can
+//! never silently turn into a boot-time cliff.
+//!
 //! The emitted document ends with a `tracked` section. Most entries are
 //! higher-is-better rates; the exceptions (daemon e2e p99 latency) are
 //! declared in the sibling `tracked_meta` object as `lower_is_better`,
@@ -45,7 +51,8 @@ use alphasort_dmgen::{generate, records_of_mut, validate_records, GenConfig, REC
 use alphasort_minijson::Json;
 use alphasort_obs::MetricsSnapshot;
 use alphasort_sortd::{
-    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+    AdmissionConfig, Client, JobSpec, Journal, JournalRecord, PoolConfig, ScratchBacking,
+    Sortd, SortdConfig,
 };
 
 fn kernel_doc(name: &str, st: &SortStats, elapsed_s: f64) -> (f64, Json) {
@@ -210,6 +217,7 @@ fn main() {
         },
         backing: ScratchBacking::Memory,
         client_read_timeout: Duration::from_secs(300),
+        ..SortdConfig::default()
     })
     .expect("daemon starts");
     let addr = daemon.addr();
@@ -229,6 +237,7 @@ fn main() {
                     scratch_budget: 0,
                     merge_workers: 0,
                     kernel: Kernel::Scalar,
+                    ..JobSpec::default()
                 };
                 let t0 = Instant::now();
                 let res = client.submit(&spec, &data).expect("submit succeeds");
@@ -264,6 +273,66 @@ fn main() {
         "  fleet    {jobs_per_sec:>9.1} jobs/s     (client p99 {:.1} ms, daemon e2e p99 {:.1} ms)",
         pct(&lat, 0.99),
         q("sortd.e2e_us", 0.99) / 1e3,
+    );
+
+    // Restart recovery (PR 9): time from `Sortd::start` over a populated
+    // journal — replay included — to a probe job admitted and completed.
+    // The journal is staged directly with the durable residue of a killed
+    // daemon: mostly settled records (the dedupe set a long-lived daemon
+    // accumulates) plus a kill-interrupted tail. Best-of for the same
+    // noisy-neighbor reason as the kernels.
+    const JOURNAL_JOBS: u64 = 200;
+    let jdir = std::env::temp_dir().join(format!(
+        "exp-trajectory-journal-{}",
+        std::process::id()
+    ));
+    let mut recovery_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let _ = std::fs::remove_dir_all(&jdir);
+        let journal = Journal::open(&jdir).expect("journal opens");
+        for i in 0..JOURNAL_JOBS {
+            let spec = JobSpec {
+                name: format!("stale-{i}"),
+                input_bytes: JOB_RECORDS * RECORD_LEN as u64,
+                mem_budget: 1 << 20,
+                scratch_budget: 0,
+                idem_key: Some(format!("stale-key-{i}")),
+                ..JobSpec::default()
+            };
+            let mut rec = JournalRecord::accepted(format!("stale-key-{i}"), i + 1, spec);
+            // One in twenty died mid-run; the rest settled.
+            rec.state = if i % 20 == 0 { "running" } else { "done" }.into();
+            rec.records = JOB_RECORDS;
+            journal.record(&rec).expect("journal record");
+        }
+        let t0 = Instant::now();
+        let daemon = Sortd::start(SortdConfig {
+            listen: "127.0.0.1:0".into(),
+            pool,
+            backing: ScratchBacking::Memory,
+            journal: Some(jdir.clone()),
+            ..SortdConfig::default()
+        })
+        .expect("recovery daemon starts");
+        let (mut probe, _) = generate(GenConfig::datamation(JOB_RECORDS, 99));
+        let spec = JobSpec {
+            name: "probe".into(),
+            input_bytes: probe.len() as u64,
+            mem_budget: 1 << 20,
+            scratch_budget: 0,
+            ..JobSpec::default()
+        };
+        let res = Client::new(daemon.addr())
+            .submit(&spec, &probe)
+            .expect("probe admitted after replay");
+        recovery_ms = recovery_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        records_of_mut(&mut probe).sort_by_key(|r| r.key);
+        assert_eq!(res.output, probe, "probe diverged from oracle");
+        daemon.drain();
+    }
+    let _ = std::fs::remove_dir_all(&jdir);
+    println!(
+        "  restart  {recovery_ms:>9.1} ms to first admission ({JOURNAL_JOBS} journaled jobs)"
     );
 
     let doc = Json::Obj(vec![
@@ -314,6 +383,14 @@ fn main() {
                 ("all_outputs_oracle_checked".into(), Json::Bool(true)),
             ]),
         ),
+        (
+            "restart_recovery".into(),
+            Json::Obj(vec![
+                ("journaled_jobs".into(), Json::from(JOURNAL_JOBS)),
+                ("best_of".into(), Json::from(3u64)),
+                ("first_admission_ms".into(), Json::Float(recovery_ms)),
+            ]),
+        ),
         // The gated contract. benchdiff compares exactly these keys;
         // directions for the non-rate entries live in `tracked_meta`.
         (
@@ -329,10 +406,16 @@ fn main() {
                 .chain(kernel_variants.iter().map(|(name, rps, _)| {
                     (format!("kernel_{name}_records_per_sec"), Json::Float(*rps))
                 }))
-                .chain([(
-                    "service_e2e_p99_ms".into(),
-                    Json::Float(q("sortd.e2e_us", 0.99) / 1e3),
-                )])
+                .chain([
+                    (
+                        "service_e2e_p99_ms".into(),
+                        Json::Float(q("sortd.e2e_us", 0.99) / 1e3),
+                    ),
+                    (
+                        "service_restart_recovery_ms".into(),
+                        Json::Float(recovery_ms),
+                    ),
+                ])
                 .collect(),
             ),
         ),
@@ -340,10 +423,13 @@ fn main() {
         // higher-is-better (the rate default).
         (
             "tracked_meta".into(),
-            Json::Obj(vec![(
-                "service_e2e_p99_ms".into(),
-                Json::from("lower_is_better"),
-            )]),
+            Json::Obj(vec![
+                ("service_e2e_p99_ms".into(), Json::from("lower_is_better")),
+                (
+                    "service_restart_recovery_ms".into(),
+                    Json::from("lower_is_better"),
+                ),
+            ]),
         ),
     ]);
     if let Some(path) = json_out {

@@ -8,8 +8,10 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::thread;
 use std::time::Duration;
 
+use alphasort_dmgen::SplitMix64;
 use alphasort_minijson::Json;
 
 use crate::job::JobSpec;
@@ -76,17 +78,45 @@ pub struct SubmitResult {
     pub queue_depth: u64,
     /// Records sorted, from the result document.
     pub records: u64,
-    /// The plan the daemon ran (`"OnePass"` / `"TwoPass"`).
+    /// The plan the daemon ran (`"OnePass"` / `"TwoPass"`, or `"cached"`
+    /// when the daemon answered from its journal).
     pub plan: String,
-    /// The sorted output.
+    /// `true` if the daemon answered a re-submitted idempotency key from
+    /// its journal instead of running the job again.
+    pub duplicate: bool,
+    /// The sorted output (empty for a journal-answered duplicate).
     pub output: Vec<u8>,
 }
 
-/// Client configuration: target daemon and socket timeout.
+/// Retry policy for [`Client::submit_with_retry`]: bounded attempts with
+/// jittered linear backoff. The jitter comes from a seeded [`SplitMix64`]
+/// so fleet runs are reproducible — no wall-clock randomness.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 means no retry).
+    pub attempts: u32,
+    /// Backoff before retry `k` is `base * k` plus jitter in `[0, base)`.
+    pub base_backoff: Duration,
+    /// Seed for the jitter stream (and the generated idempotency key).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            seed: 0x5eed_50f7,
+        }
+    }
+}
+
+/// Client configuration: target daemon and socket timeouts.
 #[derive(Clone, Debug)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    write_timeout: Duration,
 }
 
 impl Client {
@@ -95,6 +125,7 @@ impl Client {
         Client {
             addr,
             timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(30),
         }
     }
 
@@ -105,9 +136,17 @@ impl Client {
         self
     }
 
+    /// Override the socket write timeout. This bounds how long a submit
+    /// can block pushing payload at a daemon that stopped reading.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Client {
+        self.write_timeout = timeout;
+        self
+    }
+
     fn connect(&self) -> io::Result<TcpStream> {
         let s = TcpStream::connect(self.addr)?;
         s.set_read_timeout(Some(self.timeout))?;
+        s.set_write_timeout(Some(self.write_timeout))?;
         s.set_nodelay(true).ok();
         Ok(s)
     }
@@ -135,8 +174,43 @@ impl Client {
             queue_depth,
             records: result.field_u64("records").unwrap_or(0),
             plan: result.field_str("plan").unwrap_or("?").to_string(),
+            duplicate: result.get("duplicate").and_then(Json::as_bool).unwrap_or(false),
             output,
         })
+    }
+
+    /// Submit with bounded retries on *retryable* failures (`backpressure`,
+    /// `draining`). Non-retryable errors and broken connections return
+    /// immediately. Every attempt carries the same idempotency key — the
+    /// spec's own if set, otherwise one derived from the policy seed — so
+    /// a retry that races a late first-attempt completion is answered from
+    /// the daemon's journal instead of running twice.
+    pub fn submit_with_retry(
+        &self,
+        spec: &JobSpec,
+        input: &[u8],
+        policy: &RetryPolicy,
+    ) -> Result<SubmitResult, ClientError> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut spec = spec.clone();
+        if spec.idem_key.is_none() {
+            spec.idem_key = Some(format!("retry-{:016x}", rng.next_u64()));
+        }
+        let base_us = policy.base_backoff.as_micros().max(1) as u64;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.submit(&spec, input) {
+                Ok(res) => return Ok(res),
+                Err(e) if e.retryable() && attempt < policy.attempts.max(1) => {
+                    let jitter = rng.next_below(base_us);
+                    thread::sleep(Duration::from_micros(
+                        base_us * u64::from(attempt) + jitter,
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// One-document request/response helper.

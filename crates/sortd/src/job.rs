@@ -34,12 +34,39 @@ pub struct JobSpec {
     /// the wire; absent means the scalar oracle, so old clients keep
     /// working unchanged.
     pub kernel: Kernel,
+    /// Client-supplied idempotency key. Optional on the wire. With a
+    /// journaling daemon, re-submitting the same key never executes twice:
+    /// a key whose job already reached a terminal state is answered with
+    /// that state (at-most-once), and a key interrupted by a daemon kill
+    /// resumes from its surviving scratch runs. Keys starting with `anon-`
+    /// are reserved for the daemon's own synthetic keys.
+    pub idem_key: Option<String>,
+    /// Wall-clock deadline in milliseconds, measured from acceptance
+    /// (queue wait counts). 0 — and absence on the wire — means unlimited;
+    /// past the deadline the daemon's watchdog cancels the job with the
+    /// non-retryable `deadline_exceeded` code.
+    pub deadline_ms: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: String::new(),
+            input_bytes: 0,
+            mem_budget: 0,
+            scratch_budget: 0,
+            merge_workers: 0,
+            kernel: Kernel::Scalar,
+            idem_key: None,
+            deadline_ms: 0,
+        }
+    }
 }
 
 impl JobSpec {
     /// Render for the submit frame.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("type".into(), Json::from("submit")),
             ("name".into(), Json::from(self.name.as_str())),
             ("input_bytes".into(), Json::from(self.input_bytes)),
@@ -47,12 +74,21 @@ impl JobSpec {
             ("scratch_budget".into(), Json::from(self.scratch_budget)),
             ("merge_workers".into(), Json::from(self.merge_workers as u64)),
             ("kernel".into(), Json::from(self.kernel.name())),
-        ])
+        ];
+        if let Some(key) = &self.idem_key {
+            fields.push(("idem_key".into(), Json::from(key.as_str())));
+        }
+        if self.deadline_ms > 0 {
+            fields.push(("deadline_ms".into(), Json::from(self.deadline_ms)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parse from a submit frame. `kernel` is optional (default scalar);
     /// an *unknown* kernel name is a manifest error, not a silent default —
     /// the client asked for something this daemon does not register.
+    /// `idem_key` and `deadline_ms` are equally optional, so pre-journal
+    /// clients keep working unchanged.
     pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
         let kernel = match doc.get("kernel") {
             None => Kernel::Scalar,
@@ -61,6 +97,14 @@ impl JobSpec {
                 Kernel::from_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?
             }
         };
+        let idem_key = match doc.get("idem_key") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("idem_key: expected a string")?
+                    .to_string(),
+            ),
+        };
         Ok(JobSpec {
             name: doc.field_str("name").map_err(|e| e.to_string())?.to_string(),
             input_bytes: doc.field_u64("input_bytes").map_err(|e| e.to_string())?,
@@ -68,6 +112,11 @@ impl JobSpec {
             scratch_budget: doc.field_u64("scratch_budget").map_err(|e| e.to_string())?,
             merge_workers: doc.field_u64("merge_workers").map_err(|e| e.to_string())? as usize,
             kernel,
+            idem_key,
+            deadline_ms: match doc.get("deadline_ms") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or("deadline_ms: expected an integer")?,
+            },
         })
     }
 
@@ -114,6 +163,16 @@ impl JobSpec {
                 asked: self.scratch_budget,
                 need: self.input_bytes,
             });
+        }
+        if let Some(key) = &self.idem_key {
+            if key.is_empty() {
+                return Err(SortdError::BadManifest("idem_key must not be empty".into()));
+            }
+            if key.starts_with("anon-") {
+                return Err(SortdError::BadManifest(
+                    "idem_key prefix `anon-` is reserved for the daemon's synthetic keys".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -188,6 +247,13 @@ pub enum SortdError {
     BadManifest(String),
     /// The sort failed while executing.
     Exec(String),
+    /// The job's `deadline_ms` elapsed (queued or running) and the
+    /// watchdog canceled it. Not retryable: the identical submit would
+    /// blow the identical deadline.
+    DeadlineExceeded {
+        /// The deadline the manifest asked for.
+        limit_ms: u64,
+    },
 }
 
 impl SortdError {
@@ -202,6 +268,7 @@ impl SortdError {
             SortdError::BudgetTooSmall { .. } => "budget_too_small",
             SortdError::BadManifest(_) => "bad_manifest",
             SortdError::Exec(_) => "exec_failed",
+            SortdError::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 
@@ -237,6 +304,9 @@ impl std::fmt::Display for SortdError {
             }
             SortdError::BadManifest(m) => write!(f, "bad manifest: {m}"),
             SortdError::Exec(m) => write!(f, "sort failed: {m}"),
+            SortdError::DeadlineExceeded { limit_ms } => {
+                write!(f, "job exceeded its {limit_ms} ms deadline and was canceled")
+            }
         }
     }
 }
@@ -253,8 +323,7 @@ mod tests {
             input_bytes: input,
             mem_budget: mem,
             scratch_budget: scratch,
-            merge_workers: 0,
-            kernel: Kernel::Scalar,
+            ..JobSpec::default()
         }
     }
 
@@ -267,6 +336,26 @@ mod tests {
             let s = JobSpec { kernel, ..s.clone() };
             assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn idem_key_and_deadline_roundtrip_and_default_off() {
+        // Both set: they survive the wire.
+        let s = JobSpec {
+            idem_key: Some("fleet-7".into()),
+            deadline_ms: 2_500,
+            ..spec(1_000 * RECORD_LEN as u64, 1 << 20, 0)
+        };
+        let got = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(got, s);
+        // Both absent (an old client's manifest): no key, unlimited.
+        let plain = spec(1_000 * RECORD_LEN as u64, 1 << 20, 0);
+        let doc = plain.to_json();
+        assert!(doc.get("idem_key").is_none(), "no key field when unset");
+        assert!(doc.get("deadline_ms").is_none(), "no deadline field when 0");
+        let got = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(got.idem_key, None);
+        assert_eq!(got.deadline_ms, 0);
     }
 
     #[test]
@@ -311,6 +400,14 @@ mod tests {
         );
         // Same job with honest scratch passes.
         spec(big, 1 << 20, big).validate(pool.0, pool.1).unwrap();
+        // Reserved / empty idempotency keys are manifest errors.
+        for key in ["", "anon-job-3"] {
+            let s = JobSpec {
+                idem_key: Some(key.into()),
+                ..spec(100 * 100, 1 << 20, 0)
+            };
+            assert_eq!(s.validate(pool.0, pool.1).unwrap_err().code(), "bad_manifest");
+        }
     }
 
     #[test]
@@ -319,5 +416,8 @@ mod tests {
         assert!(SortdError::Draining.retryable());
         assert!(!SortdError::Canceled.retryable());
         assert!(!SortdError::Exec("boom".into()).retryable());
+        let dl = SortdError::DeadlineExceeded { limit_ms: 50 };
+        assert_eq!(dl.code(), "deadline_exceeded");
+        assert!(!dl.retryable(), "same submit would blow the same deadline");
     }
 }

@@ -15,7 +15,8 @@
 //! * [`admission`] — the FIFO-with-aging state machine,
 //! * [`proto`] — the ctrl/payload channel convention over netsort frames,
 //! * [`executor`] — per-job runs through the one-/two-pass drivers,
-//! * [`server`] — accept loop, dispatch, graceful drain,
+//! * [`journal`] — write-ahead job journal for crash recovery,
+//! * [`server`] — accept loop, dispatch, watchdog, graceful drain,
 //! * [`client`] — a blocking client with honest retry typing,
 //! * [`telemetry`] — always-on uptime + per-job latency histograms.
 
@@ -23,16 +24,18 @@ pub mod admission;
 pub mod client;
 pub mod executor;
 pub mod job;
+pub mod journal;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod telemetry;
 
 pub use admission::{Admission, AdmissionConfig, Offer};
-pub use client::{Client, ClientError, SubmitResult};
-pub use executor::ScratchBacking;
+pub use client::{Client, ClientError, RetryPolicy, SubmitResult};
+pub use executor::{CancelReason, CancelToken, ScratchBacking};
 pub use alphasort_core::Kernel;
 pub use job::{JobSpec, JobState, SortdError, MIN_JOB_MEM};
+pub use journal::{Journal, JournalRecord, Replay};
 pub use pool::{Pool, PoolConfig};
 pub use server::{Sortd, SortdConfig};
 pub use telemetry::Telemetry;

@@ -32,6 +32,7 @@ fn spec(name: &str, input: u64, mem: u64, scratch: u64) -> JobSpec {
         scratch_budget: scratch,
         merge_workers: 0,
         kernel: Kernel::Scalar,
+        ..JobSpec::default()
     }
 }
 
@@ -46,6 +47,7 @@ fn drain_mid_fleet_finishes_running_and_fails_queued_retryably() {
         admission: AdmissionConfig::default(),
         backing: ScratchBacking::Memory,
         client_read_timeout: Duration::from_secs(120),
+        ..SortdConfig::default()
     })
     .expect("daemon starts");
     let addr = daemon.addr();
@@ -153,6 +155,7 @@ fn submit_during_drain_is_refused_with_the_typed_error() {
         admission: AdmissionConfig::default(),
         backing: ScratchBacking::Memory,
         client_read_timeout: Duration::from_secs(120),
+        ..SortdConfig::default()
     })
     .expect("daemon starts");
     let addr = daemon.addr();

@@ -32,6 +32,7 @@ fn start_daemon(pool: PoolConfig, admission: AdmissionConfig, backing: ScratchBa
         admission,
         backing,
         client_read_timeout: Duration::from_secs(120),
+        ..SortdConfig::default()
     })
     .expect("daemon starts")
 }
@@ -50,6 +51,7 @@ fn submit_data(
         scratch_budget: scratch,
         merge_workers: 0,
         kernel: Kernel::Scalar,
+        ..JobSpec::default()
     };
     let client = Client::new(addr).with_timeout(Duration::from_secs(120));
     let mut delay = Duration::from_millis(5);
@@ -298,6 +300,7 @@ fn daemon_latency_quantiles_agree_with_clients() {
                     scratch_budget: 0,
                     merge_workers: 0,
                     kernel: Kernel::Scalar,
+                    ..JobSpec::default()
                 };
                 let client = Client::new(addr).with_timeout(Duration::from_secs(120));
                 let start = std::time::Instant::now();
@@ -367,9 +370,75 @@ fn hopeless_manifest_is_rejected_not_queued() {
         scratch_budget: 0,
         merge_workers: 0,
         kernel: Kernel::Scalar,
+        ..JobSpec::default()
     };
     let client = Client::new(daemon.addr()).with_timeout(Duration::from_secs(10));
     let err = client.submit(&spec, &data).expect_err("must be rejected");
     assert_eq!(err.code(), Some("budget_too_large"));
     assert!(!err.retryable());
+}
+
+/// Backpressure convergence under the bounded retry policy: a queue bound
+/// of 1 and a pool that fits one job at a time, hammered by more clients
+/// than slots. Every client retries `backpressure` through
+/// `submit_with_retry` with its own idempotency key; the fleet must
+/// converge with every job completing **exactly once** — no duplicate
+/// executions (the dedupe counter stays zero because no first attempt ever
+/// both succeeded and got retried), no lost jobs, pool back to zero.
+#[test]
+fn backpressure_fleet_converges_exactly_once_under_bounded_retry() {
+    let daemon = start_daemon(
+        PoolConfig {
+            mem_total: 1 << 20, // exactly one job's budget
+            scratch_total: 1 << 20,
+        },
+        AdmissionConfig {
+            queue_bound: 1,
+            bypass_limit: 4,
+        },
+        ScratchBacking::Memory,
+    );
+    let addr = daemon.addr();
+
+    const CLIENTS: u64 = 8;
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        handles.push(thread::spawn(move || {
+            let (data, _) = generate(GenConfig::datamation(2_000, 9_100 + c));
+            let spec = JobSpec {
+                name: format!("bp-{c}"),
+                input_bytes: data.len() as u64,
+                mem_budget: 1 << 20,
+                scratch_budget: 0,
+                idem_key: Some(format!("bp-key-{c}")),
+                ..JobSpec::default()
+            };
+            let client = Client::new(addr).with_timeout(Duration::from_secs(120));
+            let policy = alphasort_sortd::RetryPolicy {
+                attempts: 200,
+                base_backoff: Duration::from_millis(1),
+                seed: 0xbead + c,
+            };
+            let res = client
+                .submit_with_retry(&spec, &data, &policy)
+                .expect("fleet job must converge through backpressure");
+            assert!(!res.duplicate, "no retry may observe a completed twin");
+            assert_eq!(res.output, oracle(data), "output diverged under backpressure churn");
+        }));
+    }
+    for h in handles {
+        h.join().expect("backpressure client panicked");
+    }
+
+    let stats = daemon.stats();
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(
+        counters.field_u64("done").unwrap(),
+        CLIENTS,
+        "every job exactly once; stats: {}",
+        stats.dump()
+    );
+    assert_eq!(counters.field_u64("duplicates").unwrap(), 0);
+    daemon.drain();
+    assert!(daemon.pool_idle(), "pool accounting did not converge to zero");
 }

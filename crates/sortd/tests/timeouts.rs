@@ -1,0 +1,116 @@
+//! Write-timeout regression tests: neither side of the sortd wire may
+//! block forever pushing bytes at a peer that stopped reading.
+//!
+//! * Server side: a client that submits a job and then never reads the
+//!   response would, without `SO_SNDTIMEO`, pin the connection thread in
+//!   `write(2)` forever once the socket buffers fill. With the configured
+//!   write timeout the server abandons the response and closes the
+//!   connection in bounded time.
+//! * Client side: a daemon (here: a listener that accepts and then reads
+//!   nothing) that stops consuming the payload stream must surface as a
+//!   bounded `ClientError::Io`, not a hung fleet thread.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use alphasort_dmgen::{generate, GenConfig};
+use alphasort_sortd::{
+    proto, AdmissionConfig, Client, ClientError, JobSpec, PoolConfig, ScratchBacking, Sortd,
+    SortdConfig,
+};
+
+/// Big enough to overflow both peers' socket buffers by a wide margin, so
+/// the writer genuinely blocks rather than fire-and-forgetting into the
+/// kernel.
+const STUCK_RECORDS: u64 = 250_000;
+
+fn spec(name: &str, input: u64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        input_bytes: input,
+        mem_budget: 64 << 20,
+        scratch_budget: 0,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn server_abandons_a_response_nobody_reads() {
+    let daemon = Sortd::start(SortdConfig {
+        listen: "127.0.0.1:0".into(),
+        pool: PoolConfig {
+            mem_total: 128 << 20,
+            scratch_total: 1 << 30,
+        },
+        admission: AdmissionConfig::default(),
+        backing: ScratchBacking::Memory,
+        client_write_timeout: Duration::from_millis(200),
+        ..SortdConfig::default()
+    })
+    .expect("daemon starts");
+
+    let (data, _) = generate(GenConfig::datamation(STUCK_RECORDS, 51));
+    let mut s = TcpStream::connect(daemon.addr()).unwrap();
+    proto::send_ctrl(&mut s, &spec("unread", data.len() as u64).to_json()).unwrap();
+    proto::send_payload(&mut s, &data).unwrap();
+    let ack = proto::read_ctrl(&mut s).unwrap();
+    assert_eq!(ack.field_str("type").unwrap(), "ack");
+
+    // Deliberately read nothing more. The job finishes, the server starts
+    // writing ~24 MB of sorted records at our full socket buffer, and its
+    // write timeout expires. We must then observe the connection close in
+    // bounded time — draining what the kernel buffered until EOF/reset.
+    std::thread::sleep(Duration::from_millis(600));
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let started = Instant::now();
+    let mut sink = [0u8; 64 << 10];
+    loop {
+        match s.read(&mut sink) {
+            Ok(0) | Err(_) => break, // EOF or reset: the server gave up
+            Ok(_) => {}
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "server never abandoned the unread response"
+        );
+    }
+
+    // The stuck client cost the daemon nothing durable: the job settled
+    // and a drain completes promptly with the pool back to zero.
+    let (done, _) = daemon.drain();
+    assert_eq!(done, 1, "the job itself must have completed");
+    assert!(daemon.pool_idle(), "abandoned response leaked pool budget");
+}
+
+#[test]
+fn client_submit_times_out_against_a_daemon_that_stops_reading() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Accept and then never read: the client's payload stream jams once
+    // the socket buffers fill.
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(3));
+        drop(stream);
+    });
+
+    let (data, _) = generate(GenConfig::datamation(STUCK_RECORDS, 52));
+    let client = Client::new(addr)
+        .with_timeout(Duration::from_secs(30))
+        .with_write_timeout(Duration::from_millis(200));
+    let started = Instant::now();
+    let err = client
+        .submit(&spec("jammed", data.len() as u64), &data)
+        .expect_err("submit into a wedged daemon must fail, not hang");
+    assert!(
+        matches!(err, ClientError::Io(_)),
+        "expected a socket-level failure, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "write timeout did not bound the stall: {:?}",
+        started.elapsed()
+    );
+    hold.join().unwrap();
+}

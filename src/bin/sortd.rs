@@ -3,12 +3,13 @@
 //! ```text
 //! sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]
 //!              [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]
-//!              [--trace-out TRACE.json] [--metrics-out METRICS.json]
+//!              [--journal DIR] [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]
 //!              [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]
 //!              [--kernel scalar|branchless-tree|radix|simd]
+//!              [--idem-key KEY] [--deadline-ms N]
 //! sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]
-//!              [--kernel NAME]
+//!              [--kernel NAME] [--retries N]
 //! sortd stats  --addr ADDR
 //! sortd top    --addr ADDR [--interval-ms N] [--iters N]
 //! sortd status --addr ADDR --job ID
@@ -20,7 +21,11 @@
 //! runs until a client sends `drain`. With `--scratch-dir`, two-pass jobs
 //! spill to one shared striped volume of disk-image files in DIR, each
 //! job under its own run-file namespace; without it, scratch lives in
-//! memory.
+//! memory. With `--journal DIR`, every job lifecycle transition is
+//! journaled to DIR and a restarted daemon pointed at the same journal
+//! (and scratch dir) recovers: settled jobs answer re-submitted
+//! idempotency keys from the record, interrupted two-pass jobs reattach
+//! their surviving scratch runs so only the lost tail re-forms.
 //!
 //! `submit` streams a file (or a freshly generated Datamation input) to
 //! the daemon and writes the sorted bytes to `--out`. With `--gen` it
@@ -56,7 +61,8 @@ use alphasort_suite::obs;
 use alphasort_suite::obs::MetricsSnapshot;
 use alphasort_suite::sort::Kernel;
 use alphasort_suite::sortd::{
-    AdmissionConfig, Client, JobSpec, PoolConfig, ScratchBacking, Sortd, SortdConfig,
+    AdmissionConfig, Client, JobSpec, PoolConfig, RetryPolicy, ScratchBacking, Sortd,
+    SortdConfig,
 };
 use alphasort_suite::stripefs::Volume;
 
@@ -64,12 +70,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sortd serve  [--listen ADDR] [--pool-mem BYTES] [--pool-scratch BYTES]\n\
          \x20                [--queue-bound N] [--bypass-limit N] [--scratch-dir DIR]\n\
-         \x20                [--trace-out TRACE.json] [--metrics-out METRICS.json]\n\
+         \x20                [--journal DIR] [--trace-out TRACE.json] [--metrics-out METRICS.json]\n\
          \x20      sortd submit --addr ADDR (--in FILE | --gen RECORDS[:SEED]) [--out FILE]\n\
          \x20                [--mem BYTES] [--scratch BYTES] [--merge-workers N] [--name NAME]\n\
-         \x20                [--kernel NAME]\n\
+         \x20                [--kernel NAME] [--idem-key KEY] [--deadline-ms N]\n\
          \x20      sortd fleet  --addr ADDR [--jobs N] [--threads N] [--records N] [--mem BYTES]\n\
-         \x20                [--kernel NAME]\n\
+         \x20                [--kernel NAME] [--retries N]\n\
          \x20      sortd stats  --addr ADDR\n\
          \x20      sortd top    --addr ADDR [--interval-ms N] [--iters N]\n\
          \x20      sortd status --addr ADDR --job ID\n\
@@ -181,8 +187,16 @@ fn shared_volume(dir: &str) -> Result<Arc<Volume>, ExitCode> {
     let mut disks = Vec::new();
     for i in 0..SCRATCH_DISKS {
         let img = Path::new(dir).join(format!("disk{i}.img"));
-        let storage: Arc<dyn Storage> = Arc::new(FileStorage::create(&img).map_err(|e| {
-            eprintln!("cannot create {}: {e}", img.display());
+        // Reopen an existing image rather than truncating it: a restarted
+        // daemon must see the runs an interrupted two-pass job sealed, or
+        // journal-driven scratch recovery has nothing to reattach.
+        let opened = if img.exists() {
+            FileStorage::open(&img)
+        } else {
+            FileStorage::create(&img)
+        };
+        let storage: Arc<dyn Storage> = Arc::new(opened.map_err(|e| {
+            eprintln!("cannot open {}: {e}", img.display());
             ExitCode::FAILURE
         })?);
         disks.push(SimDisk::new(
@@ -224,6 +238,12 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, ExitCode> {
         client_read_timeout: Duration::from_secs(
             flags.num("--client-timeout-secs", 120u64)?,
         ),
+        client_write_timeout: Duration::from_secs(
+            flags.num("--client-write-timeout-secs", 30u64)?,
+        ),
+        journal: flags.get("--journal").map(Into::into),
+        recovered_grace: Duration::from_millis(flags.num("--recovered-grace-ms", 60_000u64)?),
+        ..SortdConfig::default()
     })
     .map_err(|e| {
         eprintln!("cannot start daemon: {e}");
@@ -301,6 +321,8 @@ fn cmd_submit(flags: &Flags) -> Result<ExitCode, ExitCode> {
         scratch_budget: flags.num("--scratch", data.len() as u64 + RECORD_LEN as u64)?,
         merge_workers: flags.num("--merge-workers", 0usize)?,
         kernel: flags.kernel()?,
+        idem_key: flags.get("--idem-key").map(Into::into),
+        deadline_ms: flags.num("--deadline-ms", 0u64)?,
     };
     let client = Client::new(addr).with_timeout(Duration::from_secs(600));
     let started = Instant::now();
@@ -308,6 +330,13 @@ fn cmd_submit(flags: &Flags) -> Result<ExitCode, ExitCode> {
         eprintln!("submit failed: {e}");
         ExitCode::FAILURE
     })?;
+    if res.duplicate {
+        eprintln!(
+            "job {}: duplicate of a settled job — {} records, answered from the journal",
+            res.job_id, res.records
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     eprintln!(
         "job {} ({}): {} records sorted in {:.3} s ({}{})",
         res.job_id,
@@ -342,6 +371,10 @@ fn cmd_fleet(flags: &Flags) -> Result<ExitCode, ExitCode> {
     let records: u64 = flags.num("--records", 1_000)?;
     let mem: u64 = flags.num("--mem", 1u64 << 20)?;
     let kernel = flags.kernel()?;
+    // --retries N switches the fleet to the client's bounded, idempotent
+    // retry policy (N attempts, jittered linear backoff, one key per job).
+    // Without it the fleet keeps its historical unbounded exponential loop.
+    let retries: u32 = flags.num("--retries", 0)?;
     let started = Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads {
@@ -357,18 +390,38 @@ fn cmd_fleet(flags: &Flags) -> Result<ExitCode, ExitCode> {
                     scratch_budget: data.len() as u64 + RECORD_LEN as u64,
                     merge_workers: 0,
                     kernel,
+                    idem_key: (retries > 0).then(|| format!("fleet-job-{j}")),
+                    ..JobSpec::default()
                 };
-                let mut delay = Duration::from_millis(5);
-                let res = loop {
-                    match client.submit(&spec, &data) {
-                        Ok(r) => break r,
-                        Err(e) if e.retryable() => {
-                            thread::sleep(delay);
-                            delay = (delay * 2).min(Duration::from_millis(250));
-                        }
+                let res = if retries > 0 {
+                    let policy = RetryPolicy {
+                        attempts: retries,
+                        base_backoff: Duration::from_millis(5),
+                        seed: 0xf1ee7 ^ j,
+                    };
+                    match client.submit_with_retry(&spec, &data, &policy) {
+                        Ok(r) => r,
                         Err(e) => return Err(format!("fleet-{j}: {e}")),
                     }
+                } else {
+                    let mut delay = Duration::from_millis(5);
+                    loop {
+                        match client.submit(&spec, &data) {
+                            Ok(r) => break r,
+                            Err(e) if e.retryable() => {
+                                thread::sleep(delay);
+                                delay = (delay * 2).min(Duration::from_millis(250));
+                            }
+                            Err(e) => return Err(format!("fleet-{j}: {e}")),
+                        }
+                    }
                 };
+                if res.duplicate {
+                    // A retry raced a completed first attempt; the bytes
+                    // already reached that attempt, nothing to re-check.
+                    ran += 1;
+                    continue;
+                }
                 let mut want = data.clone();
                 records_of_mut(&mut want).sort_by_key(|r| r.key);
                 if res.output != want {
@@ -481,6 +534,18 @@ fn render_top(addr: SocketAddr, cur: &MetricsSnapshot, delta: &MetricsSnapshot, 
         gauge("sortd.queue.bound"),
         gauge("sortd.running"),
         if gauge("sortd.draining") != 0 { "yes" } else { "no" },
+    );
+    // Durability counters are lifetime totals, not rates: recovery happens
+    // once at startup and deadline kills are rare, so totals read better.
+    let total = |name: &str| cur.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "recovery  {} jobs recovered · {} runs reattached · {} re-formed · {} scratch disposed · {} deadline kills · {} duplicates answered",
+        total("sortd.recovery.jobs_recovered"),
+        total("sortd.recovery.runs_recovered"),
+        total("sortd.recovery.runs_reformed"),
+        total("sortd.recovery.scratch_disposed"),
+        total("sortd.deadline.kills"),
+        total("sortd.jobs.duplicates"),
     );
     println!(
         "pool      mem {:.1}/{:.1} MB ({:.0}%) · scratch {:.1}/{:.1} MB ({:.0}%)",
