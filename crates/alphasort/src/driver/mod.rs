@@ -17,6 +17,7 @@ pub use twopass::two_pass;
 
 use std::io;
 
+use crate::entry::RecordLayout;
 use crate::io::{RecordSink, RecordSource};
 use crate::kernels::Kernel;
 use crate::planner::{PassPlan, Planner};
@@ -52,6 +53,11 @@ pub struct SortConfig {
     /// [`crate::kernels`]). Every kernel is byte-identical to the default
     /// scalar oracle; the choice only moves CPU time.
     pub kernel: Kernel,
+    /// Record model the sort operates on (see [`RecordLayout`]). Like the
+    /// kernel, the layout only moves CPU time: for a given layout every
+    /// configuration produces byte-identical output. `VarLen` routes both
+    /// drivers to the LCP/OVC-aware pipeline in [`crate::varlen`].
+    pub layout: RecordLayout,
 }
 
 impl Default for SortConfig {
@@ -65,6 +71,7 @@ impl Default for SortConfig {
             max_fanin: 128,
             merge_workers: 0,
             kernel: Kernel::Scalar,
+            layout: RecordLayout::Datamation,
         }
     }
 }

@@ -36,6 +36,9 @@ where
     Src: RecordSource,
     Snk: RecordSink,
 {
+    if cfg.layout == crate::entry::RecordLayout::VarLen {
+        return crate::varlen::one_pass_var(source, sink, cfg);
+    }
     assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
     let mut top = obs::span(obs::phase::ONE_PASS);
     let t_start = Instant::now();

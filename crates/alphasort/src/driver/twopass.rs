@@ -38,6 +38,14 @@ where
     Snk: RecordSink,
     Scr: ScratchStore,
 {
+    if cfg.layout == crate::entry::RecordLayout::VarLen {
+        // Var-len runs stage in their own in-memory scratch (striped
+        // var-len scratch is a roadmap item); the caller's fixed-layout
+        // scratch is not touched. Resumable var-len sorts call
+        // `varlen::two_pass_var` directly with a recovered scratch.
+        let mut vs = crate::varlen::MemVarScratch::new();
+        return crate::varlen::two_pass_var(source, sink, &mut vs, cfg);
+    }
     assert!(cfg.run_records > 0 && cfg.gather_batch > 0);
     let mut top = obs::span(obs::phase::TWO_PASS);
     let t_start = Instant::now();

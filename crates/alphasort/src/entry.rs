@@ -8,6 +8,63 @@
 
 use alphasort_dmgen::{Record, KEY_LEN};
 
+/// Which record model a sort operates on. The layout is threaded through
+/// [`crate::SortConfig`], both drivers, `sortcli --layout`, and the sortd
+/// job manifest; like the kernel registry, the choice moves CPU time only —
+/// for a given layout every configuration produces byte-identical output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecordLayout {
+    /// Fixed Datamation records: 100 bytes, 10-byte key at offset 0. The
+    /// fast path — every fixed-stride assumption stays intact.
+    #[default]
+    Datamation,
+    /// Length-prefixed variable-length records with an (offset, length)
+    /// string-key descriptor (see [`alphasort_dmgen::varlen`]), sorted by
+    /// the LCP/OVC-aware pipeline in [`crate::varlen`].
+    VarLen,
+}
+
+impl RecordLayout {
+    /// Every registered layout, fast path first.
+    pub const ALL: [RecordLayout; 2] = [RecordLayout::Datamation, RecordLayout::VarLen];
+
+    /// Registry name (CLI flag value, manifest field value, oracle key).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordLayout::Datamation => "datamation",
+            RecordLayout::VarLen => "varlen",
+        }
+    }
+
+    /// Look a layout up by its registry name.
+    pub fn from_name(name: &str) -> Option<RecordLayout> {
+        RecordLayout::ALL.into_iter().find(|l| l.name() == name)
+    }
+
+    /// One-line description for help text and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RecordLayout::Datamation => "fixed 100-byte records, 10-byte keys (fast path)",
+            RecordLayout::VarLen => "length-prefixed records, string keys, LCP/OVC merge",
+        }
+    }
+}
+
+/// The prefix-entry integer for an arbitrary-length key: the first 8 key
+/// bytes big-endian, zero-padded on the right when the key is shorter.
+///
+/// Padding with 0x00 understates short keys but never overstates them, so
+/// prefix order is faithful wherever prefixes differ; equal prefixes fall
+/// through to the full-key comparison (the overflow path), exactly like
+/// the fixed layout's tie handling.
+#[inline]
+pub fn key_prefix_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
 /// Hard ceiling on records addressable within one run: the entry types
 /// carry 32-bit record indices, so a run may hold at most `u32::MAX`
 /// records (≈ 400 GB of 100-byte records — runs are sized to memory and
@@ -156,6 +213,42 @@ impl KeyEntry {
 mod tests {
     use super::*;
     use alphasort_dmgen::{generate, records_of, GenConfig};
+
+    #[test]
+    fn layout_names_round_trip() {
+        for l in RecordLayout::ALL {
+            assert_eq!(RecordLayout::from_name(l.name()), Some(l));
+            assert!(!l.describe().is_empty());
+        }
+        assert_eq!(RecordLayout::from_name("no-such-layout"), None);
+        assert_eq!(RecordLayout::default(), RecordLayout::Datamation);
+    }
+
+    #[test]
+    fn key_prefix_is_order_faithful_where_prefixes_differ() {
+        // Shorter keys pad with 0x00: never overstated, so prefix order may
+        // only tie (fall through), never invert, byte-string order.
+        let cases: [&[u8]; 7] = [
+            b"",
+            b"a",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghZZZ",
+            b"abd",
+            b"\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+        ];
+        for x in cases {
+            for y in cases {
+                let (px, py) = (key_prefix_u64(x), key_prefix_u64(y));
+                if px != py {
+                    assert_eq!(px < py, x < y, "{x:?} vs {y:?}");
+                }
+            }
+        }
+        // A key that is a prefix of another ties on the integer prefix when
+        // they agree through 8 bytes — the overflow path must break it.
+        assert_eq!(key_prefix_u64(b"abcdefgh"), key_prefix_u64(b"abcdefghZZZ"));
+    }
 
     #[test]
     fn prefix_entry_is_12_bytes_padded_to_16() {

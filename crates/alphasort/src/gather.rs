@@ -33,6 +33,16 @@ pub fn merge_gather_all(runs: &[SortedRun]) -> Vec<u8> {
     out
 }
 
+/// [`gather_into`] for variable-length runs: no fixed stride to reserve
+/// by, so copies are sized per frame. Records are still copied exactly
+/// once — the pointers address (run, sorted-position), the frame lookup
+/// resolves offset and length.
+pub fn gather_var_into(runs: &[crate::varlen::VarRun], ptrs: &[MergedPtr], out: &mut Vec<u8>) {
+    for p in ptrs {
+        out.extend_from_slice(runs[p.run as usize].frame_at(p.pos as usize));
+    }
+}
+
 /// Pull up to `n` pointers from a merger — the root's unit of work when it
 /// hands gather chores to workers buffer by buffer.
 pub fn take_ptrs(merger: &mut RunMerger<'_>, n: usize) -> Vec<MergedPtr> {

@@ -68,9 +68,10 @@ pub mod rs;
 pub mod runform;
 pub mod splitter;
 pub mod stats;
+pub mod varlen;
 
 pub use driver::{ExternalSorter, SortConfig, SortOutcome};
-pub use entry::{CodewordEntry, KeyEntry, PrefixEntry};
+pub use entry::{key_prefix_u64, CodewordEntry, KeyEntry, PrefixEntry, RecordLayout};
 pub use kernels::Kernel;
 pub use io::{MemSink, MemSource, RecordSink, RecordSource};
 pub use planner::{PassPlan, Planner};

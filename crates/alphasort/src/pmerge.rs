@@ -128,6 +128,121 @@ pub fn plan_partitions_with<E>(
     })
 }
 
+/// A partitioned-merge plan over variable-length runs: splitters are
+/// byte-string keys instead of fixed arrays, bounds and cover semantics
+/// identical to [`MergePartition`].
+#[derive(Clone, Debug)]
+pub struct VarMergePartition {
+    /// The `ranges - 1` quantile splitter keys, ascending byte strings.
+    pub splitters: Vec<Vec<u8>>,
+    /// `bounds[j][r]` = sorted positions `[start, end)` of range `j`
+    /// within var-len run `r`.
+    pub bounds: Vec<Vec<(u64, u64)>>,
+    /// Records each range holds.
+    pub range_records: Vec<u64>,
+}
+
+impl VarMergePartition {
+    /// Number of ranges planned.
+    pub fn ranges(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+/// [`lower_bound`] for byte-string keys.
+fn var_lower_bound<E>(
+    run: usize,
+    len: u64,
+    key: &[u8],
+    key_at: &mut impl FnMut(usize, u64) -> Result<Vec<u8>, E>,
+) -> Result<u64, E> {
+    let (mut lo, mut hi) = (0u64, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if key_at(run, mid)?.as_slice() < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// [`plan_partitions_with`] for variable-length runs: same proportional
+/// sampling, same quantile splitters (now byte strings via
+/// [`crate::splitter::byte_splitters_from_keys`]), same per-(run, splitter)
+/// binary search. Range `j` holds exactly the records
+/// [`crate::splitter::route_bytes`] sends to `j`, so concatenated range
+/// merges stay byte-identical to the serial merge.
+pub fn plan_var_partitions_with<E>(
+    run_lens: &[u64],
+    ranges: usize,
+    samples_per_range: usize,
+    mut key_at: impl FnMut(usize, u64) -> Result<Vec<u8>, E>,
+) -> Result<VarMergePartition, E> {
+    assert!(ranges >= 1, "need at least one range");
+    let total: u64 = run_lens.iter().sum();
+
+    let mut pool = Vec::new();
+    if total > 0 && ranges > 1 {
+        let want = (ranges * samples_per_range.max(1)) as u64;
+        let stride = (total / want).max(1);
+        for (r, &len) in run_lens.iter().enumerate() {
+            let mut pos = 0;
+            while pos < len {
+                pool.push(key_at(r, pos)?);
+                pos += stride;
+            }
+        }
+    }
+    let splitters = crate::splitter::byte_splitters_from_keys(pool, ranges);
+
+    let mut cuts: Vec<Vec<u64>> = Vec::with_capacity(ranges + 1);
+    cuts.push(vec![0; run_lens.len()]);
+    for s in &splitters {
+        let mut row = Vec::with_capacity(run_lens.len());
+        for (r, &len) in run_lens.iter().enumerate() {
+            row.push(var_lower_bound(r, len, s, &mut key_at)?);
+        }
+        cuts.push(row);
+    }
+    cuts.push(run_lens.to_vec());
+
+    let mut bounds = Vec::with_capacity(ranges);
+    let mut range_records = Vec::with_capacity(ranges);
+    for j in 0..ranges {
+        let row: Vec<(u64, u64)> = cuts[j]
+            .iter()
+            .zip(&cuts[j + 1])
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        range_records.push(row.iter().map(|&(s, e)| e - s).sum());
+        bounds.push(row);
+    }
+    Ok(VarMergePartition {
+        splitters,
+        bounds,
+        range_records,
+    })
+}
+
+/// Plan over in-memory [`crate::varlen::VarRun`]s: probes are free and
+/// cannot fail.
+pub fn plan_var_mem_partitions(
+    runs: &[crate::varlen::VarRun],
+    ranges: usize,
+    samples_per_range: usize,
+) -> VarMergePartition {
+    let lens: Vec<u64> = runs.iter().map(|r| r.len() as u64).collect();
+    let plan = plan_var_partitions_with(&lens, ranges, samples_per_range, |r, pos| {
+        Ok::<_, std::convert::Infallible>(runs[r].key_at(pos as usize).to_vec())
+    });
+    match plan {
+        Ok(p) => p,
+        Err(e) => match e {},
+    }
+}
+
 /// Plan over in-memory sorted runs (the one-pass driver's case): probes
 /// are free `record_at` calls and cannot fail.
 pub fn plan_mem_partitions(
@@ -230,6 +345,51 @@ mod tests {
         assert_eq!(plan.ranges(), 4);
         assert!(plan.bounds.iter().all(Vec::is_empty));
         assert_eq!(plan.range_records, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn var_plan_covers_text_runs() {
+        use crate::varlen::VarRun;
+        use alphasort_dmgen::{generate_varlen, parse_var_record, TextCorpus, VarGenConfig};
+        let buf = generate_varlen(VarGenConfig {
+            records: 2_000,
+            seed: 13,
+            corpus: TextCorpus::Urls,
+        });
+        let mut runs = Vec::new();
+        let mut cur = Vec::new();
+        let (mut off, mut count) = (0usize, 0usize);
+        while off < buf.len() {
+            let r = parse_var_record(&buf[off..], off as u64).unwrap();
+            cur.extend_from_slice(r.frame());
+            off += r.len();
+            count += 1;
+            if count == 311 {
+                runs.push(VarRun::from_frames(std::mem::take(&mut cur)).unwrap());
+                count = 0;
+            }
+        }
+        runs.push(VarRun::from_frames(cur).unwrap());
+        let lens: Vec<u64> = runs.iter().map(|r| r.len() as u64).collect();
+        for ranges in [1, 2, 4, 8] {
+            let plan = plan_var_mem_partitions(&runs, ranges, SAMPLES_PER_RANGE);
+            assert_eq!(plan.ranges(), ranges);
+            assert_eq!(plan.splitters.len(), ranges - 1);
+            // Same cover/disjointness invariant as the fixed-layout plan.
+            for (r, &len) in lens.iter().enumerate() {
+                let mut pos = 0;
+                for row in &plan.bounds {
+                    let (s, e) = row[r];
+                    assert_eq!(s, pos, "gap/overlap in run {r}");
+                    pos = e;
+                }
+                assert_eq!(pos, len, "run {r} not fully covered");
+            }
+            assert_eq!(
+                plan.range_records.iter().sum::<u64>(),
+                lens.iter().sum::<u64>()
+            );
+        }
     }
 
     #[test]

@@ -79,6 +79,31 @@ pub fn route(key: &[u8; KEY_LEN], splitters: &[[u8; KEY_LEN]]) -> usize {
     splitters.partition_point(|s| s <= key)
 }
 
+/// Pick `parts - 1` splitters from a pooled sample of *byte-string* keys —
+/// the var-len layout's quantile recipe. Same contract as
+/// [`splitters_from_keys`]: sorted quantiles, empty pool degrades to empty
+/// splitters (everything routes to part 0... via [`route_bytes`] an empty
+/// key ties every empty splitter and goes right, which still partitions
+/// nothing incorrectly because there is nothing to partition).
+pub fn byte_splitters_from_keys(mut pool: Vec<Vec<u8>>, parts: usize) -> Vec<Vec<u8>> {
+    assert!(parts >= 1);
+    pool.sort_unstable();
+    if pool.is_empty() {
+        return vec![Vec::new(); parts - 1];
+    }
+    (1..parts)
+        .map(|k| pool[k * pool.len() / parts].clone())
+        .collect()
+}
+
+/// [`route`] for byte-string keys: first interval whose upper splitter
+/// exceeds the key, equal keys go right. Pure in the key, so the var-len
+/// partitioned merge inherits the fixed layout's stability argument.
+#[inline]
+pub fn route_bytes(key: &[u8], splitters: &[Vec<u8>]) -> usize {
+    splitters.partition_point(|s| s.as_slice() <= key)
+}
+
 /// Scatter `input` (whole records) into one byte buffer per part.
 pub fn partition_records(input: &[u8], splitters: &[[u8; KEY_LEN]]) -> Vec<Vec<u8>> {
     assert!(input.len().is_multiple_of(RECORD_LEN));
@@ -140,6 +165,32 @@ mod tests {
                 assert!(lo <= hi);
             }
         }
+    }
+
+    #[test]
+    fn byte_splitters_agree_with_fixed_splitters_on_fixed_keys() {
+        let (input, _) = generate(GenConfig::datamation(3_000, 17));
+        let fixed = decode_splitters(&sample_keys(&input, 400));
+        let bytes: Vec<Vec<u8>> = fixed.iter().map(|k| k.to_vec()).collect();
+        let fs = splitters_from_keys(fixed, 6);
+        let bs = byte_splitters_from_keys(bytes, 6);
+        assert_eq!(fs.len(), bs.len());
+        for (f, b) in fs.iter().zip(&bs) {
+            assert_eq!(&f[..], &b[..]);
+            assert_eq!(route(f, &fs), route_bytes(b, &bs));
+        }
+    }
+
+    #[test]
+    fn route_bytes_handles_empty_and_prefix_keys() {
+        let splitters = vec![b"app".to_vec(), b"apple".to_vec()];
+        assert_eq!(route_bytes(b"", &splitters), 0);
+        assert_eq!(route_bytes(b"ap", &splitters), 0);
+        assert_eq!(route_bytes(b"app", &splitters), 1); // equal goes right
+        assert_eq!(route_bytes(b"appl", &splitters), 1);
+        assert_eq!(route_bytes(b"apple", &splitters), 2);
+        assert_eq!(route_bytes(b"zebra", &splitters), 2);
+        assert_eq!(route_bytes(b"anything", &[]), 0);
     }
 
     #[test]

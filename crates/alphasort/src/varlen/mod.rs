@@ -1,0 +1,34 @@
+//! Variable-length records with string keys — the second [`crate::RecordLayout`].
+//!
+//! The paper sorts fixed 100-byte Datamation records; real sort inputs
+//! (URLs, log lines, words) are ragged. This module generalizes the
+//! AlphaSort pipeline to length-prefixed records with (offset, length) key
+//! descriptors, keeping the paper's cache discipline:
+//!
+//! * **Run formation** ([`vrun`]) still sorts *(key-prefix, pointer)*
+//!   entries — the prefix is the first 8 key bytes zero-padded
+//!   ([`crate::entry::key_prefix_u64`]), order-faithful where prefixes
+//!   differ, with the full-key overflow path on ties. Formation also
+//!   precomputes each run's `lcp_prev` table (LCP of neighbouring sorted
+//!   keys), which the merge reuses.
+//! * **Merging** ([`vmerge`]) threads offset-value codes through the loser
+//!   tree: tree replays resolve on offsets alone where they differ and
+//!   compare only key *suffixes* where they tie, so shared prefixes are
+//!   never rescanned. [`MergeEffort`](crate::ovc::MergeEffort) counts key
+//!   bytes touched; the bench trajectory holds OVC against the naive
+//!   full-key merge.
+//! * **Drivers** ([`vdriver`]) mirror the fixed one-pass/two-pass shape:
+//!   overlapped run formation, serial or splitter-partitioned merges
+//!   (byte-identical either way), and resumable two-pass runs.
+//!
+//! Layout choice moves CPU time only: for a given input every kernel,
+//! worker count, and merge mode produces byte-identical output, pinned by
+//! the differential oracle.
+
+pub mod vdriver;
+pub mod vmerge;
+pub mod vrun;
+
+pub use vdriver::{one_pass_var, partition_sort_var, sort_var_bytes, two_pass_var, MemVarScratch};
+pub use vmerge::{MergeMode, VarRunCursor, VarRunMerger, VarRunStream, VarStreamMerger};
+pub use vrun::{lcp, VarFramer, VarRun};

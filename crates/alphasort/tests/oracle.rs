@@ -21,9 +21,11 @@
 use alphasort_core::baseline::{partition_sort, PartitionSortConfig};
 use alphasort_core::driver::{one_pass, two_pass, MemScratch, ScratchStore};
 use alphasort_core::io::{MemSink, MemSource};
-use alphasort_core::{Kernel, SortConfig};
+use alphasort_core::varlen::{partition_sort_var, sort_var_bytes, two_pass_var, MemVarScratch};
+use alphasort_core::{Kernel, RecordLayout, SortConfig};
 use alphasort_dmgen::{
-    generate, records_of, records_of_mut, GenConfig, KeyDistribution, RECORD_LEN,
+    generate, generate_varlen, records_of, records_of_mut, var_records_of, GenConfig,
+    KeyDistribution, TextCorpus, VarGenConfig, RECORD_LEN,
 };
 
 /// Ground truth: stable sort by full key, concatenated back to bytes.
@@ -35,6 +37,19 @@ fn stable_reference(data: &[u8]) -> Vec<u8> {
         out.extend_from_slice(r.as_bytes());
     }
     out
+}
+
+/// Record layouts under test (overridable by CI's layout matrix): a
+/// comma-separated `ORACLE_LAYOUT` list restricts the oracle to the named
+/// layouts; unset runs everything.
+fn layout_enabled(l: RecordLayout) -> bool {
+    match std::env::var("ORACLE_LAYOUT") {
+        Ok(v) => v.split(',').any(|p| {
+            let p = p.trim();
+            RecordLayout::from_name(p).expect("ORACLE_LAYOUT: unknown layout name") == l
+        }),
+        Err(_) => true,
+    }
 }
 
 /// Hot-path kernel under test (overridable by CI's kernel matrix).
@@ -103,6 +118,9 @@ fn resumed_scratch(data: &[u8], run_records: usize) -> MemScratch {
 /// Run every driver configuration over one seeded input and compare all
 /// outputs against the stable reference.
 fn oracle_case(records: u64, seed: u64, dist: KeyDistribution) {
+    if !layout_enabled(RecordLayout::Datamation) {
+        return;
+    }
     let what = format!("{records} records, seed {seed:#x}, {dist:?}");
     let (data, _) = generate(GenConfig {
         records,
@@ -235,6 +253,235 @@ fn oracle_every_registered_kernel() {
         assert_identical(&got, &want, &format!("one-pass [{}]", kernel.name()));
         let got = run_two_pass(&data, &cfg, MemScratch::new(40 * RECORD_LEN));
         assert_identical(&got, &want, &format!("two-pass [{}]", kernel.name()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variable-length layout: the same oracle over string-keyed frames.
+// ---------------------------------------------------------------------------
+
+/// Ground truth for the var-len layout: stable sort of the parsed frames by
+/// key bytes, concatenated back. Unique because every generated body embeds
+/// a sequence number right after the key.
+fn var_stable_reference(data: &[u8]) -> Vec<u8> {
+    let recs = var_records_of(data).expect("generated corpus parses");
+    let mut idx: Vec<usize> = (0..recs.len()).collect();
+    idx.sort_by(|&a, &b| recs[a].key().cmp(recs[b].key()).then(a.cmp(&b)));
+    let mut out = Vec::with_capacity(data.len());
+    for i in idx {
+        out.extend_from_slice(recs[i].frame());
+    }
+    out
+}
+
+/// First differing frame, for a readable var-len failure.
+fn var_assert_identical(got: &[u8], want: &[u8], what: &str) {
+    if got == want {
+        return;
+    }
+    assert_eq!(got.len(), want.len(), "{what}: output length diverged");
+    let g = var_records_of(got).expect("output parses");
+    let w = var_records_of(want).expect("reference parses");
+    let at = g
+        .iter()
+        .zip(&w)
+        .position(|(a, b)| a.frame() != b.frame())
+        .expect("unequal outputs must differ somewhere");
+    panic!(
+        "{what}: first divergence at record {at}: got key {:?} seq {:?}, \
+         want key {:?} seq {:?}",
+        g[at].key(),
+        g[at].seq(),
+        w[at].key(),
+        w[at].seq(),
+    );
+}
+
+fn run_one_pass_var(data: &[u8], cfg: &SortConfig) -> Vec<u8> {
+    let mut source = MemSource::new(data.to_vec(), 997); // ragged, frame-straddling
+    let mut sink = MemSink::new();
+    one_pass(&mut source, &mut sink, cfg).unwrap();
+    sink.into_inner()
+}
+
+fn run_two_pass_var(data: &[u8], cfg: &SortConfig, scratch: &mut MemVarScratch) -> Vec<u8> {
+    let mut source = MemSource::new(data.to_vec(), 997);
+    let mut sink = MemSink::new();
+    two_pass_var(&mut source, &mut sink, scratch, cfg).unwrap();
+    sink.into_inner()
+}
+
+/// A var-len scratch pretending the middle run survived a crash: frames for
+/// records `[run_records, 2*run_records)` pre-sorted exactly as pass 1
+/// would have spilled them.
+fn resumed_var_scratch(data: &[u8], run_records: usize) -> MemVarScratch {
+    let recs = var_records_of(data).expect("corpus parses");
+    assert!(recs.len() >= 3 * run_records, "need 3+ runs");
+    let window = &recs[run_records..2 * run_records];
+    let mut idx: Vec<usize> = (0..window.len()).collect();
+    idx.sort_by(|&a, &b| window[a].key().cmp(window[b].key()).then(a.cmp(&b)));
+    let mut bytes = Vec::new();
+    for i in idx {
+        bytes.extend_from_slice(window[i].frame());
+    }
+    MemVarScratch::with_recovered(vec![(run_records as u64, bytes)])
+        .expect("recovered run validates")
+}
+
+/// Run every var-len driver configuration over one corpus and compare all
+/// outputs against the stable reference — mirrors [`oracle_case`].
+fn var_oracle_case(records: u64, seed: u64, corpus: TextCorpus) {
+    if !layout_enabled(RecordLayout::VarLen) {
+        return;
+    }
+    let what = format!("{records} records, seed {seed:#x}, {}", corpus.name());
+    let data = generate_varlen(VarGenConfig {
+        records,
+        seed,
+        corpus,
+    });
+    let want = var_stable_reference(&data);
+
+    // In-memory baselines: single-partition sort and splitter-partitioned.
+    let got = sort_var_bytes(&data).unwrap();
+    var_assert_identical(&got, &want, &format!("sort_var_bytes [{what}]"));
+    for parts in [2, 3, 5] {
+        let got = partition_sort_var(&data, parts).unwrap();
+        var_assert_identical(&got, &want, &format!("baseline parts={parts} [{what}]"));
+    }
+
+    let run_records = (records as usize / 7).max(1);
+    let base = SortConfig {
+        run_records,
+        gather_batch: 128,
+        workers: 2,
+        kernel: kernel_under_test(),
+        layout: RecordLayout::VarLen,
+        ..Default::default()
+    };
+
+    // One-pass, serial tournament merge (through the layout dispatch).
+    let got = run_one_pass_var(&data, &base);
+    var_assert_identical(&got, &want, &format!("one-pass serial [{what}]"));
+
+    // One-pass, partitioned merge at every worker count.
+    for p in merge_worker_counts() {
+        let cfg = SortConfig {
+            merge_workers: p,
+            ..base.clone()
+        };
+        let got = run_one_pass_var(&data, &cfg);
+        var_assert_identical(&got, &want, &format!("one-pass P={p} [{what}]"));
+    }
+
+    // Two-pass, serial final merge.
+    let got = run_two_pass_var(&data, &base, &mut MemVarScratch::new());
+    var_assert_identical(&got, &want, &format!("two-pass serial [{what}]"));
+
+    // Two-pass, partitioned + resumed at every worker count.
+    for p in merge_worker_counts() {
+        let cfg = SortConfig {
+            merge_workers: p,
+            ..base.clone()
+        };
+        let got = run_two_pass_var(&data, &cfg, &mut MemVarScratch::new());
+        var_assert_identical(&got, &want, &format!("two-pass P={p} [{what}]"));
+
+        let got = run_two_pass_var(&data, &cfg, &mut resumed_var_scratch(&data, run_records));
+        var_assert_identical(&got, &want, &format!("two-pass resumed P={p} [{what}]"));
+    }
+
+    // Resumed two-pass with the serial merge, for completeness.
+    let got = run_two_pass_var(&data, &base, &mut resumed_var_scratch(&data, run_records));
+    var_assert_identical(&got, &want, &format!("two-pass resumed serial [{what}]"));
+}
+
+#[test]
+fn var_oracle_urls() {
+    var_oracle_case(1_200, 0xB0, TextCorpus::Urls);
+}
+
+#[test]
+fn var_oracle_log_lines() {
+    var_oracle_case(1_200, 0xB1, TextCorpus::LogLines);
+}
+
+#[test]
+fn var_oracle_zipfian_words() {
+    var_oracle_case(1_200, 0xB2, TextCorpus::ZipfianWords { max_words: 5 });
+}
+
+#[test]
+fn var_oracle_single_word_zipf() {
+    // max_words = 1: shortest keys, maximal duplication.
+    var_oracle_case(1_000, 0xB3, TextCorpus::ZipfianWords { max_words: 1 });
+}
+
+#[test]
+fn var_oracle_random_bytes() {
+    var_oracle_case(1_200, 0xB4, TextCorpus::RandomBytes { min_key: 0, max_key: 40 });
+}
+
+#[test]
+fn var_oracle_short_random_bytes() {
+    // Keys at or under the 8-byte prefix-entry width.
+    var_oracle_case(1_000, 0xB5, TextCorpus::RandomBytes { min_key: 1, max_key: 8 });
+}
+
+#[test]
+fn var_oracle_empty_keys() {
+    var_oracle_case(1_000, 0xB6, TextCorpus::EmptyKey);
+}
+
+#[test]
+fn var_oracle_all_equal_keys() {
+    var_oracle_case(1_000, 0xB7, TextCorpus::AllEqualKey { key_len: 16 });
+}
+
+#[test]
+fn var_oracle_shared_megaprefix() {
+    var_oracle_case(1_000, 0xB8, TextCorpus::SharedMegaPrefix { prefix: 48, suffix: 8 });
+}
+
+#[test]
+fn var_oracle_deep_shared_prefix() {
+    // Prefix far beyond any cached entry width, near-tying suffixes.
+    var_oracle_case(800, 0xB9, TextCorpus::SharedMegaPrefix { prefix: 200, suffix: 4 });
+}
+
+#[test]
+fn var_oracle_prefix_chain() {
+    var_oracle_case(1_000, 0xBA, TextCorpus::PrefixChain { max_len: 32 });
+}
+
+/// Every registered kernel against the var-len layout — the layout matrix
+/// complement of [`oracle_every_registered_kernel`]. Kernel choice and
+/// layout choice must both be pure CPU-time decisions.
+#[test]
+fn var_oracle_every_registered_kernel() {
+    if !layout_enabled(RecordLayout::VarLen) {
+        return;
+    }
+    let data = generate_varlen(VarGenConfig {
+        records: 900,
+        seed: 0xBB,
+        corpus: TextCorpus::ZipfianWords { max_words: 3 },
+    });
+    let want = var_stable_reference(&data);
+    for kernel in Kernel::ALL {
+        let cfg = SortConfig {
+            run_records: 150,
+            gather_batch: 64,
+            workers: 2,
+            merge_workers: 2,
+            kernel,
+            layout: RecordLayout::VarLen,
+            ..Default::default()
+        };
+        let got = run_one_pass_var(&data, &cfg);
+        var_assert_identical(&got, &want, &format!("var one-pass [{}]", kernel.name()));
+        let got = run_two_pass_var(&data, &cfg, &mut MemVarScratch::new());
+        var_assert_identical(&got, &want, &format!("var two-pass [{}]", kernel.name()));
     }
 }
 

@@ -222,6 +222,145 @@ fn partition_cuts_are_disjoint_covering_and_order_preserving() {
     }
 }
 
+/// Tie-heavy byte-string keys over a tiny alphabet, deliberately including
+/// keys that are strict prefixes or extensions of earlier keys — the shapes
+/// LCP/OVC comparison logic gets wrong first.
+fn tie_heavy_keys(r: &mut SplitMix64, n: usize) -> Vec<Vec<u8>> {
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = match (keys.is_empty(), r.next_below(4)) {
+            (false, 0) => {
+                // Prefix of an earlier key (possibly empty, possibly whole).
+                let k = &keys[r.next_below(keys.len() as u64) as usize];
+                k[..r.next_below(k.len() as u64 + 1) as usize].to_vec()
+            }
+            (false, 1) => {
+                // Proper extension of an earlier key.
+                let mut k = keys[r.next_below(keys.len() as u64) as usize].clone();
+                for _ in 0..=r.next_below(3) {
+                    k.push(b'a' + r.next_below(2) as u8);
+                }
+                k
+            }
+            _ => (0..r.next_below(7))
+                .map(|_| b'a' + r.next_below(2) as u8)
+                .collect(),
+        };
+        keys.push(key);
+    }
+    keys
+}
+
+/// The OVC invariant itself: relative to a base key every live head is ≥,
+/// the offsets (LCP with the base) alone reconstruct comparison order when
+/// they differ, and equal offsets reduce the comparison to the suffixes.
+/// This is the lemma the LCP-aware loser tree's `leaf_less` rests on.
+#[test]
+fn ovc_codes_reconstruct_comparison_order() {
+    use alphasort_core::varlen::lcp;
+
+    let mut r = SplitMix64::new(0xA6);
+    for case in 0..64 {
+        let base: Vec<u8> = (0..r.next_below(10))
+            .map(|_| b'a' + r.next_below(3) as u8)
+            .collect();
+        // Keys ≥ base, as in a live merge where base is the last emission:
+        // agree with the base up to a cut, then diverge upward or extend.
+        let keys: Vec<Vec<u8>> = (0..24)
+            .map(|_| {
+                let cut = r.next_below(base.len() as u64 + 1) as usize;
+                let mut k = base[..cut].to_vec();
+                if cut < base.len() {
+                    k.push(base[cut] + 1 + r.next_below(2) as u8);
+                }
+                for _ in 0..r.next_below(4) {
+                    k.push(b'a' + r.next_below(3) as u8);
+                }
+                k
+            })
+            .collect();
+        for k in &keys {
+            assert!(k.as_slice() >= base.as_slice(), "case {case}: construction");
+        }
+        let off: Vec<usize> = keys.iter().map(|k| lcp(&base, k)).collect();
+        for a in 0..keys.len() {
+            for b in 0..keys.len() {
+                if off[a] != off[b] {
+                    // Deeper agreement with the base ⇒ strictly smaller key,
+                    // with zero key bytes examined.
+                    assert_eq!(
+                        off[a] > off[b],
+                        keys[a] < keys[b],
+                        "case {case}: off {}/{} keys {:?}/{:?}",
+                        off[a],
+                        off[b],
+                        keys[a],
+                        keys[b]
+                    );
+                } else {
+                    // Equal offsets: suffix order == full-key order.
+                    let o = off[a];
+                    assert_eq!(
+                        keys[a][o..].cmp(&keys[b][o..]),
+                        keys[a].cmp(&keys[b]),
+                        "case {case}: off {o} keys {:?}/{:?}",
+                        keys[a],
+                        keys[b]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The LCP-aware loser-tree replay returns the exact comparator result on
+/// randomized tie-heavy string sets: for arbitrary run shapes the OVC merge
+/// and the naive full-key merge both equal the stable sort of the arrival
+/// order, byte for byte — including empty keys and keys that are strict
+/// prefixes of other keys.
+#[test]
+fn lcp_replay_is_exact_on_tie_heavy_string_sets() {
+    use alphasort_core::varlen::{MergeMode, VarRun, VarRunMerger};
+    use alphasort_dmgen::{build_var_record, parse_var_record};
+
+    let mut r = SplitMix64::new(0xA7);
+    for case in 0..48 {
+        let n = 1 + r.next_below(400) as usize;
+        let keys = tie_heavy_keys(&mut r, n);
+        let per = 1 + r.next_below(60) as usize;
+        let runs: Vec<VarRun> = keys
+            .chunks(per)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let mut frames = Vec::new();
+                for (i, k) in chunk.iter().enumerate() {
+                    let seq = (chunk_idx * per + i) as u64;
+                    frames.extend_from_slice(&build_var_record(k, &seq.to_le_bytes()));
+                }
+                VarRun::from_frames(frames).unwrap()
+            })
+            .collect();
+
+        // Stable reference: arrival order is the concatenated run order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+        let want: Vec<(Vec<u8>, u64)> =
+            idx.iter().map(|&i| (keys[i].clone(), i as u64)).collect();
+
+        let refs: Vec<&VarRun> = runs.iter().collect();
+        for mode in [MergeMode::Ovc, MergeMode::Naive] {
+            let got: Vec<(Vec<u8>, u64)> = VarRunMerger::new(refs.clone(), mode)
+                .map(|p| {
+                    let run = &runs[p.run as usize];
+                    let rec = parse_var_record(run.frame_at(p.pos as usize), 0).unwrap();
+                    (rec.key().to_vec(), rec.seq().unwrap())
+                })
+                .collect();
+            assert_eq!(got, want, "case {case} ({mode:?})");
+        }
+    }
+}
+
 /// Sanity: stats plumbed through a real run.
 #[test]
 fn stats_are_populated() {

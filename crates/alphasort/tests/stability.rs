@@ -1,13 +1,19 @@
 //! Stability: with any detached representation, the full one-pass sort
 //! keeps equal-keyed records in input order (run-local index tie-break +
 //! the merge's run-number tie-break). §4 credits replacement-selection with
-//! stability; this shows the QuickSort pipeline matches it.
+//! stability; this shows the QuickSort pipeline matches it — and that the
+//! variable-length pipeline matches it too, across serial, partitioned,
+//! and crash-resumed merges.
 
 use alphasort_core::driver::one_pass;
 use alphasort_core::io::{MemSink, MemSource};
 use alphasort_core::runform::Representation;
-use alphasort_core::SortConfig;
-use alphasort_dmgen::{generate, records_of, GenConfig, KeyDistribution, SplitMix64};
+use alphasort_core::varlen::{two_pass_var, MemVarScratch};
+use alphasort_core::{RecordLayout, SortConfig};
+use alphasort_dmgen::{
+    generate, generate_varlen, records_of, var_records_of, GenConfig, KeyDistribution, SplitMix64,
+    TextCorpus, VarGenConfig,
+};
 
 fn assert_stable(rep: Representation, records: u64, run_records: usize, cardinality: u32) {
     let (data, _) = generate(GenConfig {
@@ -57,6 +63,101 @@ fn key_pipeline_is_stable() {
 #[test]
 fn codeword_pipeline_is_stable() {
     assert_stable(Representation::Codeword, 2_000, 333, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Variable-length layout: equal string keys stay in arrival order.
+// ---------------------------------------------------------------------------
+
+/// Every record of `out` must carry a key ≤ its successor's, and equal keys
+/// must keep ascending sequence numbers (arrival order).
+fn assert_var_stable(out: &[u8], what: &str) {
+    let recs = var_records_of(out).expect("output parses");
+    for w in recs.windows(2) {
+        assert!(w[0].key() <= w[1].key(), "{what}: keys out of order");
+        if w[0].key() == w[1].key() {
+            assert!(
+                w[0].seq().unwrap() < w[1].seq().unwrap(),
+                "{what}: equal keys out of arrival order: {:?} then {:?}",
+                w[0].seq(),
+                w[1].seq()
+            );
+        }
+    }
+}
+
+/// A var-len scratch with the middle run pre-formed (stable-sorted), as a
+/// crash-resumed pass 2 would see it.
+fn resumed_var_scratch(data: &[u8], run_records: usize) -> MemVarScratch {
+    let recs = var_records_of(data).expect("corpus parses");
+    let window = &recs[run_records..2 * run_records];
+    let mut idx: Vec<usize> = (0..window.len()).collect();
+    idx.sort_by(|&a, &b| window[a].key().cmp(window[b].key()).then(a.cmp(&b)));
+    let mut bytes = Vec::new();
+    for i in idx {
+        bytes.extend_from_slice(window[i].frame());
+    }
+    MemVarScratch::with_recovered(vec![(run_records as u64, bytes)]).unwrap()
+}
+
+/// Duplicate-heavy string corpora through one-pass serial, one-pass
+/// partitioned (1/2/4/8 ranges), and two-pass resumed merges: arrival order
+/// of equal keys survives every merge topology.
+#[test]
+fn varlen_pipeline_is_stable() {
+    for corpus in [
+        TextCorpus::EmptyKey,
+        TextCorpus::AllEqualKey { key_len: 16 },
+        TextCorpus::ZipfianWords { max_words: 2 },
+    ] {
+        let data = generate_varlen(VarGenConfig {
+            records: 1_200,
+            seed: 0x57A8,
+            corpus,
+        });
+        let run_records = 170;
+        let base = SortConfig {
+            run_records,
+            gather_batch: 96,
+            workers: 2,
+            layout: RecordLayout::VarLen,
+            ..Default::default()
+        };
+        let name = corpus.name();
+
+        // Serial merge.
+        let mut source = MemSource::new(data.clone(), 1_003);
+        let mut sink = MemSink::new();
+        one_pass(&mut source, &mut sink, &base).unwrap();
+        assert_var_stable(sink.data(), &format!("{name} serial"));
+
+        for p in [1usize, 2, 4, 8] {
+            // Partitioned merge at every worker count.
+            let cfg = SortConfig {
+                merge_workers: p,
+                ..base.clone()
+            };
+            let mut source = MemSource::new(data.clone(), 1_003);
+            let mut sink = MemSink::new();
+            one_pass(&mut source, &mut sink, &cfg).unwrap();
+            assert_var_stable(sink.data(), &format!("{name} P={p}"));
+
+            // Resumed two-pass: the recovered middle run merges back into
+            // arrival order even though it was formed "before the crash".
+            let mut source = MemSource::new(data.clone(), 1_003);
+            let mut sink = MemSink::new();
+            let mut scratch = resumed_var_scratch(&data, run_records);
+            two_pass_var(&mut source, &mut sink, &mut scratch, &cfg).unwrap();
+            assert_var_stable(sink.data(), &format!("{name} resumed P={p}"));
+        }
+
+        // Resumed two-pass with the serial merge.
+        let mut source = MemSource::new(data.clone(), 1_003);
+        let mut sink = MemSink::new();
+        let mut scratch = resumed_var_scratch(&data, run_records);
+        two_pass_var(&mut source, &mut sink, &mut scratch, &base).unwrap();
+        assert_var_stable(sink.data(), &format!("{name} resumed serial"));
+    }
 }
 
 /// Stability holds across arbitrary run sizes and key cardinalities for

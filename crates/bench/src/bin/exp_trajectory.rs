@@ -31,6 +31,11 @@
 //! `service_restart_recovery_ms` (lower is better) so journal replay can
 //! never silently turn into a boot-time cliff.
 //!
+//! PR 10 adds a **string merge** group: the LCP/OVC-aware tournament merge
+//! against naive full-key comparison on the shared-megaprefix corpus,
+//! tracked as `string_{ovc,naive}_records_per_sec` plus the deterministic
+//! `string_ovc_key_bytes_saved_pct` (how many key bytes OVC never touches).
+//!
 //! The emitted document ends with a `tracked` section. Most entries are
 //! higher-is-better rates; the exceptions (daemon e2e p99 latency) are
 //! declared in the sibling `tracked_meta` object as `lower_is_better`,
@@ -46,8 +51,12 @@ use std::time::{Duration, Instant};
 use alphasort_core::driver::{one_pass, two_pass, MemScratch};
 use alphasort_core::io::{MemSink, MemSource};
 use alphasort_core::stats::SortStats;
+use alphasort_core::varlen::{MergeMode, VarRun, VarRunMerger};
 use alphasort_core::{Kernel, SortConfig};
-use alphasort_dmgen::{generate, records_of_mut, validate_records, GenConfig, RECORD_LEN};
+use alphasort_dmgen::{
+    generate, generate_varlen, records_of_mut, validate_records, var_records_of, GenConfig,
+    TextCorpus, VarGenConfig, RECORD_LEN,
+};
 use alphasort_minijson::Json;
 use alphasort_obs::MetricsSnapshot;
 use alphasort_sortd::{
@@ -198,6 +207,92 @@ fn main() {
         kernel_variants.push((kernel.name().replace('-', "_"), rps, doc));
     }
     drop(data);
+
+    // String sort (PR 10): the LCP/OVC-aware tournament merge against
+    // naive full-key comparison on the adversarial shared-megaprefix
+    // corpus (48 identical leading bytes per key). Wall-clock rates are
+    // best-of; the key-bytes-examined counters are deterministic, so the
+    // "OVC beats naive" claim is machine-noise-proof.
+    let string_records = (records / 4).max(20_000);
+    let sdata = generate_varlen(VarGenConfig {
+        records: string_records,
+        seed: 10,
+        corpus: TextCorpus::SharedMegaPrefix {
+            prefix: 48,
+            suffix: 8,
+        },
+    });
+    let srecs = var_records_of(&sdata).expect("string corpus parses");
+    let per = srecs.len().div_ceil(8);
+    let string_runs: Vec<VarRun> = srecs
+        .chunks(per)
+        .map(|c| {
+            let mut buf = Vec::new();
+            for r in c {
+                buf.extend_from_slice(r.frame());
+            }
+            VarRun::from_frames(buf).expect("string run forms")
+        })
+        .collect();
+    drop(srecs);
+
+    // Untimed correctness pass: both modes must emit the identical
+    // pointer sequence, in key order. A wrong merge never gets a number.
+    {
+        let a: Vec<_> = VarRunMerger::new(string_runs.iter().collect(), MergeMode::Ovc)
+            .map(|p| (p.run, p.pos))
+            .collect();
+        let b: Vec<_> = VarRunMerger::new(string_runs.iter().collect(), MergeMode::Naive)
+            .map(|p| (p.run, p.pos))
+            .collect();
+        assert_eq!(a, b, "OVC and naive merges diverged");
+        assert_eq!(a.len() as u64, string_records);
+        let mut prev: &[u8] = b"";
+        for &(run, pos) in &a {
+            let key = string_runs[run as usize].key_at(pos as usize);
+            assert!(prev <= key, "string merge output out of order");
+            prev = key;
+        }
+    }
+
+    println!(
+        "\nstring merge ({string_records} shared-megaprefix records, {} runs, best of {repeat}):",
+        string_runs.len()
+    );
+    let mut string_modes: Vec<(&str, f64, u64, u64)> = Vec::new();
+    for (mode, name) in [(MergeMode::Ovc, "ovc"), (MergeMode::Naive, "naive")] {
+        let mut best_rps = 0.0f64;
+        let mut effort = (0u64, 0u64);
+        for _ in 0..repeat.max(1) {
+            let refs: Vec<&VarRun> = string_runs.iter().collect();
+            let t0 = Instant::now();
+            let mut m = VarRunMerger::new(refs, mode);
+            let mut n = 0u64;
+            for p in &mut m {
+                std::hint::black_box(p);
+                n += 1;
+            }
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            assert_eq!(n, string_records);
+            best_rps = best_rps.max(n as f64 / elapsed_s);
+            effort = (m.effort.key_bytes, m.effort.compares);
+        }
+        println!(
+            "  {name:<8} {best_rps:>9.0} records/s  ({} key bytes, {} compares)",
+            effort.0, effort.1
+        );
+        string_modes.push((name, best_rps, effort.0, effort.1));
+    }
+    let (ovc_rps, ovc_bytes) = (string_modes[0].1, string_modes[0].2);
+    let (naive_rps, naive_bytes) = (string_modes[1].1, string_modes[1].2);
+    assert!(
+        ovc_bytes * 2 < naive_bytes,
+        "OVC must examine far fewer key bytes than naive on shared prefixes \
+         ({ovc_bytes} vs {naive_bytes})"
+    );
+    let string_saved_pct = 100.0 * (1.0 - ovc_bytes as f64 / naive_bytes as f64);
+    println!("  ovc examines {string_saved_pct:.1}% fewer key bytes than naive");
+    drop(string_runs);
 
     // Service: an in-process sortd under a contended pool; throughput is
     // client-side wall clock, latency quantiles are daemon-reported.
@@ -357,6 +452,36 @@ fn main() {
             ]),
         ),
         (
+            "string".into(),
+            Json::Obj(vec![
+                ("records".into(), Json::from(string_records)),
+                ("corpus".into(), Json::from("shared-megaprefix 48+8")),
+                ("runs".into(), Json::from(8u64)),
+                (
+                    "modes".into(),
+                    Json::Obj(
+                        string_modes
+                            .iter()
+                            .map(|(name, rps, key_bytes, compares)| {
+                                (
+                                    (*name).to_string(),
+                                    Json::Obj(vec![
+                                        ("records_per_sec".into(), Json::Float(*rps)),
+                                        ("key_bytes".into(), Json::from(*key_bytes)),
+                                        ("compares".into(), Json::from(*compares)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "ovc_key_bytes_saved_pct".into(),
+                    Json::Float(string_saved_pct),
+                ),
+            ]),
+        ),
+        (
             "service".into(),
             Json::Obj(vec![
                 ("jobs".into(), Json::from(jobs)),
@@ -407,6 +532,15 @@ fn main() {
                     (format!("kernel_{name}_records_per_sec"), Json::Float(*rps))
                 }))
                 .chain([
+                    ("string_ovc_records_per_sec".into(), Json::Float(ovc_rps)),
+                    (
+                        "string_naive_records_per_sec".into(),
+                        Json::Float(naive_rps),
+                    ),
+                    (
+                        "string_ovc_key_bytes_saved_pct".into(),
+                        Json::Float(string_saved_pct),
+                    ),
                     (
                         "service_e2e_p99_ms".into(),
                         Json::Float(q("sortd.e2e_us", 0.99) / 1e3),

@@ -36,6 +36,7 @@ pub mod gen;
 pub mod record;
 pub mod rng;
 pub mod validate;
+pub mod varlen;
 
 pub use checksum::{Checksum, RunningChecksum};
 pub use dist::KeyDistribution;
@@ -47,4 +48,8 @@ pub use record::{
 pub use rng::SplitMix64;
 pub use validate::{
     validate_reader, validate_records, ValidationError, ValidationReport, Validator,
+};
+pub use varlen::{
+    build_var_record, encode_var_record, generate_varlen, parse_var_record, var_records_of,
+    TextCorpus, VarFrameError, VarGenConfig, VarRecord, MAX_VAR_BODY, VAR_HEADER_LEN,
 };

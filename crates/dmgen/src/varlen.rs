@@ -1,0 +1,620 @@
+//! Variable-length records with string keys.
+//!
+//! The Datamation layout ([`crate::record`]) fixes every record at 100
+//! bytes with a 10-byte key; this module supplies the general layout the
+//! LCP/OVC-aware pipeline sorts: a length-prefixed frame whose key is
+//! described by an (offset, length) descriptor into the body.
+//!
+//! # Frame format
+//!
+//! ```text
+//! +----------------+----------------+----------------+------------------+
+//! | body_len u32LE | key_off u16LE  | key_len u16LE  | body (body_len B)|
+//! +----------------+----------------+----------------+------------------+
+//! ```
+//!
+//! The key is `body[key_off .. key_off + key_len]` — arbitrary bytes,
+//! including none at all (`key_len == 0`). Generated corpora place an
+//! 8-byte little-endian sequence number immediately after the key, so
+//! permutation and stability checks work exactly like the fixed layout's
+//! payload-embedded `seq()`.
+//!
+//! Parsing is total: every malformed prefix is rejected with a
+//! [`VarFrameError`] that attributes the absolute byte offset, never a
+//! panic and never a silent drop.
+
+use std::fmt;
+
+use crate::rng::SplitMix64;
+
+/// Bytes in the fixed frame header (`body_len` + `key_off` + `key_len`).
+pub const VAR_HEADER_LEN: usize = 8;
+
+/// Ceiling on a single frame's body. Anything larger is treated as
+/// corruption: the generators top out orders of magnitude below this, and
+/// the cap keeps a flipped length byte from demanding a 4 GB read.
+pub const MAX_VAR_BODY: usize = 1 << 24;
+
+/// A parsed view of one variable-length record (header + body).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarRecord<'a> {
+    frame: &'a [u8],
+    key_off: usize,
+    key_len: usize,
+}
+
+impl<'a> VarRecord<'a> {
+    /// The whole frame: header and body, exactly as stored.
+    #[inline]
+    pub fn frame(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    /// Frame length in bytes (header included) — the cursor advance.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// Frames are never empty (the header alone is 8 bytes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The record body (frame minus header).
+    #[inline]
+    pub fn body(&self) -> &'a [u8] {
+        &self.frame[VAR_HEADER_LEN..]
+    }
+
+    /// The sort key: `body[key_off .. key_off + key_len]`.
+    #[inline]
+    pub fn key(&self) -> &'a [u8] {
+        &self.body()[self.key_off..self.key_off + self.key_len]
+    }
+
+    /// The 8-byte little-endian sequence number the generators stamp right
+    /// after the key, when the body is long enough to hold one.
+    #[inline]
+    pub fn seq(&self) -> Option<u64> {
+        let start = self.key_off + self.key_len;
+        let body = self.body();
+        body.get(start..start + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+}
+
+/// Why a byte prefix failed to parse as a frame, attributed to the
+/// absolute input offset where the frame begins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarFrameError {
+    /// Fewer than [`VAR_HEADER_LEN`] bytes remain.
+    TruncatedHeader {
+        /// Absolute offset of the frame start.
+        offset: u64,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The header promises more body than the buffer holds.
+    TruncatedBody {
+        /// Absolute offset of the frame start.
+        offset: u64,
+        /// Body bytes the header promised.
+        need: usize,
+        /// Body bytes actually available.
+        have: usize,
+    },
+    /// `body_len` exceeds [`MAX_VAR_BODY`].
+    OversizedBody {
+        /// Absolute offset of the frame start.
+        offset: u64,
+        /// The absurd length.
+        len: usize,
+    },
+    /// The key descriptor reaches past the body.
+    KeyOutOfBounds {
+        /// Absolute offset of the frame start.
+        offset: u64,
+        /// Declared key offset.
+        key_off: usize,
+        /// Declared key length.
+        key_len: usize,
+        /// Declared body length.
+        body_len: usize,
+    },
+}
+
+impl fmt::Display for VarFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarFrameError::TruncatedHeader { offset, have } => write!(
+                f,
+                "truncated frame header at byte {offset}: have {have} of \
+                 {VAR_HEADER_LEN} header bytes"
+            ),
+            VarFrameError::TruncatedBody { offset, need, have } => write!(
+                f,
+                "truncated frame body at byte {offset}: header promises \
+                 {need} body bytes, {have} remain"
+            ),
+            VarFrameError::OversizedBody { offset, len } => write!(
+                f,
+                "frame at byte {offset} declares a {len}-byte body, above \
+                 the {MAX_VAR_BODY}-byte limit"
+            ),
+            VarFrameError::KeyOutOfBounds {
+                offset,
+                key_off,
+                key_len,
+                body_len,
+            } => write!(
+                f,
+                "frame at byte {offset}: key descriptor \
+                 [{key_off}, {key_off}+{key_len}) exceeds the {body_len}-byte body"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VarFrameError {}
+
+/// Parse the frame starting at `buf[0]`. `offset` is the absolute input
+/// position of `buf[0]`, used only for error attribution. Advance the
+/// cursor by [`VarRecord::len`] on success.
+pub fn parse_var_record(buf: &[u8], offset: u64) -> Result<VarRecord<'_>, VarFrameError> {
+    if buf.len() < VAR_HEADER_LEN {
+        return Err(VarFrameError::TruncatedHeader {
+            offset,
+            have: buf.len(),
+        });
+    }
+    let body_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let key_off = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
+    let key_len = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes")) as usize;
+    if body_len > MAX_VAR_BODY {
+        return Err(VarFrameError::OversizedBody {
+            offset,
+            len: body_len,
+        });
+    }
+    if key_off + key_len > body_len {
+        return Err(VarFrameError::KeyOutOfBounds {
+            offset,
+            key_off,
+            key_len,
+            body_len,
+        });
+    }
+    let have = buf.len() - VAR_HEADER_LEN;
+    if have < body_len {
+        return Err(VarFrameError::TruncatedBody {
+            offset,
+            need: body_len,
+            have,
+        });
+    }
+    Ok(VarRecord {
+        frame: &buf[..VAR_HEADER_LEN + body_len],
+        key_off,
+        key_len,
+    })
+}
+
+/// Parse a whole buffer into records, rejecting any trailing partial frame.
+pub fn var_records_of(buf: &[u8]) -> Result<Vec<VarRecord<'_>>, VarFrameError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < buf.len() {
+        let r = parse_var_record(&buf[off..], off as u64)?;
+        off += r.len();
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Append one encoded frame: `body = pad ++ key ++ rest`, with the key
+/// descriptor pointing past the pad. Generators use a non-empty `pad` to
+/// exercise non-zero key offsets.
+///
+/// # Panics
+/// If the pad/key lengths overflow their `u16` descriptor fields or the
+/// body exceeds [`MAX_VAR_BODY`].
+pub fn encode_var_record(out: &mut Vec<u8>, pad: &[u8], key: &[u8], rest: &[u8]) {
+    let body_len = pad.len() + key.len() + rest.len();
+    assert!(body_len <= MAX_VAR_BODY, "body of {body_len} bytes too large");
+    let key_off = u16::try_from(pad.len()).expect("key offset fits u16");
+    let key_len = u16::try_from(key.len()).expect("key length fits u16");
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&key_off.to_le_bytes());
+    out.extend_from_slice(&key_len.to_le_bytes());
+    out.extend_from_slice(pad);
+    out.extend_from_slice(key);
+    out.extend_from_slice(rest);
+}
+
+/// One frame with a zero key offset — the common case.
+pub fn build_var_record(key: &[u8], rest: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(VAR_HEADER_LEN + key.len() + rest.len());
+    encode_var_record(&mut out, &[], key, rest);
+    out
+}
+
+/// Named text/adversarial corpora for the variable-length layout — the
+/// string-key counterpart of [`crate::dist::KeyDistribution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TextCorpus {
+    /// Synthetic URLs: shared schemes and domains, diverging paths —
+    /// medium shared prefixes, realistic length spread.
+    Urls,
+    /// Timestamped log lines, roughly time-ordered with jitter — nearly
+    /// sorted keys of varying length.
+    LogLines,
+    /// 1..=`max_words` words drawn from a zipfian vocabulary — heavy
+    /// duplication and shared word prefixes; `max_words` controls the
+    /// key-length distribution.
+    ZipfianWords {
+        /// Longest key in words.
+        max_words: u32,
+    },
+    /// Uniform random key bytes (full 0..=255 alphabet) with lengths in
+    /// `[min_key, max_key]`; a random pad exercises non-zero key offsets.
+    RandomBytes {
+        /// Shortest key in bytes.
+        min_key: u16,
+        /// Longest key in bytes.
+        max_key: u16,
+    },
+    /// Every key empty — all records compare equal; pure stability stress.
+    EmptyKey,
+    /// Every key the same `key_len` bytes — equal keys *with* bytes, so
+    /// comparisons must scan before tying.
+    AllEqualKey {
+        /// Length of the identical key.
+        key_len: u16,
+    },
+    /// Keys share `prefix` identical leading bytes before a short random
+    /// suffix — the adversarial case LCP/OVC merging exists for.
+    SharedMegaPrefix {
+        /// Shared leading bytes.
+        prefix: u16,
+        /// Random suffix bytes.
+        suffix: u16,
+    },
+    /// Every key is a prefix of one base string, truncated at a random
+    /// length — maximizes keys that are strict prefixes of other keys.
+    PrefixChain {
+        /// Length of the base string.
+        max_len: u16,
+    },
+}
+
+impl TextCorpus {
+    /// Every corpus at its default parameters, registry order.
+    pub const ALL: [TextCorpus; 8] = [
+        TextCorpus::Urls,
+        TextCorpus::LogLines,
+        TextCorpus::ZipfianWords { max_words: 5 },
+        TextCorpus::RandomBytes {
+            min_key: 0,
+            max_key: 40,
+        },
+        TextCorpus::EmptyKey,
+        TextCorpus::AllEqualKey { key_len: 16 },
+        TextCorpus::SharedMegaPrefix {
+            prefix: 48,
+            suffix: 8,
+        },
+        TextCorpus::PrefixChain { max_len: 32 },
+    ];
+
+    /// Registry name (CLI flag value, oracle matrix key).
+    pub fn name(self) -> &'static str {
+        match self {
+            TextCorpus::Urls => "urls",
+            TextCorpus::LogLines => "log-lines",
+            TextCorpus::ZipfianWords { .. } => "zipf-words",
+            TextCorpus::RandomBytes { .. } => "random-bytes",
+            TextCorpus::EmptyKey => "empty-key",
+            TextCorpus::AllEqualKey { .. } => "all-equal-key",
+            TextCorpus::SharedMegaPrefix { .. } => "shared-megaprefix",
+            TextCorpus::PrefixChain { .. } => "prefix-chain",
+        }
+    }
+
+    /// Look a corpus up by registry name (default parameters).
+    pub fn from_name(name: &str) -> Option<TextCorpus> {
+        TextCorpus::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Configuration for variable-length generation.
+#[derive(Clone, Copy, Debug)]
+pub struct VarGenConfig {
+    /// Number of records to generate.
+    pub records: u64,
+    /// RNG seed; equal configs generate byte-identical data.
+    pub seed: u64,
+    /// Key corpus.
+    pub corpus: TextCorpus,
+}
+
+const URL_DOMAINS: [&str; 5] = [
+    "api.acme.io",
+    "cdn.sortbench.net",
+    "data.papers.dev",
+    "example.com",
+    "www.alpha.org",
+];
+
+const WORDS: [&str; 24] = [
+    "the", "of", "and", "sort", "merge", "run", "key", "record", "alpha", "cache", "disk",
+    "memory", "prefix", "value", "offset", "stream", "batch", "stripe", "node", "pass", "tree",
+    "byte", "string", "pointer",
+];
+
+const LOG_LEVELS: [&str; 4] = ["DEBUG", "INFO", "WARN", "ERROR"];
+
+fn zipf_pick<'a>(rng: &mut SplitMix64, vocab: &[&'a str]) -> &'a str {
+    // Rank weight 1/(r+1), sampled via the cumulative harmonic sum scaled
+    // to integer thousandths — deterministic, no floats in the stream.
+    let mut total = 0u64;
+    let mut cum = [0u64; WORDS.len()];
+    for (r, slot) in cum.iter_mut().enumerate().take(vocab.len()) {
+        total += 1000 / (r as u64 + 1);
+        *slot = total;
+    }
+    let x = rng.next_below(total);
+    let idx = cum[..vocab.len()].partition_point(|&c| c <= x);
+    vocab[idx]
+}
+
+/// Key bytes (plus optional descriptor pad) for record `seq` of `n`.
+fn make_key(corpus: TextCorpus, seq: u64, rng: &mut SplitMix64, base: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    match corpus {
+        TextCorpus::Urls => {
+            let domain = URL_DOMAINS[rng.next_below(URL_DOMAINS.len() as u64) as usize];
+            let mut url = format!("https://{domain}");
+            for _ in 0..rng.next_below(4) {
+                url.push('/');
+                url.push_str(WORDS[rng.next_below(WORDS.len() as u64) as usize]);
+            }
+            if rng.next_below(3) == 0 {
+                url.push_str(&format!("?id={}", rng.next_below(10_000)));
+            }
+            (Vec::new(), url.into_bytes())
+        }
+        TextCorpus::LogLines => {
+            // Millisecond timestamps grow with seq but arrive jittered; the
+            // zero-padded decimal form keeps lexicographic ≈ time order.
+            let ts = seq * 1_000 + rng.next_below(5_000);
+            let level = LOG_LEVELS[rng.next_below(LOG_LEVELS.len() as u64) as usize];
+            let svc = WORDS[rng.next_below(WORDS.len() as u64) as usize];
+            let line = format!("{ts:013} {level} svc={svc} op={}", rng.next_below(64));
+            (Vec::new(), line.into_bytes())
+        }
+        TextCorpus::ZipfianWords { max_words } => {
+            let count = 1 + rng.next_below(max_words.max(1) as u64);
+            let mut key = String::new();
+            for i in 0..count {
+                if i > 0 {
+                    key.push(' ');
+                }
+                key.push_str(zipf_pick(rng, &WORDS));
+            }
+            (Vec::new(), key.into_bytes())
+        }
+        TextCorpus::RandomBytes { min_key, max_key } => {
+            let span = (max_key.max(min_key) - min_key) as u64 + 1;
+            let len = min_key as u64 + rng.next_below(span);
+            let mut key = vec![0u8; len as usize];
+            rng.fill_bytes(&mut key);
+            let mut pad = vec![0u8; rng.next_below(4) as usize];
+            rng.fill_bytes(&mut pad);
+            (pad, key)
+        }
+        TextCorpus::EmptyKey => (Vec::new(), Vec::new()),
+        TextCorpus::AllEqualKey { key_len } => (Vec::new(), vec![0x55u8; key_len as usize]),
+        TextCorpus::SharedMegaPrefix { prefix, suffix } => {
+            let mut key = vec![0x50u8; prefix as usize];
+            let start = key.len();
+            key.resize(start + suffix as usize, 0);
+            rng.fill_bytes(&mut key[start..]);
+            (Vec::new(), key)
+        }
+        TextCorpus::PrefixChain { max_len } => {
+            let len = rng.next_below(max_len as u64 + 1) as usize;
+            (Vec::new(), base[..len.min(base.len())].to_vec())
+        }
+    }
+}
+
+/// Generate `cfg.records` variable-length records into one buffer. Every
+/// body is `pad ++ key ++ seq(8 LE) ++ filler`, so [`VarRecord::seq`]
+/// recovers the input position for permutation and stability checks.
+pub fn generate_varlen(cfg: VarGenConfig) -> Vec<u8> {
+    let mut root = SplitMix64::new(cfg.seed);
+    let mut base_rng = root.split();
+    let mut key_rng = root.split();
+    let mut fill_rng = root.split();
+
+    // PrefixChain truncates one dataset-wide base string.
+    let base_len = match cfg.corpus {
+        TextCorpus::PrefixChain { max_len } => max_len as usize,
+        _ => 0,
+    };
+    let mut base = vec![0u8; base_len];
+    for (i, b) in base.iter_mut().enumerate() {
+        *b = b'a' + (base_rng.next_below(26) as u8 + i as u8 % 3) % 26;
+    }
+
+    let mut out = Vec::new();
+    for seq in 0..cfg.records {
+        let (pad, key) = make_key(cfg.corpus, seq, &mut key_rng, &base);
+        let mut rest = vec![0u8; 8 + fill_rng.next_below(17) as usize];
+        rest[..8].copy_from_slice(&seq.to_le_bytes());
+        fill_rng.fill_bytes(&mut rest[8..]);
+        encode_var_record(&mut out, &pad, &key, &rest);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_encode_parse() {
+        let mut buf = Vec::new();
+        encode_var_record(&mut buf, b"xx", b"hello", b"payload");
+        encode_var_record(&mut buf, &[], &[], b"no key at all");
+        encode_var_record(&mut buf, &[], b"k", &[]);
+        let recs = var_records_of(&buf).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].key(), b"hello");
+        assert_eq!(recs[0].body(), b"xxhellopayload");
+        assert_eq!(recs[1].key(), b"");
+        assert_eq!(recs[2].key(), b"k");
+        assert_eq!(recs[2].body(), b"k");
+        let total: usize = recs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, buf.len());
+    }
+
+    #[test]
+    fn truncated_header_is_attributed() {
+        let mut buf = build_var_record(b"key", b"rest0000");
+        let whole = buf.len() as u64;
+        buf.extend_from_slice(&[1, 2, 3]);
+        let err = var_records_of(&buf).unwrap_err();
+        assert_eq!(
+            err,
+            VarFrameError::TruncatedHeader {
+                offset: whole,
+                have: 3
+            }
+        );
+        assert!(err.to_string().contains(&format!("byte {whole}")));
+    }
+
+    #[test]
+    fn truncated_body_is_attributed() {
+        let mut buf = build_var_record(b"key", b"restrest");
+        buf.truncate(buf.len() - 2);
+        let err = var_records_of(&buf).unwrap_err();
+        assert!(matches!(err, VarFrameError::TruncatedBody { offset: 0, .. }));
+    }
+
+    #[test]
+    fn bad_key_descriptor_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&3u16.to_le_bytes()); // 2 + 3 > 4
+        buf.extend_from_slice(&[0; 4]);
+        let err = parse_var_record(&buf, 7).unwrap_err();
+        assert_eq!(
+            err,
+            VarFrameError::KeyOutOfBounds {
+                offset: 7,
+                key_off: 2,
+                key_len: 3,
+                body_len: 4
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_VAR_BODY as u32 + 1).to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            parse_var_record(&buf, 0),
+            Err(VarFrameError::OversizedBody { .. })
+        ));
+    }
+
+    #[test]
+    fn corpus_names_round_trip() {
+        for c in TextCorpus::ALL {
+            assert_eq!(TextCorpus::from_name(c.name()), Some(c));
+        }
+        assert_eq!(TextCorpus::from_name("nope"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seq_stamped() {
+        for corpus in TextCorpus::ALL {
+            let cfg = VarGenConfig {
+                records: 200,
+                seed: 0xC0FFEE,
+                corpus,
+            };
+            let a = generate_varlen(cfg);
+            let b = generate_varlen(cfg);
+            assert_eq!(a, b, "{}", corpus.name());
+            let recs = var_records_of(&a).unwrap();
+            assert_eq!(recs.len(), 200, "{}", corpus.name());
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(r.seq(), Some(i as u64), "{}", corpus.name());
+            }
+        }
+    }
+
+    #[test]
+    fn corpora_have_their_advertised_shapes() {
+        let gen = |corpus| {
+            generate_varlen(VarGenConfig {
+                records: 300,
+                seed: 9,
+                corpus,
+            })
+        };
+        let empty = gen(TextCorpus::EmptyKey);
+        assert!(var_records_of(&empty)
+            .unwrap()
+            .iter()
+            .all(|r| r.key().is_empty()));
+
+        let mega = gen(TextCorpus::SharedMegaPrefix {
+            prefix: 48,
+            suffix: 8,
+        });
+        for r in var_records_of(&mega).unwrap() {
+            assert_eq!(r.key().len(), 56);
+            assert!(r.key()[..48].iter().all(|&b| b == 0x50));
+        }
+
+        let chain = gen(TextCorpus::PrefixChain { max_len: 32 });
+        let recs_buf = chain.clone();
+        let recs = var_records_of(&recs_buf).unwrap();
+        let longest = recs.iter().map(|r| r.key().to_vec()).max().unwrap();
+        for r in recs {
+            assert!(longest.starts_with(r.key()));
+        }
+
+        let rnd = gen(TextCorpus::RandomBytes {
+            min_key: 0,
+            max_key: 40,
+        });
+        let lens: Vec<usize> = var_records_of(&rnd)
+            .unwrap()
+            .iter()
+            .map(|r| r.key().len())
+            .collect();
+        assert!(lens.contains(&0) || lens.iter().min() != lens.iter().max());
+        assert!(lens.iter().all(|&l| l <= 40));
+    }
+
+    #[test]
+    fn zipf_words_duplicate_heavily() {
+        let buf = generate_varlen(VarGenConfig {
+            records: 500,
+            seed: 4,
+            corpus: TextCorpus::ZipfianWords { max_words: 3 },
+        });
+        let recs = var_records_of(&buf).unwrap();
+        let distinct: std::collections::HashSet<&[u8]> = recs.iter().map(|r| r.key()).collect();
+        assert!(distinct.len() < 400, "only {} distinct", distinct.len());
+    }
+}

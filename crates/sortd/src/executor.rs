@@ -141,6 +141,7 @@ pub fn config_for(spec: &JobSpec) -> SortConfig {
         merge_workers: spec.merge_workers,
         gather_batch: run_records.min(10_000),
         kernel: spec.kernel,
+        layout: spec.layout,
         ..SortConfig::default()
     }
 }
@@ -332,6 +333,33 @@ mod tests {
         s.merge_workers = 3;
         let (out, _, _) = run(3, &s, data.clone(), &ScratchBacking::Memory).unwrap();
         assert_eq!(out, oracle(data));
+    }
+
+    #[test]
+    fn varlen_job_sorts_string_keys_end_to_end() {
+        use alphasort_core::RecordLayout;
+        use alphasort_dmgen::{generate_varlen, var_records_of, TextCorpus, VarGenConfig};
+
+        let data = generate_varlen(VarGenConfig {
+            records: 2_000,
+            seed: 16,
+            corpus: TextCorpus::Urls,
+        });
+        let recs = var_records_of(&data).unwrap();
+        let mut idx: Vec<usize> = (0..recs.len()).collect();
+        idx.sort_by(|&a, &b| recs[a].key().cmp(recs[b].key()).then(a.cmp(&b)));
+        let mut want = Vec::with_capacity(data.len());
+        for i in idx {
+            want.extend_from_slice(recs[i].frame());
+        }
+
+        let mut s = spec(data.len() as u64, 4 << 20, 0);
+        s.layout = RecordLayout::VarLen;
+        s.merge_workers = 2;
+        s.validate(8 << 20, 32 << 20).unwrap();
+        let (out, stats, _) = run(9, &s, data.clone(), &ScratchBacking::Memory).unwrap();
+        assert_eq!(out, want);
+        assert_eq!(stats.records, 2_000);
     }
 
     #[test]

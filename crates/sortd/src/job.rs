@@ -8,7 +8,7 @@
 //! forever — and against the plan the budgets imply (a two-pass job whose
 //! scratch budget cannot hold its runs is equally hopeless).
 
-use alphasort_core::{Kernel, PassPlan, Planner};
+use alphasort_core::{Kernel, PassPlan, Planner, RecordLayout};
 use alphasort_dmgen::RECORD_LEN;
 use alphasort_minijson::Json;
 
@@ -34,6 +34,11 @@ pub struct JobSpec {
     /// the wire; absent means the scalar oracle, so old clients keep
     /// working unchanged.
     pub kernel: Kernel,
+    /// Record model (see `alphasort_core::entry::RecordLayout`). Optional
+    /// on the wire; absent means fixed Datamation records, so old clients
+    /// keep working unchanged. `varlen` streams length-prefixed frames with
+    /// string keys through the LCP/OVC-aware pipeline.
+    pub layout: RecordLayout,
     /// Client-supplied idempotency key. Optional on the wire. With a
     /// journaling daemon, re-submitting the same key never executes twice:
     /// a key whose job already reached a terminal state is answered with
@@ -57,6 +62,7 @@ impl Default for JobSpec {
             scratch_budget: 0,
             merge_workers: 0,
             kernel: Kernel::Scalar,
+            layout: RecordLayout::Datamation,
             idem_key: None,
             deadline_ms: 0,
         }
@@ -75,6 +81,9 @@ impl JobSpec {
             ("merge_workers".into(), Json::from(self.merge_workers as u64)),
             ("kernel".into(), Json::from(self.kernel.name())),
         ];
+        if self.layout != RecordLayout::Datamation {
+            fields.push(("layout".into(), Json::from(self.layout.name())));
+        }
         if let Some(key) = &self.idem_key {
             fields.push(("idem_key".into(), Json::from(key.as_str())));
         }
@@ -84,17 +93,25 @@ impl JobSpec {
         Json::Obj(fields)
     }
 
-    /// Parse from a submit frame. `kernel` is optional (default scalar);
-    /// an *unknown* kernel name is a manifest error, not a silent default —
-    /// the client asked for something this daemon does not register.
-    /// `idem_key` and `deadline_ms` are equally optional, so pre-journal
-    /// clients keep working unchanged.
+    /// Parse from a submit frame. `kernel` is optional (default scalar), as
+    /// is `layout` (default `datamation`); an *unknown* kernel or layout
+    /// name is a manifest error, not a silent default — the client asked
+    /// for something this daemon does not register. `idem_key` and
+    /// `deadline_ms` are equally optional, so pre-journal clients keep
+    /// working unchanged.
     pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
         let kernel = match doc.get("kernel") {
             None => Kernel::Scalar,
             Some(v) => {
                 let name = v.as_str().ok_or("kernel: expected a string")?;
                 Kernel::from_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?
+            }
+        };
+        let layout = match doc.get("layout") {
+            None => RecordLayout::Datamation,
+            Some(v) => {
+                let name = v.as_str().ok_or("layout: expected a string")?;
+                RecordLayout::from_name(name).ok_or_else(|| format!("unknown layout {name:?}"))?
             }
         };
         let idem_key = match doc.get("idem_key") {
@@ -112,6 +129,7 @@ impl JobSpec {
             scratch_budget: doc.field_u64("scratch_budget").map_err(|e| e.to_string())?,
             merge_workers: doc.field_u64("merge_workers").map_err(|e| e.to_string())? as usize,
             kernel,
+            layout,
             idem_key,
             deadline_ms: match doc.get("deadline_ms") {
                 None => 0,
@@ -130,7 +148,16 @@ impl JobSpec {
     /// (would queue forever), or a two-pass plan whose scratch budget
     /// cannot hold the spilled runs.
     pub fn validate(&self, pool_mem_total: u64, pool_scratch_total: u64) -> Result<(), SortdError> {
-        if self.input_bytes == 0 || !self.input_bytes.is_multiple_of(RECORD_LEN as u64) {
+        if self.input_bytes == 0 {
+            return Err(SortdError::BadManifest(
+                "input_bytes must be positive".into(),
+            ));
+        }
+        // Only the fixed layout has a stride to check up front; var-len
+        // framing is validated during the read, record by record.
+        if self.layout == RecordLayout::Datamation
+            && !self.input_bytes.is_multiple_of(RECORD_LEN as u64)
+        {
             return Err(SortdError::BadManifest(format!(
                 "input_bytes {} is not a positive multiple of the {RECORD_LEN}-byte record",
                 self.input_bytes
@@ -372,6 +399,43 @@ mod tests {
         bad.push(("kernel".into(), Json::from("warp-drive")));
         let err = JobSpec::from_json(&Json::Obj(bad)).unwrap_err();
         assert!(err.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn layout_field_is_optional_but_validated() {
+        // Absent on the wire (and omitted when default): datamation.
+        let s = spec(1_000 * RECORD_LEN as u64, 1 << 20, 0);
+        let doc = s.to_json();
+        assert!(doc.get("layout").is_none(), "no layout field when default");
+        assert_eq!(JobSpec::from_json(&doc).unwrap().layout, RecordLayout::Datamation);
+        // Var-len survives the wire.
+        let v = JobSpec {
+            layout: RecordLayout::VarLen,
+            ..s.clone()
+        };
+        assert_eq!(JobSpec::from_json(&v.to_json()).unwrap(), v);
+        // An unknown layout name is a parse error, not a silent fallback.
+        let Json::Obj(mut fields) = s.to_json() else { panic!() };
+        fields.push(("layout".into(), Json::from("parquet")));
+        let err = JobSpec::from_json(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("unknown layout"), "{err}");
+    }
+
+    #[test]
+    fn varlen_inputs_need_not_be_record_aligned() {
+        let pool = (8 << 20, 32 << 20);
+        // 150 bytes is ragged for datamation but fine for var-len frames.
+        let ragged = JobSpec {
+            layout: RecordLayout::VarLen,
+            ..spec(150, 1 << 20, 0)
+        };
+        ragged.validate(pool.0, pool.1).unwrap();
+        // Empty input is still hopeless under any layout.
+        let empty = JobSpec {
+            layout: RecordLayout::VarLen,
+            ..spec(0, 1 << 20, 0)
+        };
+        assert_eq!(empty.validate(pool.0, pool.1).unwrap_err().code(), "bad_manifest");
     }
 
     #[test]

@@ -10,11 +10,18 @@
 //! sortcli <input> <output> [--mem BYTES] [--workers N] [--run RECORDS]
 //!         [--rep record|pointer|key|key-prefix|codeword]
 //!         [--kernel scalar|branchless-tree|radix|simd] [--two-pass]
+//!         [--layout datamation|varlen] [--corpus NAME]
 //!         [--merge-workers N]
 //!         [--scratch-dir DIR] [--resume] [--io-retries N] [--io-backoff-ms MS]
 //!         [--gen RECORDS[:SEED]] [--verify]
 //!         [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! ```
+//!
+//! `--layout varlen` sorts length-prefixed records with string keys through
+//! the LCP/OVC-aware pipeline instead of fixed 100-byte Datamation records;
+//! with `--gen` the input is drawn from a named text corpus (`--corpus`,
+//! default `urls`; see `TextCorpus` for the registry) and `--verify` checks
+//! the output is a sorted permutation of the input frames.
 //!
 //! `--merge-workers N` cuts the final merge into `N` disjoint key ranges
 //! by sampled splitters and merges them in parallel (0, the default, keeps
@@ -41,13 +48,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use alphasort_suite::dmgen::{validate_reader, GenConfig, Generator, RECORD_LEN};
+use alphasort_suite::dmgen::{
+    generate_varlen, validate_reader, var_records_of, GenConfig, Generator, TextCorpus,
+    VarGenConfig, RECORD_LEN,
+};
 use alphasort_suite::iosim::{catalog, FileStorage, IoEngine, Pacing, SimDisk, Storage};
 use alphasort_suite::obs;
 use alphasort_suite::sort::driver::{one_pass, two_pass, MemScratch, ResumeReport, StripeScratch};
 use alphasort_suite::sort::io::RecordSink;
 use alphasort_suite::sort::io_file::{FileSink, FileSource};
-use alphasort_suite::sort::{Kernel, Representation, SortConfig};
+use alphasort_suite::sort::{Kernel, RecordLayout, Representation, SortConfig};
 use alphasort_suite::stripefs::{RetryPolicy, Volume};
 
 struct Args {
@@ -58,6 +68,8 @@ struct Args {
     run_records: usize,
     rep: Representation,
     kernel: Kernel,
+    layout: RecordLayout,
+    corpus: TextCorpus,
     two_pass: bool,
     merge_workers: usize,
     scratch_dir: Option<String>,
@@ -73,7 +85,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sortcli <input> <output> [--mem BYTES] [--workers N] \
-         [--run RECORDS] [--rep NAME] [--kernel NAME] [--two-pass] [--merge-workers N] \
+         [--run RECORDS] [--rep NAME] [--kernel NAME] [--layout NAME] [--corpus NAME] \
+         [--two-pass] [--merge-workers N] \
          [--scratch-dir DIR] [--resume] [--io-retries N] [--io-backoff-ms MS] \
          [--gen RECORDS[:SEED]] [--verify] \
          [--trace-out TRACE.json] [--metrics-out METRICS.json]"
@@ -91,6 +104,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         run_records: 100_000,
         rep: Representation::KeyPrefix,
         kernel: Kernel::Scalar,
+        layout: RecordLayout::Datamation,
+        corpus: TextCorpus::Urls,
         two_pass: false,
         merge_workers: 0,
         scratch_dir: None,
@@ -129,6 +144,23 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.kernel = Kernel::from_name(&v).ok_or_else(|| {
                     let names: Vec<&str> = Kernel::ALL.into_iter().map(|k| k.name()).collect();
                     eprintln!("unknown kernel {v} (one of: {})", names.join(", "));
+                    usage()
+                })?;
+            }
+            "--layout" => {
+                let v = value("--layout")?;
+                args.layout = RecordLayout::from_name(&v).ok_or_else(|| {
+                    let names: Vec<&str> =
+                        RecordLayout::ALL.into_iter().map(|l| l.name()).collect();
+                    eprintln!("unknown layout {v} (one of: {})", names.join(", "));
+                    usage()
+                })?;
+            }
+            "--corpus" => {
+                let v = value("--corpus")?;
+                args.corpus = TextCorpus::from_name(&v).ok_or_else(|| {
+                    let names: Vec<&str> = TextCorpus::ALL.into_iter().map(|c| c.name()).collect();
+                    eprintln!("unknown corpus {v} (one of: {})", names.join(", "));
                     usage()
                 })?;
             }
@@ -263,6 +295,32 @@ fn build_striped_scratch(
     }
 }
 
+/// Var-len verification: the output must parse, be key-ascending, and hold
+/// exactly the input's frames (a sorted permutation, frame for frame).
+fn verify_varlen(input: &str, output: &str) -> Result<u64, String> {
+    let inp = std::fs::read(input).map_err(|e| format!("cannot reread {input}: {e}"))?;
+    let out = std::fs::read(output).map_err(|e| format!("cannot reopen {output}: {e}"))?;
+    let in_recs = var_records_of(&inp).map_err(|e| format!("input: {e}"))?;
+    let out_recs = var_records_of(&out).map_err(|e| format!("output: {e}"))?;
+    for (i, w) in out_recs.windows(2).enumerate() {
+        if w[0].key() > w[1].key() {
+            return Err(format!("keys out of order at record {}", i + 1));
+        }
+    }
+    let mut a: Vec<&[u8]> = in_recs.iter().map(|r| r.frame()).collect();
+    let mut b: Vec<&[u8]> = out_recs.iter().map(|r| r.frame()).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b {
+        return Err(format!(
+            "output is not a permutation of the input ({} vs {} records)",
+            out_recs.len(),
+            in_recs.len()
+        ));
+    }
+    Ok(out_recs.len() as u64)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -271,6 +329,25 @@ fn main() -> ExitCode {
 
     // Optional input generation.
     let checksum = match args.gen {
+        Some((records, seed)) if args.layout == RecordLayout::VarLen => {
+            let data = generate_varlen(VarGenConfig {
+                records,
+                seed,
+                corpus: args.corpus,
+            });
+            if let Err(e) = std::fs::write(&args.input, &data) {
+                eprintln!("cannot write {}: {e}", args.input);
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "generated {} var-len records ({:.1} MB, corpus {}) into {}",
+                records,
+                data.len() as f64 / 1e6,
+                args.corpus.name(),
+                args.input
+            );
+            None
+        }
         Some((records, seed)) => {
             let mut gen = Generator::new(GenConfig::datamation(records, seed));
             let mut sink = match FileSink::create(&args.input) {
@@ -315,7 +392,14 @@ fn main() -> ExitCode {
         max_fanin: 128,
         merge_workers: args.merge_workers,
         kernel: args.kernel,
+        layout: args.layout,
     };
+    if args.layout == RecordLayout::VarLen && args.scratch_dir.is_some() {
+        eprintln!(
+            "note: var-len two-pass sorts currently spill to in-memory scratch; \
+             --scratch-dir is ignored for run storage"
+        );
+    }
 
     // Start recording after generation so the trace covers only the sort.
     let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
@@ -441,7 +525,17 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.verify {
+    if args.verify && args.layout == RecordLayout::VarLen {
+        match verify_varlen(&args.input, &args.output) {
+            Ok(records) => {
+                eprintln!("verified: {records} var-len records, sorted permutation ✓")
+            }
+            Err(e) => {
+                eprintln!("OUTPUT INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.verify {
         let Some(checksum) = checksum else {
             eprintln!("--verify requires --gen (the input fingerprint)");
             return ExitCode::from(2);

@@ -323,6 +323,7 @@ fn cmd_submit(flags: &Flags) -> Result<ExitCode, ExitCode> {
         kernel: flags.kernel()?,
         idem_key: flags.get("--idem-key").map(Into::into),
         deadline_ms: flags.num("--deadline-ms", 0u64)?,
+        ..JobSpec::default()
     };
     let client = Client::new(addr).with_timeout(Duration::from_secs(600));
     let started = Instant::now();
